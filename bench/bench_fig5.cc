@@ -1,0 +1,120 @@
+// Figure 5: single-thread performance of common file system operations.
+//   (a) 4 KiB read/write throughput      (b) 2 MiB read/write throughput
+//   (c) open (read metadata)             (d) create / delete (write metadata)
+//
+// Two sections are printed:
+//   [model]    the calibrated analytic model at 1 thread — the numbers EXPERIMENTS.md
+//              compares against the paper's Figure 5;
+//   [measured] real wall-clock of the functional implementations on this machine (the
+//              substrate is emulated NVM in DRAM, so absolute values differ; the
+//              *ordering* should agree with the model).
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/fs_factory.h"
+#include "src/sim/profiles.h"
+#include "src/workloads/workloads.h"
+
+namespace trio {
+namespace bench {
+namespace {
+
+void ModelSection() {
+  sim::MachineModel machine;
+  Table data("Fig 5a/5b [model]: single-thread data throughput (GiB/s)");
+  data.SetHeader({"system", "4K-read", "4K-write", "2M-read", "2M-write"});
+  for (const std::string fs :
+       {"NOVA", "SplitFS", "OdinFS", "ArckFS-nd", "ArckFS"}) {
+    std::vector<std::string> row{fs};
+    for (auto [bytes, is_read] : std::vector<std::pair<double, bool>>{
+             {4096, true}, {4096, false}, {2 << 20, true}, {2 << 20, false}}) {
+      sim::SolveInput input;
+      input.op = sim::DataOp(fs, bytes, is_read);
+      input.threads = 1;
+      input.nodes = sim::NodesUsed(fs, 8);
+      row.push_back(Fmt(sim::Solve(machine, input).data_gib_per_sec));
+    }
+    data.AddRow(row);
+  }
+  data.Print();
+
+  Table meta("Fig 5c/5d [model]: single-thread metadata throughput (ops/us)");
+  meta.SetHeader({"system", "open", "create", "delete"});
+  for (const std::string fs : {"NOVA", "Strata", "ext4", "ArckFS"}) {
+    std::vector<std::string> row{fs};
+    for (sim::MetaKind kind :
+         {sim::MetaKind::kOpen, sim::MetaKind::kCreate, sim::MetaKind::kUnlink}) {
+      sim::SolveInput input;
+      input.op = sim::MetaOp(fs, kind, /*shared=*/false);
+      input.threads = 1;
+      input.nodes = sim::NodesUsed(fs, 8);
+      row.push_back(Fmt(sim::Solve(machine, input).ops_per_sec / 1e6, 3));
+    }
+    meta.AddRow(row);
+  }
+  meta.Print();
+}
+
+void MeasuredSection() {
+  Table data("Fig 5a [measured]: single-thread 4K data ops on emulated NVM (GiB/s)");
+  data.SetHeader({"system", "4K-read", "4K-write"});
+  for (const std::string name : {"ArckFS-nd", "NOVA", "SplitFS", "ext4", "Strata"}) {
+    std::vector<std::string> row{name};
+    for (bool is_read : {true, false}) {
+      FsFactoryOptions options;
+      options.vfs_trap_cost_ns = 300;  // Model the user->kernel crossing on wall clock.
+      FsInstance instance = MakeFs(name, options);
+      FioConfig config;
+      config.file_size = 8 << 20;
+      config.block_size = 4096;
+      config.is_read = is_read;
+      config.random = true;
+      FioWorkload fio(*instance.fs, config);
+      TRIO_CHECK_OK(fio.Prepare(1));
+      constexpr uint64_t kOps = 20000;
+      const double start = NowSeconds();
+      Result<WorkloadStats> stats = fio.Run(0, kOps);
+      const double seconds = NowSeconds() - start;
+      TRIO_CHECK(stats.ok());
+      row.push_back(Fmt(kOps * 4096.0 / seconds / (1ull << 30)));
+    }
+    data.AddRow(row);
+  }
+  data.Print();
+
+  Table meta("Fig 5c/5d [measured]: single-thread metadata ops (ops/us)");
+  meta.SetHeader({"system", "open", "create", "delete"});
+  for (const std::string name : {"ArckFS-nd", "NOVA", "ext4", "Strata"}) {
+    std::vector<std::string> row{name};
+    for (FxMarkBench bench :
+         {FxMarkBench::kMRPL, FxMarkBench::kMWCL, FxMarkBench::kMWUL}) {
+      FsFactoryOptions options;
+      options.vfs_trap_cost_ns = 300;
+      FsInstance instance = MakeFs(name, options);
+      FxMarkWorkload workload(*instance.fs, bench);
+      TRIO_CHECK_OK(workload.Prepare(1));
+      constexpr uint64_t kOps = 20000;
+      const double start = NowSeconds();
+      for (uint64_t i = 0; i < kOps; ++i) {
+        TRIO_CHECK_OK(workload.Op(0, i));
+      }
+      const double seconds = NowSeconds() - start;
+      row.push_back(Fmt(kOps / (seconds * 1e6), 3));
+    }
+    meta.AddRow(row);
+  }
+  meta.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trio
+
+int main() {
+  std::printf("Figure 5 reproduction: single-thread performance (§6.2)\n");
+  trio::bench::ModelSection();
+  trio::bench::MeasuredSection();
+  return 0;
+}

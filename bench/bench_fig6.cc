@@ -1,0 +1,66 @@
+// Figure 6: fio throughput of the evaluated file systems with one and eight NUMA nodes,
+// 4 KiB and 2 MiB reads/writes, per-thread private 1 GiB files. Regenerated from the
+// calibrated model (this box has one core and no Optane; see DESIGN.md).
+//
+// Expected shapes (§6.3): on one node all systems collapse for 4 KiB writes past ~8
+// threads; on eight nodes only ArckFS and OdinFS keep scaling (opportunistic delegation),
+// ArckFS ahead of OdinFS via direct access, up to 22x over the kernel file systems at
+// 224 threads; ext4-RAID0 scales 2M reads but not 4K reads.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/profiles.h"
+
+namespace trio {
+namespace bench {
+namespace {
+
+void Sweep(const std::string& title, double bytes, bool is_read, int machine_nodes,
+           const std::vector<int>& threads) {
+  sim::MachineModel machine;
+  Table table(title);
+  std::vector<std::string> header{"system"};
+  for (int t : threads) {
+    header.push_back(std::to_string(t));
+  }
+  table.SetHeader(header);
+
+  for (const std::string& fs : sim::DataFigureSystems()) {
+    if (machine_nodes == 1 && (fs == "ext4-RAID0" || fs == "OdinFS" || fs == "ArckFS")) {
+      continue;  // The paper's one-node plots show the no-delegation configurations.
+    }
+    if (machine_nodes == 8 && fs == "ArckFS-nd") {
+      continue;
+    }
+    std::vector<std::string> row{fs};
+    for (int t : threads) {
+      sim::SolveInput input;
+      input.op = sim::DataOp(fs, bytes, is_read);
+      input.threads = t;
+      input.nodes = sim::NodesUsed(fs, machine_nodes);
+      row.push_back(Fmt(sim::Solve(machine, input).data_gib_per_sec, 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trio
+
+int main() {
+  using namespace trio::bench;
+  std::printf("Figure 6 reproduction: fio throughput, GiB/s (§6.3) [model]\n");
+  Sweep("Fig 6a: 4KB read, 1 NUMA node", 4096, true, 1, OneNodeThreads());
+  Sweep("Fig 6b: 4KB write, 1 NUMA node", 4096, false, 1, OneNodeThreads());
+  Sweep("Fig 6c: 2MB read, 1 NUMA node", 2 << 20, true, 1, OneNodeThreads());
+  Sweep("Fig 6d: 2MB write, 1 NUMA node", 2 << 20, false, 1, OneNodeThreads());
+  Sweep("Fig 6e: 4KB read, 8 NUMA nodes", 4096, true, 8, EightNodeThreads());
+  Sweep("Fig 6f: 4KB write, 8 NUMA nodes", 4096, false, 8, EightNodeThreads());
+  Sweep("Fig 6g: 2MB read, 8 NUMA nodes", 2 << 20, true, 8, EightNodeThreads());
+  Sweep("Fig 6h: 2MB write, 8 NUMA nodes", 2 << 20, false, 8, EightNodeThreads());
+  return 0;
+}

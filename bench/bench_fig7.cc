@@ -1,0 +1,72 @@
+// Figure 7: FxMark metadata scalability (Table 2's twelve microbenchmarks), 1-224
+// threads, eight NUMA nodes. Regenerated from the calibrated model.
+//
+// Expected shapes (§6.4): ArckFS scales DWTL and every read-dominated benchmark linearly;
+// MWCL/MWUL saturate on small non-delegated NVM writes; the -M variants dip on directory
+// hash-table / logging-tail contention. The other systems are decided by the VFS: only
+// MRPL and MRDL scale; create/unlink/rename serialize on dcache, inode and rename locks.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/profiles.h"
+
+namespace trio {
+namespace bench {
+namespace {
+
+struct Bench {
+  const char* name;
+  sim::MetaKind kind;
+  bool shared;
+};
+
+const Bench kBenches[] = {
+    {"DWTL", sim::MetaKind::kTruncate, false},
+    {"MRPL", sim::MetaKind::kOpen, false},
+    {"MRPM", sim::MetaKind::kOpen, true},
+    {"MRPH", sim::MetaKind::kOpen, true},
+    {"MRDL", sim::MetaKind::kReaddir, false},
+    {"MRDM", sim::MetaKind::kReaddir, true},
+    {"MWCL", sim::MetaKind::kCreate, false},
+    {"MWCM", sim::MetaKind::kCreate, true},
+    {"MWUL", sim::MetaKind::kUnlink, false},
+    {"MWUM", sim::MetaKind::kUnlink, true},
+    {"MWRL", sim::MetaKind::kRename, false},
+    {"MWRM", sim::MetaKind::kRename, true},
+};
+
+void SweepBench(const Bench& bench) {
+  sim::MachineModel machine;
+  Table table(std::string("Fig 7 ") + bench.name + " (ops/us)");
+  std::vector<std::string> header{"system"};
+  for (int t : EightNodeThreads()) {
+    header.push_back(std::to_string(t));
+  }
+  table.SetHeader(header);
+  for (const std::string& fs : sim::MetaFigureSystems()) {
+    std::vector<std::string> row{fs};
+    for (int t : EightNodeThreads()) {
+      sim::SolveInput input;
+      input.op = sim::MetaOp(fs, bench.kind, bench.shared);
+      input.threads = t;
+      input.nodes = sim::NodesUsed(fs, 8);
+      row.push_back(Fmt(sim::Solve(machine, input).ops_per_sec / 1e6, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trio
+
+int main() {
+  std::printf("Figure 7 reproduction: FxMark metadata scalability (§6.4) [model]\n");
+  for (const auto& bench : trio::bench::kBenches) {
+    trio::bench::SweepBench(bench);
+  }
+  return 0;
+}

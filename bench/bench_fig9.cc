@@ -1,0 +1,164 @@
+// Figure 9: Filebench macrobenchmarks (§6.6) — Fileserver and Webserver (data-intensive,
+// to 224 threads on eight nodes), Webproxy and Varmail (small-file/metadata-intensive, to
+// 16 threads; the paper hits a Filebench fileset bug beyond that).
+//
+// [model]    transaction mixes assembled from the calibrated per-op profiles (Table 4
+//            parameters), solved across the thread sweep;
+// [measured] the functional Filebench generator on the real implementations (scaled
+//            filesets, two threads, wall clock) as a sanity cross-check of the ordering.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/fs_factory.h"
+#include "src/sim/profiles.h"
+#include "src/workloads/workloads.h"
+
+namespace trio {
+namespace bench {
+namespace {
+
+struct MixItem {
+  sim::OpProfile (*build)(const std::string& fs);
+  double count;
+};
+
+// Table 4 transaction mixes.
+std::vector<MixItem> MixFor(FilebenchPersonality personality) {
+  using sim::DataOp;
+  using sim::MetaKind;
+  using sim::MetaOp;
+  switch (personality) {
+    case FilebenchPersonality::kFileserver:
+      // create+write(2MB in 512K I/Os), append 512K, whole-file read (2x1MB), delete,
+      // stat. R:W = 1:2.
+      return {
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kCreate, false); }, 1},
+          {[](const std::string& f) { return DataOp(f, 512 << 10, false); }, 5},
+          {[](const std::string& f) { return DataOp(f, 1 << 20, true); }, 2},
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kUnlink, false); }, 1},
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kStat, false); }, 1},
+      };
+    case FilebenchPersonality::kWebserver:
+      // 10 whole-file reads (1MB I/O) : 1 log append (256KB).
+      return {
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kOpen, false); }, 10},
+          {[](const std::string& f) { return DataOp(f, 1 << 20, true); }, 10},
+          {[](const std::string& f) { return DataOp(f, 256 << 10, false); }, 1},
+      };
+    case FilebenchPersonality::kWebproxy:
+      // create+append 16KB, 5 small reads, delete; metadata + small data.
+      return {
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kCreate, false); }, 1},
+          {[](const std::string& f) { return DataOp(f, 16 << 10, false); }, 1},
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kOpen, false); }, 5},
+          {[](const std::string& f) { return DataOp(f, 16 << 10, true); }, 5},
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kUnlink, false); }, 1},
+      };
+    case FilebenchPersonality::kVarmail:
+      // delete, create+append+fsync, read, append+fsync, read.
+      return {
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kUnlink, false); }, 1},
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kCreate, false); }, 1},
+          {[](const std::string& f) { return DataOp(f, 16 << 10, false); }, 2},
+          {[](const std::string& f) { return MetaOp(f, MetaKind::kOpen, false); }, 3},
+          {[](const std::string& f) { return DataOp(f, 16 << 10, true); }, 2},
+      };
+  }
+  return {};
+}
+
+double MixKopsPerSec(const std::string& fs, FilebenchPersonality personality,
+                     int threads, int machine_nodes) {
+  sim::MachineModel machine;
+  double tx_ops = 0;
+  double tx_seconds_per_tx = 0;
+  for (const MixItem& item : MixFor(personality)) {
+    sim::SolveInput input;
+    input.op = item.build(fs);
+    input.threads = threads;
+    input.nodes = sim::NodesUsed(fs, machine_nodes);
+    const double tput = sim::Solve(machine, input).ops_per_sec;
+    tx_seconds_per_tx += item.count / tput;
+    tx_ops += item.count;
+  }
+  const double tx_per_sec = 1.0 / tx_seconds_per_tx;
+  return tx_per_sec * tx_ops / 1e3;  // Filebench-style kops/s.
+}
+
+void ModelSweep(FilebenchPersonality personality, int machine_nodes,
+                const std::vector<int>& threads) {
+  Table table(std::string("Fig 9 [model] ") + FilebenchName(personality) + ", " +
+              std::to_string(machine_nodes) + " NUMA node(s), kops/s");
+  std::vector<std::string> header{"system"};
+  for (int t : threads) {
+    header.push_back(std::to_string(t));
+  }
+  table.SetHeader(header);
+  for (const std::string& fs : sim::DataFigureSystems()) {
+    if (machine_nodes == 1 && (fs == "ext4-RAID0" || fs == "ArckFS")) {
+      continue;
+    }
+    if (machine_nodes == 8 && fs == "ArckFS-nd") {
+      continue;
+    }
+    std::vector<std::string> row{fs};
+    for (int t : threads) {
+      row.push_back(Fmt(MixKopsPerSec(fs, personality, t, machine_nodes), 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+void MeasuredSection() {
+  Table table("Fig 9 [measured]: functional Filebench, 2 threads, scaled filesets "
+              "(tx-ops/s on emulated NVM)");
+  table.SetHeader({"system", "Fileserver", "Webserver", "Webproxy", "Varmail"});
+  for (const std::string name : {"ArckFS-nd", "NOVA", "ext4"}) {
+    std::vector<std::string> row{name};
+    for (FilebenchPersonality personality :
+         {FilebenchPersonality::kFileserver, FilebenchPersonality::kWebserver,
+          FilebenchPersonality::kWebproxy, FilebenchPersonality::kVarmail}) {
+      FsFactoryOptions options;
+      options.vfs_trap_cost_ns = 300;  // Model the user->kernel crossing.
+      FsInstance instance = MakeFs(name, options);
+      FilebenchConfig config;
+      config.personality = personality;
+      config.scale = 0.002;
+      FilebenchWorkload workload(*instance.fs, config);
+      TRIO_CHECK_OK(workload.Prepare(2));
+      constexpr int kTx = 30;
+      uint64_t ops = 0;
+      const double start = NowSeconds();
+      for (int t = 0; t < 2; ++t) {
+        for (int i = 0; i < kTx; ++i) {
+          Result<WorkloadStats> stats = workload.Op(t, i);
+          TRIO_CHECK(stats.ok()) << stats.status().ToString();
+          ops += stats->ops;
+        }
+      }
+      row.push_back(Fmt(ops / (NowSeconds() - start), 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trio
+
+int main() {
+  using namespace trio::bench;
+  std::printf("Figure 9 reproduction: Filebench (§6.6)\n");
+  ModelSweep(trio::FilebenchPersonality::kFileserver, 1, OneNodeThreads());
+  ModelSweep(trio::FilebenchPersonality::kWebserver, 1, OneNodeThreads());
+  ModelSweep(trio::FilebenchPersonality::kFileserver, 8, EightNodeThreads());
+  ModelSweep(trio::FilebenchPersonality::kWebserver, 8, EightNodeThreads());
+  ModelSweep(trio::FilebenchPersonality::kWebproxy, 8, {1, 2, 4, 8, 16});
+  ModelSweep(trio::FilebenchPersonality::kVarmail, 8, {1, 2, 4, 8, 16});
+  MeasuredSection();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 1: the property matrix of NVM file system architectures. The qualitative rows
+// come from the designs; the Trio column is *demonstrated* at runtime on this
+// implementation: direct access is shown by counting kernel crossings on warm paths,
+// per-application customization by instantiating three different LibFSes on one kernel,
+// and metadata integrity by a live attack + detection.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/attacks/attacks.h"
+#include "src/baselines/fs_factory.h"
+#include "src/core/core_state.h"
+#include "src/fpfs/fpfs.h"
+#include "src/kernel/controller.h"
+#include "src/kvfs/kvfs.h"
+
+namespace trio {
+namespace bench {
+namespace {
+
+void PrintMatrix() {
+  Table table("Table 1: NVM file system architectures");
+  table.SetHeader({"property", "mediation (Aerie/Strata/SplitFS)", "direct (ZoFS/ctFS)",
+                   "Trio"});
+  table.AddRow({"Direct data access", "yes*", "yes", "yes"});
+  table.AddRow({"Direct metadata access", "no", "yes", "yes"});
+  table.AddRow({"Unprivileged customization", "no", "yes", "yes"});
+  table.AddRow({"Per-application customization", "no", "no", "yes"});
+  table.AddRow({"Metadata integrity", "yes", "no", "yes"});
+  table.Print();
+}
+
+void DemonstrateDirectAccess() {
+  NvmPool pool(1 << 14);
+  FormatOptions format;
+  TRIO_CHECK_OK(Format(pool, format));
+  KernelController kernel(pool);
+  TRIO_CHECK_OK(kernel.Mount());
+  {
+    ArckFs fs(kernel);
+    Result<Fd> fd = fs.Open("/f", OpenFlags::CreateRw());
+    TRIO_CHECK(fd.ok());
+    char block[4096] = {};
+    TRIO_CHECK(fs.Pwrite(*fd, block, sizeof(block), 0).ok());
+
+    const uint64_t warm = kernel.stats().syscalls.load();
+    constexpr int kOps = 1000;
+    for (int i = 0; i < kOps; ++i) {
+      TRIO_CHECK(fs.Pwrite(*fd, block, sizeof(block), (i % 16) * 4096).ok());
+      TRIO_CHECK(fs.Pread(*fd, block, sizeof(block), (i % 16) * 4096).ok());
+    }
+    const uint64_t data_syscalls = kernel.stats().syscalls.load() - warm;
+
+    const uint64_t warm2 = kernel.stats().syscalls.load();
+    for (int i = 0; i < kOps; ++i) {
+      Result<Fd> f2 = fs.Open("/meta" + std::to_string(i), OpenFlags::CreateRw());
+      TRIO_CHECK(f2.ok());
+      TRIO_CHECK_OK(fs.Close(*f2));
+    }
+    const uint64_t meta_syscalls = kernel.stats().syscalls.load() - warm2;
+
+    std::printf("\nDirect access [demonstrated]: %d data ops -> %llu kernel crossings; "
+                "%d creates -> %llu crossings (allocator batch refills only)\n",
+                2 * kOps, static_cast<unsigned long long>(data_syscalls), kOps,
+                static_cast<unsigned long long>(meta_syscalls));
+    TRIO_CHECK(data_syscalls == 0) << "data path must not trap";
+    TRIO_CHECK(meta_syscalls < 100) << "metadata path must be trap-free (amortized)";
+  }
+  TRIO_CHECK_OK(kernel.Unmount());
+}
+
+void DemonstrateCustomizationAndIntegrity() {
+  NvmPool pool(1 << 14);
+  FormatOptions format;
+  TRIO_CHECK_OK(Format(pool, format));
+  KernelController kernel(pool);
+  TRIO_CHECK_OK(kernel.Mount());
+  {
+    // Three differently customized LibFSes, one trusted entity, no privileges involved.
+    ArckFs generic(kernel);
+    KvFs kvfs(kernel);
+    FpFs fpfs(kernel);
+    std::printf("Unprivileged per-app customization [demonstrated]: ArckFS + KVFS + FPFS "
+                "registered on one kernel controller (ids %u, %u, %u)\n",
+                generic.id(), kvfs.id(), fpfs.id());
+
+    // Metadata integrity: a malicious LibFS corrupts, the verifier catches it.
+    MaliciousLibFs attacker(kernel);
+    Result<Fd> fd = generic.Open("/victim", OpenFlags::CreateRw());
+    TRIO_CHECK(fd.ok());
+    TRIO_CHECK(generic.Pwrite(*fd, "data", 4, 0).ok());
+    TRIO_CHECK_OK(generic.Close(*fd));
+    TRIO_CHECK_OK(generic.ReleaseFile("/victim"));
+    TRIO_CHECK_OK(generic.ReleaseFile("/"));
+    TRIO_CHECK(attacker.AttackSizeBeyondCapacity("/victim").ok());
+    Status detected = attacker.ReleaseTarget("/victim");
+    std::printf("Metadata integrity [demonstrated]: attack released -> %s; rollbacks=%llu\n",
+                detected.ToString().c_str(),
+                static_cast<unsigned long long>(
+                    kernel.stats().corruptions_rolled_back.load()));
+    TRIO_CHECK(detected.Is(ErrorCode::kCorrupted));
+  }
+  TRIO_CHECK_OK(kernel.Unmount());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trio
+
+int main() {
+  std::printf("Table 1 reproduction: architecture property matrix (§2)\n");
+  trio::bench::PrintMatrix();
+  trio::bench::DemonstrateDirectAccess();
+  trio::bench::DemonstrateCustomizationAndIntegrity();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the per-figure benchmark binaries: table printing, timing, and
+// common sweep thread counts.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace trio {
+namespace bench {
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Thread counts used by the paper's sweeps.
+inline std::vector<int> OneNodeThreads() { return {1, 2, 4, 8, 16, 28}; }
+inline std::vector<int> EightNodeThreads() {
+  return {1, 2, 4, 8, 16, 28, 56, 84, 112, 140, 168, 196, 224};
+}
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(const std::vector<std::string>& header) { header_ = header; }
+  void AddRow(const std::vector<std::string>& row) { rows_.push_back(row); }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::vector<size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) {
+      widen(row);
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace trio
+
+#endif  // BENCH_BENCH_UTIL_H_

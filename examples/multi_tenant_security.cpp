@@ -1,0 +1,71 @@
+// Multi-tenant security demo: three applications — an honest writer, an honest reader,
+// and a malicious tenant — share one Trio deployment. The malicious LibFS corrupts every
+// piece of metadata it can legally write to; the integrity verifier catches each attack
+// when write access transfers, and the kernel controller rolls the file back to its
+// checkpoint, so the honest tenants never observe corrupted state (§3.2's guarantee:
+// corruption is confined to the application that caused it).
+//
+//   $ ./multi_tenant_security
+
+#include <cstdio>
+#include <string>
+
+#include "src/attacks/attacks.h"
+#include "src/core/core_state.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+
+using namespace trio;
+
+int main() {
+  NvmPool pool(1 << 15);
+  TRIO_CHECK_OK(Format(pool, FormatOptions{}));
+  KernelController kernel(pool);
+  TRIO_CHECK_OK(kernel.Mount());
+
+  ArckFs alice(kernel);   // Honest writer.
+  ArckFs bob(kernel);     // Honest reader.
+  MaliciousLibFs eve(kernel);  // Controls her own LibFS end to end.
+
+  // Alice publishes a document and releases it.
+  {
+    Result<Fd> fd = alice.Open("/report.txt", OpenFlags::CreateTrunc());
+    TRIO_CHECK(fd.ok());
+    const std::string body = "Q3 numbers: all good.";
+    TRIO_CHECK(alice.Pwrite(*fd, body.data(), body.size(), 0).ok());
+    TRIO_CHECK_OK(alice.Close(*fd));
+    TRIO_CHECK_OK(alice.ReleaseFile("/report.txt"));
+    TRIO_CHECK_OK(alice.ReleaseFile("/"));
+    std::printf("alice published /report.txt\n");
+  }
+
+  // Eve cannot touch pages she was never granted: the MMU simply faults.
+  std::printf("eve probes an unmapped kernel page: %s\n",
+              eve.ProbeUnmappedPageFaults() ? "MMU FAULT (blocked)" : "!!writable!!");
+
+  // Eve legally write-maps the file (the ACL allows it) and then corrupts its metadata:
+  // a size beyond the index chain and an index pointer aimed outside the file.
+  TRIO_CHECK_OK(eve.AttackSizeBeyondCapacity("/report.txt"));
+  TRIO_CHECK_OK(eve.AttackPointIndexOutside("/report.txt"));
+  std::printf("eve corrupted /report.txt's metadata inside her own mapping\n");
+
+  // Bob asks to read. The kernel revokes Eve's grant; verification fails; Eve gets a
+  // chance to fix (she does not); the kernel quarantines her image and rolls the file
+  // back to the checkpoint — and only then maps it for Bob.
+  Result<Fd> fd = bob.Open("/report.txt", OpenFlags::ReadOnly());
+  TRIO_CHECK(fd.ok());
+  char buffer[64] = {};
+  Result<size_t> n = bob.Pread(*fd, buffer, sizeof(buffer) - 1, 0);
+  TRIO_CHECK(n.ok());
+  TRIO_CHECK_OK(bob.Close(*fd));
+
+  std::printf("bob reads: \"%s\"\n", buffer);
+  std::printf("kernel stats: verifications=%llu failures=%llu rollbacks=%llu\n",
+              static_cast<unsigned long long>(kernel.stats().verifications.load()),
+              static_cast<unsigned long long>(kernel.stats().verify_failures.load()),
+              static_cast<unsigned long long>(
+                  kernel.stats().corruptions_rolled_back.load()));
+  TRIO_CHECK(std::string(buffer) == "Q3 numbers: all good.");
+  std::printf("corruption was confined to eve; honest tenants unaffected.\n");
+  return 0;
+}

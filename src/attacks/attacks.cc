@@ -1,0 +1,399 @@
+#include "src/attacks/attacks.h"
+
+#include <cstring>
+
+namespace trio {
+
+Result<DirentBlock*> MaliciousLibFs::MapTarget(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(NodePtr node, OpenNodeByPath(path, /*write=*/true));
+  return node->dirent;
+}
+
+bool MaliciousLibFs::RawStore(void* dst, const void* src, size_t len) {
+  // The hardware MMU check: a malicious LibFS can bypass all LibFS-level checks but not
+  // the page tables the kernel controller programmed.
+  if (!kernel_.mmu().CheckRange(libfs_, pool_, dst, len, /*write=*/true)) {
+    return false;
+  }
+  pool_.Write(dst, src, len);
+  pool_.PersistNow(dst, len);
+  return true;
+}
+
+bool MaliciousLibFs::RawStore64(uint64_t* dst, uint64_t value) {
+  return RawStore(dst, &value, sizeof(value));
+}
+
+Status MaliciousLibFs::ReleaseTarget(const std::string& path) {
+  // ReleaseFile swallows the unmap status; go through the node directly to surface the
+  // verification result.
+  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
+  Ino ino = kRootIno;
+  Ino parent = kInvalidIno;
+  if (!components.empty()) {
+    SplitParent parts;
+    parts.leaf = std::move(components.back());
+    components.pop_back();
+    parts.parent = std::move(components);
+    TRIO_ASSIGN_OR_RETURN(NodePtr dir, ResolveDir(parts.parent));
+    TRIO_RETURN_IF_ERROR(LockForOp(dir.get(), 1));
+    Result<DirSlot> slot = FindEntry(dir.get(), parts.leaf);
+    UnlockOp(dir.get());
+    if (!slot.ok()) {
+      return slot.status();
+    }
+    ino = slot->ino;
+    parent = dir->ino;
+  }
+  NodePtr node = FindNode(ino);
+  if (node != nullptr && node->locally_created) {
+    // Surface the parent reconcile result: creations by a malicious LibFS are verified
+    // when the parent directory is checked.
+    Status parent_commit = kernel_.CommitFile(libfs_, node->parent);
+    node->locally_created = false;
+    if (!parent_commit.ok()) {
+      RevokeNode(ino);
+      return parent_commit;
+    }
+  }
+  (void)parent;
+  // Quiesce and unmap with the real status.
+  Status status = kernel_.UnmapFile(libfs_, ino);
+  if (node != nullptr) {
+    RevokeNode(ino);  // Drop stale auxiliary state regardless.
+  }
+  return status;
+}
+
+bool MaliciousLibFs::ProbeUnmappedPageFaults() {
+  // Pick a page we certainly do not have mapped: the shadow inode table.
+  const Superblock* sb = SuperblockOf(pool_);
+  char* target = pool_.PageAddress(sb->shadow_table_page);
+  uint64_t evil = 0xffffffffffffffffull;
+  return !RawStore(target, &evil, sizeof(evil));
+}
+
+namespace {
+
+// Locates the first index page of a mapped file (attacker-side convenience).
+IndexPage* FirstIndexPage(NvmPool& pool, DirentBlock* dirent) {
+  if (dirent->first_index_page == 0) {
+    return nullptr;
+  }
+  return reinterpret_cast<IndexPage*>(pool.PageAddress(dirent->first_index_page));
+}
+
+}  // namespace
+
+Status MaliciousLibFs::AttackPointIndexOutside(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  IndexPage* index = FirstIndexPage(pool_, dirent);
+  if (index == nullptr) {
+    return InvalidArgument("target file has no pages");
+  }
+  // "Point at DRAM": in the emulation, any page number outside this file's ownership —
+  // e.g. another region of the pool — models a pointer to memory the victim would then
+  // read or clobber.
+  const uint64_t outside = SuperblockOf(pool_)->total_pages - 1;
+  if (!RawStore64(&index->entries[0], outside)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackRemoveNonEmptyDir(const std::string& dir_path) {
+  // Tombstone the directory's dirent (held in its parent's pages) while it still has
+  // children — files become disconnected from the root path (§2.3.2).
+  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(dir_path));
+  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
+  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 2));
+  Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
+  UnlockOp(parent.get());
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  DirentBlock* d = SlotPointer(*slot);
+  if (!RawStore64(&d->ino, 0)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  // Keep the LibFS-side hash table in sync with what an attacker's LibFS would do.
+  parent->dir_index->Erase(parts.leaf);
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackSlashInName(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  char evil = '/';
+  if (!RawStore(&dirent->name[0], &evil, 1)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackIndexCycle(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  IndexPage* index = FirstIndexPage(pool_, dirent);
+  if (index == nullptr) {
+    return InvalidArgument("target file has no pages");
+  }
+  if (!RawStore64(&index->next, dirent->first_index_page)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackDuplicateName(const std::string& dir_path) {
+  // Two dirents with the same name: a victim resolving the name becomes
+  // implementation-dependent (semantic attack).
+  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(dir_path));
+  TRIO_ASSIGN_OR_RETURN(NodePtr dir, ResolveDir(components));
+  TRIO_RETURN_IF_ERROR(LockForOp(dir.get(), 2));
+  UnlockOp(dir.get());
+  // Find two live dirents in the directory and copy one name over the other.
+  DirentBlock* first = nullptr;
+  DirentBlock* second = nullptr;
+  Status walk = ForEachDirent(pool_, dir->dirent->first_index_page,
+                              [&](DirentBlock* d, PageNumber, size_t) -> Status {
+                                if (first == nullptr) {
+                                  first = d;
+                                } else if (second == nullptr) {
+                                  second = d;
+                                }
+                                return OkStatus();
+                              });
+  TRIO_RETURN_IF_ERROR(walk);
+  if (second == nullptr) {
+    return InvalidArgument("need two files in the directory");
+  }
+  char name_copy[kMaxNameLen];
+  std::memcpy(name_copy, first->name, kMaxNameLen);
+  uint16_t len = first->name_len;
+  if (!RawStore(second->name, name_copy, kMaxNameLen) ||
+      !RawStore(&second->name_len, &len, sizeof(len))) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackDoubleReference(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  IndexPage* index = FirstIndexPage(pool_, dirent);
+  if (index == nullptr || index->entries[0] == 0) {
+    return InvalidArgument("target file needs at least one data page");
+  }
+  if (!RawStore64(&index->entries[1], index->entries[0])) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackPermissionEscalation(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  const uint32_t evil_mode = (dirent->mode & kModeTypeMask) | 0777;
+  const uint32_t evil_uid = 0;  // Claim root ownership.
+  if (!RawStore(&dirent->mode, &evil_mode, sizeof(evil_mode)) ||
+      !RawStore(&dirent->uid, &evil_uid, sizeof(evil_uid))) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackSizeBeyondCapacity(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  if (!RawStore64(&dirent->size, 1ull << 40)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackStealForeignPage(const std::string& path,
+                                              PageNumber foreign_page) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  IndexPage* index = FirstIndexPage(pool_, dirent);
+  if (index == nullptr) {
+    return InvalidArgument("target file has no pages");
+  }
+  if (!RawStore64(&index->entries[2], foreign_page)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackInvalidType(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  const uint32_t evil = dirent->mode & kModePermMask;  // Type bits zeroed.
+  if (!RawStore(&dirent->mode, &evil, sizeof(evil))) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackReservedBytes(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, MapTarget(path));
+  const uint64_t payload = 0x6c6976652100beefull;
+  if (!RawStore(&dirent->reserved2, &payload, sizeof(payload))) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Scripted corruption sweep
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Script {
+  const char* name;
+  // Returns OkStatus when the corruption was applied.
+  Status (*apply)(MaliciousLibFs&, const std::string&, Rng&);
+};
+
+Status CorruptDirentField(MaliciousLibFs& fs, const std::string& path, Rng& rng,
+                          size_t offset, size_t len) {
+  TRIO_ASSIGN_OR_RETURN(DirentBlock * dirent, fs.MapTarget(path));
+  std::vector<uint8_t> junk(len);
+  for (auto& b : junk) {
+    b = static_cast<uint8_t>(rng.Range(1, 255));  // Nonzero: zero often means "unset".
+  }
+  if (!fs.RawStore(reinterpret_cast<char*>(dirent) + offset, junk.data(), len)) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+const Script kScripts[] = {
+    {"ino_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       // Random inode number far outside anything leased or live.
+       return fs.RawStore64(&d->ino, rng.Range(100000, 1u << 30))
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"first_index_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       return fs.RawStore64(&d->first_index_page, rng.Range(1u << 20, 1u << 24))
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"size_random", [](MaliciousLibFs& fs, const std::string& p,
+                       Rng& rng) { return CorruptDirentField(fs, p, rng, 16, 8); }},
+    {"mode_random", [](MaliciousLibFs& fs, const std::string& p,
+                       Rng& rng) { return CorruptDirentField(fs, p, rng, 24, 4); }},
+    {"uid_random", [](MaliciousLibFs& fs, const std::string& p,
+                      Rng& rng) { return CorruptDirentField(fs, p, rng, 28, 4); }},
+    {"gid_random", [](MaliciousLibFs& fs, const std::string& p,
+                      Rng& rng) { return CorruptDirentField(fs, p, rng, 32, 4); }},
+    {"nlink_random", [](MaliciousLibFs& fs, const std::string& p,
+                        Rng& rng) { return CorruptDirentField(fs, p, rng, 36, 4); }},
+    {"name_len_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       uint16_t evil = static_cast<uint16_t>(rng.Range(kMaxNameLen, 60000));
+       return fs.RawStore(&d->name_len, &evil, sizeof(evil)) ? OkStatus()
+                                                             : PermissionDenied("");
+     }},
+    {"name_embedded_nul",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       char nul = '\0';
+       return fs.RawStore(&d->name[0], &nul, 1) ? OkStatus() : PermissionDenied("");
+     }},
+    {"reserved_random", [](MaliciousLibFs& fs, const std::string& p,
+                           Rng& rng) { return CorruptDirentField(fs, p, rng, 66, 6); }},
+    {"index_entry_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       return fs.RawStore64(&index->entries[rng.Below(4)], rng.Range(2, 1u << 28))
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"index_next_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       return fs.RawStore64(&index->next, rng.Range(2, 1u << 28)) ? OkStatus()
+                                                                  : PermissionDenied("");
+     }},
+    {"whole_dirent_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       std::vector<uint8_t> junk(sizeof(DirentBlock));
+       for (auto& b : junk) {
+         b = static_cast<uint8_t>(rng.Below(256));
+       }
+       return fs.RawStore(d, junk.data(), junk.size()) ? OkStatus() : PermissionDenied("");
+     }},
+    {"index_page_random",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       char* page = fs.raw_pool().PageAddress(d->first_index_page);
+       std::vector<uint8_t> junk(256);
+       for (auto& b : junk) {
+         b = static_cast<uint8_t>(rng.Below(256));
+       }
+       return fs.RawStore(page + rng.Below(kPageSize - junk.size()), junk.data(),
+                          junk.size())
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"type_flip",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       // Flip regular <-> directory: the structure no longer matches the type.
+       uint32_t evil = d->mode ^ (kModeRegular | kModeDirectory);
+       return fs.RawStore(&d->mode, &evil, sizeof(evil)) ? OkStatus()
+                                                         : PermissionDenied("");
+     }},
+    {"dir_size_nonzero",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       // Applied to the parent directory: directories must carry size 0.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       return fs.RawStore64(&d->size, rng.Range(1, 1u << 20)) ? OkStatus()
+                                                              : PermissionDenied("");
+     }},
+    {"kitchen_sink",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       // Several corruptions at once ("run different scripts together to cause more
+       // complex corruption", §6.5).
+       (void)CorruptDirentField(fs, p, rng, 24, 4);
+       (void)CorruptDirentField(fs, p, rng, 16, 8);
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page != 0) {
+         auto* index =
+             reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+         (void)fs.RawStore64(&index->entries[0], rng.Range(2, 1u << 28));
+       }
+       return OkStatus();
+     }},
+};
+
+}  // namespace
+
+size_t CorruptionScenarioCount() { return sizeof(kScripts) / sizeof(kScripts[0]); }
+
+std::string CorruptionScenarioName(size_t scenario_index) {
+  return kScripts[scenario_index % CorruptionScenarioCount()].name;
+}
+
+Status ApplyScriptedCorruption(MaliciousLibFs& attacker, const std::string& path,
+                               size_t scenario_index, uint64_t seed) {
+  Rng rng(seed * 7919 + scenario_index);
+  return kScripts[scenario_index % CorruptionScenarioCount()].apply(attacker, path, rng);
+}
+
+}  // namespace trio

@@ -1,0 +1,179 @@
+// The evaluated baseline file systems (§6.1), all implementing FsInterface:
+//
+//   KernelFsAdapter  — in-kernel designs behind VfsSim: ext4-, PMFS-, NOVA-, WineFS- and
+//                      OdinFS-like (journal mode + delegation distinguish them). Every
+//                      operation traps and takes the VFS locks.
+//   SplitFsLike      — SplitFS [32]: data operations run in userspace against cached
+//                      extents; metadata operations go through the kernel path.
+//   StrataLike       — Strata [35]: every update appends to a userspace log; a digestion
+//                      step applies the log to the kernel FS. Reads consult the
+//                      in-memory index over the undigested log first.
+//
+// These are functional, simplified reimplementations: enough mechanism to reproduce each
+// design's characteristic costs (traps, VFS lock contention, journal/log write
+// amplification, digestion) on the shared NVM pool. See DESIGN.md for the substitutions.
+
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/baselines/simple_kernel_fs.h"
+#include "src/baselines/vfs_sim.h"
+#include "src/kernel/delegation.h"
+#include "src/libfs/fd_table.h"
+#include "src/libfs/fs_interface.h"
+
+namespace trio {
+
+enum class BaselineKind {
+  kExt4,    // Global journal (jbd2-like).
+  kPmfs,    // No journal; in-place ordered updates.
+  kNova,    // Per-inode log shards.
+  kWinefs,  // Per-CPU journal shards.
+  kOdinfs,  // WineFS-like consistency + opportunistic delegation.
+};
+
+const char* BaselineName(BaselineKind kind);
+KernelFsOptions BaselineOptions(BaselineKind kind);
+
+class KernelFsAdapter : public FsInterface {
+ public:
+  // The pool must have been formatted with SimpleKernelFs::Format(BaselineOptions(kind)).
+  KernelFsAdapter(NvmPool& pool, BaselineKind kind, VfsConfig vfs_config = {});
+  ~KernelFsAdapter() override;
+
+  Result<Fd> Open(const std::string& path, OpenFlags flags, uint32_t mode = 0644) override;
+  Status Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t count) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t count) override;
+  Result<size_t> Pread(Fd fd, void* buf, size_t count, uint64_t offset) override;
+  Result<size_t> Pwrite(Fd fd, const void* buf, size_t count, uint64_t offset) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Status Fsync(Fd fd) override;
+  Status Ftruncate(Fd fd, uint64_t size) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<StatInfo> Stat(const std::string& path) override;
+  Result<std::vector<DirEntryInfo>> ReadDir(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Chmod(const std::string& path, uint32_t perm) override;
+  std::string Name() const override { return BaselineName(kind_); }
+
+  VfsSim& vfs() { return vfs_; }
+  SimpleKernelFs& engine() { return engine_; }
+  // Userspace-side fd resolution (no trap): the hook SplitFS-like data paths use.
+  Result<Ino> FdToIno(Fd fd);
+  // Per-inode VFS write serialization, exposed for the direct data path.
+  std::mutex& InodeLock(Ino ino) { return vfs_.inode_lock(ino); }
+
+ protected:
+  struct OpenState {
+    Ino ino = kInvalidIno;
+  };
+
+  // Path resolution through the dcache lock (per component), as the VFS does.
+  Result<Ino> ResolvePath(const std::string& path);
+  Result<std::pair<Ino, std::string>> ResolveParent(const std::string& path);
+
+  NvmPool& pool_;
+  BaselineKind kind_;
+  VfsSim vfs_;
+  SimpleKernelFs engine_;
+  std::unique_ptr<DelegationPool> delegation_;  // kOdinfs only.
+  FdTable<OpenState> fds_;
+};
+
+// SplitFS-like: metadata via the kernel adapter; data ops direct against cached extents.
+class SplitFsLike : public FsInterface {
+ public:
+  explicit SplitFsLike(NvmPool& pool, VfsConfig vfs_config = {});
+
+  Result<Fd> Open(const std::string& path, OpenFlags flags, uint32_t mode = 0644) override;
+  Status Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t count) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t count) override;
+  Result<size_t> Pread(Fd fd, void* buf, size_t count, uint64_t offset) override;
+  Result<size_t> Pwrite(Fd fd, const void* buf, size_t count, uint64_t offset) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Status Fsync(Fd fd) override;
+  Status Ftruncate(Fd fd, uint64_t size) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<StatInfo> Stat(const std::string& path) override;
+  Result<std::vector<DirEntryInfo>> ReadDir(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Chmod(const std::string& path, uint32_t perm) override;
+  std::string Name() const override { return "SplitFS-like"; }
+
+  uint64_t direct_data_ops() const { return direct_ops_.load(std::memory_order_relaxed); }
+  VfsSim& vfs() { return kernel_path_.vfs(); }
+
+ private:
+  NvmPool& pool_;
+  KernelFsAdapter kernel_path_;
+  std::atomic<uint64_t> direct_ops_{0};
+};
+
+// Strata-like: userspace operation log + digestion into the kernel FS.
+class StrataLike : public FsInterface {
+ public:
+  // `digest_threshold` = log bytes that trigger a synchronous digest.
+  StrataLike(NvmPool& pool, VfsConfig vfs_config = {},
+             size_t digest_threshold = 1 << 20);
+
+  Result<Fd> Open(const std::string& path, OpenFlags flags, uint32_t mode = 0644) override;
+  Status Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t count) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t count) override;
+  Result<size_t> Pread(Fd fd, void* buf, size_t count, uint64_t offset) override;
+  Result<size_t> Pwrite(Fd fd, const void* buf, size_t count, uint64_t offset) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Status Fsync(Fd fd) override;
+  Status Ftruncate(Fd fd, uint64_t size) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<StatInfo> Stat(const std::string& path) override;
+  Result<std::vector<DirEntryInfo>> ReadDir(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Chmod(const std::string& path, uint32_t perm) override;
+  std::string Name() const override { return "Strata-like"; }
+
+  // Applies every buffered update to the kernel FS (the digestion step).
+  Status Digest();
+  uint64_t log_bytes_written() const { return log_bytes_.load(std::memory_order_relaxed); }
+  uint64_t digests() const { return digests_.load(std::memory_order_relaxed); }
+
+ private:
+  struct PendingWrite {
+    std::string path;
+    uint64_t offset;
+    std::string data;  // Copied into the (modeled) log.
+  };
+
+  Status Append(const std::string& path, uint64_t offset, const void* data, size_t len);
+  Status MaybeDigest();
+
+  NvmPool& pool_;
+  KernelFsAdapter kernel_path_;
+  std::mutex log_mutex_;
+  std::deque<PendingWrite> log_;
+  size_t log_size_ = 0;
+  size_t digest_threshold_;
+  std::atomic<uint64_t> log_bytes_{0};
+  std::atomic<uint64_t> digests_{0};
+  std::unordered_map<Fd, std::string> fd_paths_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,78 @@
+// VfsSim: the kernel storage-stack costs that in-kernel file systems pay and ArckFS
+// bypasses (§2.3.1, §6.4). FxMark's analysis [39], which the paper leans on, blames the
+// VFS's coarse locks: the directory cache lock, per-directory-inode locks, the inode cache
+// lock, and the global rename lock. VfsSim models exactly those — real mutexes that real
+// baseline threads contend on — plus a user->kernel trap counter with an optional modeled
+// latency (crossing cost), so the wall-clock microbenchmarks show kernel FSes' serial
+// behaviour for the same structural reasons the paper reports.
+
+#ifndef SRC_BASELINES_VFS_SIM_H_
+#define SRC_BASELINES_VFS_SIM_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "src/common/spinlock.h"
+
+namespace trio {
+
+struct VfsConfig {
+  // Busy-wait per user->kernel crossing, modeling trap + return overhead. 0 in unit
+  // tests; benches set a few hundred nanoseconds.
+  uint64_t trap_cost_ns = 0;
+};
+
+class VfsSim {
+ public:
+  explicit VfsSim(VfsConfig config = {}) : config_(config) {}
+
+  // Every syscall into the kernel FS calls this once.
+  void Trap() {
+    traps_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.trap_cost_ns > 0) {
+      SpinFor(config_.trap_cost_ns);
+    }
+  }
+
+  // Directory-cache lookup: a global lock, as in FxMark's bottleneck analysis.
+  std::mutex& dcache_lock() { return dcache_lock_; }
+  // Inode-cache (icache) allocation/lookup lock.
+  std::mutex& icache_lock() { return icache_lock_; }
+  // The kernel's global rename serialization.
+  std::mutex& rename_lock() { return rename_lock_; }
+
+  // Per-inode mutex (directory inode lock for create/unlink in one dir; file inode lock
+  // for writes — VFS does not do range locking).
+  std::mutex& inode_lock(uint64_t ino) {
+    std::lock_guard<std::mutex> guard(icache_lock_);
+    return inode_locks_[ino];
+  }
+
+  uint64_t traps() const { return traps_.load(std::memory_order_relaxed); }
+  uint64_t dcache_hits() const { return dcache_hits_.load(std::memory_order_relaxed); }
+  void CountDcacheHit() { dcache_hits_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  static void SpinFor(uint64_t ns) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+    while (std::chrono::steady_clock::now() < deadline) {
+      CpuRelax();
+    }
+  }
+
+  VfsConfig config_;
+  std::mutex dcache_lock_;
+  std::mutex icache_lock_;
+  std::mutex rename_lock_;
+  std::unordered_map<uint64_t, std::mutex> inode_locks_;
+  std::atomic<uint64_t> traps_{0};
+  std::atomic<uint64_t> dcache_hits_{0};
+};
+
+}  // namespace trio
+
+#endif  // SRC_BASELINES_VFS_SIM_H_

@@ -1,0 +1,48 @@
+// Injected clock. The kernel controller's leases and the corruption-fix timeout are
+// time-driven; tests need to control time, so everything takes a Clock*.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace trio {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic nanoseconds since an arbitrary origin.
+  virtual uint64_t NowNs() = 0;
+};
+
+class SystemClock : public Clock {
+ public:
+  static SystemClock* Instance() {
+    static SystemClock clock;
+    return &clock;
+  }
+
+  uint64_t NowNs() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+// Manually advanced clock for tests (lease expiry, fix timeouts).
+class FakeClock : public Clock {
+ public:
+  uint64_t NowNs() override { return now_ns_.load(std::memory_order_relaxed); }
+  void AdvanceNs(uint64_t delta) { now_ns_.fetch_add(delta, std::memory_order_relaxed); }
+  void AdvanceMs(uint64_t delta) { AdvanceNs(delta * 1000000ull); }
+
+ private:
+  std::atomic<uint64_t> now_ns_{1};
+};
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_CLOCK_H_

@@ -1,0 +1,75 @@
+// Minimal leveled logging + fatal assertions. Logging is off by default at DEBUG level;
+// set TRIO_LOG_LEVEL=debug|info|warn|error in the environment to adjust.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace trio {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+// Global minimum level; initialized from TRIO_LOG_LEVEL on first use.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct LogMessageVoidify {
+  // Lower precedence than << but higher than ?: so the macro below works.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define TRIO_LOG_IS_ON(level) \
+  (static_cast<int>(::trio::LogLevel::level) >= static_cast<int>(::trio::GlobalLogLevel()))
+
+#define TRIO_LOG(level)                                                         \
+  !TRIO_LOG_IS_ON(level)                                                        \
+      ? (void)0                                                                 \
+      : ::trio::internal::LogMessageVoidify() &                                 \
+            ::trio::internal::LogMessage(::trio::LogLevel::level, __FILE__, __LINE__).stream()
+
+// Fatal check, active in all build types: Trio is a file system; silently continuing on a
+// broken internal invariant risks corrupting the pool.
+#define TRIO_CHECK(cond)                                                              \
+  (cond) ? (void)0                                                                    \
+         : ::trio::internal::LogMessageVoidify() &                                    \
+               ::trio::internal::LogMessage(::trio::LogLevel::kFatal, __FILE__, __LINE__) \
+                   .stream()                                                          \
+               << "CHECK failed: " #cond " "
+
+#define TRIO_CHECK_OK(expr)                                                           \
+  do {                                                                                \
+    ::trio::Status _trio_chk = (expr);                                                \
+    TRIO_CHECK(_trio_chk.ok()) << _trio_chk.ToString();                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define TRIO_DCHECK(cond) TRIO_CHECK(true)
+#else
+#define TRIO_DCHECK(cond) TRIO_CHECK(cond)
+#endif
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_LOGGING_H_

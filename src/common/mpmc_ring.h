@@ -1,0 +1,103 @@
+// Bounded multi-producer multi-consumer ring buffer (Vyukov-style sequence ring).
+// Used as the per-application request ring between LibFS threads and delegation threads
+// (§4.5): application threads enqueue access requests; delegation threads dequeue them.
+
+#ifndef SRC_COMMON_MPMC_RING_H_
+#define SRC_COMMON_MPMC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/spinlock.h"
+
+namespace trio {
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(size_t capacity_pow2) : capacity_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    TRIO_CHECK((capacity_ & mask_) == 0) << "capacity must be a power of two";
+    cells_ = std::make_unique<Cell[]>(capacity_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  // Non-blocking; returns false when full.
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Full.
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Non-blocking; returns false when empty.
+  bool TryPop(T& out) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Empty.
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  // Spins until there is room. The delegation path needs bounded queues with backpressure.
+  // Takes a copy so the value survives failed attempts (requests are small PODs).
+  void Push(const T& value) {
+    while (!TryPush(value)) {
+      CpuRelax();
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_MPMC_RING_H_

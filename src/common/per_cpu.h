@@ -1,0 +1,54 @@
+// Per-CPU sharded state (§4.5: "we make key data structures in the kernel controller and
+// LibFS per-CPU, including the block allocators, inode allocators, file descriptor
+// allocators, and journal"). In this single-process emulation a "CPU" is a shard selected
+// by the calling thread's stable shard index, which spreads threads across shards exactly
+// as per-CPU data spreads cores.
+
+#ifndef SRC_COMMON_PER_CPU_H_
+#define SRC_COMMON_PER_CPU_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace trio {
+
+// Stable, dense per-thread index assigned on first use.
+inline size_t ThisThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+template <typename T>
+class PerCpu {
+ public:
+  explicit PerCpu(size_t shards = 16) {
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Padded>());
+    }
+  }
+
+  T& Local() { return shards_[ThisThreadShardIndex() % shards_.size()]->value; }
+  T& Shard(size_t i) { return shards_[i % shards_.size()]->value; }
+  size_t NumShards() const { return shards_.size(); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& shard : shards_) {
+      fn(shard->value);
+    }
+  }
+
+ private:
+  struct alignas(64) Padded {
+    T value{};
+  };
+  std::vector<std::unique_ptr<Padded>> shards_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_PER_CPU_H_

@@ -1,0 +1,62 @@
+// Fast deterministic PRNG (xoshiro256**) used by workload generators, corruption-injection
+// scripts, and property tests. Determinism (given a seed) keeps every experiment replayable.
+
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace trio {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53)); }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+  // Zipfian-ish skewed pick in [0, n): used by Filebench-style file selection.
+  uint64_t Skewed(uint64_t n) {
+    const uint64_t bits = Below(64);
+    uint64_t v = Next() & ((bits >= 63) ? ~0ull : ((1ull << (bits + 1)) - 1));
+    return v % n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_RANDOM_H_

@@ -1,0 +1,116 @@
+// Segment-based file range lock (§4.2): one thread may append/truncate (whole-file write
+// lock) while multiple threads write disjoint regions (per-segment write locks) and read
+// concurrently (per-segment read locks). Segments are fixed 2 MiB spans of the file offset
+// space. The segment-lock table is a two-level array whose blocks are installed atomically,
+// so lookups never race with growth.
+
+#ifndef SRC_COMMON_RANGE_LOCK_H_
+#define SRC_COMMON_RANGE_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/rwlock.h"
+
+namespace trio {
+
+class RangeLock {
+ public:
+  static constexpr uint64_t kSegmentShift = 21;  // 2 MiB segments.
+  static constexpr uint64_t kSegmentSize = 1ull << kSegmentShift;
+  static constexpr size_t kBlockSize = 64;       // Segments per block.
+  static constexpr size_t kMaxBlocks = 512;      // 512*64*2MiB = 64 GiB max offset.
+
+  RangeLock() = default;
+  ~RangeLock() {
+    for (auto& slot : blocks_) {
+      delete slot.load(std::memory_order_relaxed);
+    }
+  }
+  RangeLock(const RangeLock&) = delete;
+  RangeLock& operator=(const RangeLock&) = delete;
+
+  void LockRange(uint64_t offset, uint64_t len, bool exclusive) {
+    if (len == 0) {
+      return;
+    }
+    const size_t first = SegmentOf(offset);
+    const size_t last = SegmentOf(offset + len - 1);
+    // Lock segments in ascending order: a global order that prevents deadlock between
+    // concurrent overlapping range-lock holders.
+    for (size_t i = first; i <= last; ++i) {
+      RwLock& seg = Segment(i);
+      if (exclusive) {
+        seg.lock();
+      } else {
+        seg.lock_shared();
+      }
+    }
+  }
+
+  void UnlockRange(uint64_t offset, uint64_t len, bool exclusive) {
+    if (len == 0) {
+      return;
+    }
+    const size_t first = SegmentOf(offset);
+    const size_t last = SegmentOf(offset + len - 1);
+    for (size_t i = last + 1; i-- > first;) {
+      RwLock& seg = Segment(i);
+      if (exclusive) {
+        seg.unlock();
+      } else {
+        seg.unlock_shared();
+      }
+    }
+  }
+
+ private:
+  struct Block {
+    RwLock locks[kBlockSize];
+  };
+
+  static size_t SegmentOf(uint64_t offset) { return offset >> kSegmentShift; }
+
+  RwLock& Segment(size_t index) {
+    const size_t block_index = index / kBlockSize;
+    TRIO_CHECK(block_index < kMaxBlocks) << "file offset beyond range-lock capacity";
+    std::atomic<Block*>& slot = blocks_[block_index];
+    Block* block = slot.load(std::memory_order_acquire);
+    if (block == nullptr) {
+      auto fresh = std::make_unique<Block>();
+      Block* expected = nullptr;
+      if (slot.compare_exchange_strong(expected, fresh.get(), std::memory_order_acq_rel)) {
+        block = fresh.release();
+      } else {
+        block = expected;  // Another thread installed first; ours is freed by unique_ptr.
+      }
+    }
+    return block->locks[index % kBlockSize];
+  }
+
+  std::atomic<Block*> blocks_[kMaxBlocks] = {};
+};
+
+// Scoped range lock.
+class RangeGuard {
+ public:
+  RangeGuard(RangeLock& lock, uint64_t offset, uint64_t len, bool exclusive)
+      : lock_(lock), offset_(offset), len_(len), exclusive_(exclusive) {
+    lock_.LockRange(offset_, len_, exclusive_);
+  }
+  ~RangeGuard() { lock_.UnlockRange(offset_, len_, exclusive_); }
+  RangeGuard(const RangeGuard&) = delete;
+  RangeGuard& operator=(const RangeGuard&) = delete;
+
+ private:
+  RangeLock& lock_;
+  uint64_t offset_;
+  uint64_t len_;
+  bool exclusive_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_RANGE_LOCK_H_

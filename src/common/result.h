@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, the return type of fallible functions that produce a value.
+// Modeled on absl::StatusOr / std::expected (not available in this toolchain's C++20).
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace trio {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions from both T and Status keep call sites terse:
+  //   Result<int> F() { if (bad) return InvalidArgument("..."); return 42; }
+  Result(const T& value) : data_(value) {}           // NOLINT(google-explicit-constructor)
+  Result(T&& value) : data_(std::move(value)) {}     // NOLINT(google-explicit-constructor)
+  Result(const Status& status) : data_(status) {     // NOLINT(google-explicit-constructor)
+    assert(!status.ok() && "Result constructed from OK status without a value");
+  }
+  Result(Status&& status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// TRIO_ASSIGN_OR_RETURN(auto x, Expr()): bind the value or propagate the error status.
+#define TRIO_CONCAT_INNER_(a, b) a##b
+#define TRIO_CONCAT_(a, b) TRIO_CONCAT_INNER_(a, b)
+#define TRIO_ASSIGN_OR_RETURN(decl, expr)                       \
+  auto TRIO_CONCAT_(_trio_result_, __LINE__) = (expr);          \
+  if (!TRIO_CONCAT_(_trio_result_, __LINE__).ok()) {            \
+    return TRIO_CONCAT_(_trio_result_, __LINE__).status();      \
+  }                                                             \
+  decl = std::move(TRIO_CONCAT_(_trio_result_, __LINE__)).value()
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,57 @@
+// Test-and-test-and-set spinlock with exponential backoff. Used where critical sections are a
+// handful of instructions (per-bucket chains, logging tails, KVFS per-file lock).
+
+#ifndef SRC_COMMON_SPINLOCK_H_
+#define SRC_COMMON_SPINLOCK_H_
+
+#include <atomic>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace trio {
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int backoff = 1;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Spin read-only until the lock looks free, with bounded exponential backoff.
+      while (locked_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < backoff; ++i) {
+          CpuRelax();
+        }
+        if (backoff < 1024) {
+          backoff <<= 1;
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_SPINLOCK_H_

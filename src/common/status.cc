@@ -1,0 +1,63 @@
+#include "src/common/status.h"
+
+namespace trio {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kExists:
+      return "already_exists";
+    case ErrorCode::kPermission:
+      return "permission_denied";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNoSpace:
+      return "no_space";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kNotDir:
+      return "not_a_directory";
+    case ErrorCode::kIsDir:
+      return "is_a_directory";
+    case ErrorCode::kNotEmpty:
+      return "not_empty";
+    case ErrorCode::kTooLarge:
+      return "too_large";
+    case ErrorCode::kNameTooLong:
+      return "name_too_long";
+    case ErrorCode::kBadFd:
+      return "bad_fd";
+    case ErrorCode::kIo:
+      return "io_error";
+    case ErrorCode::kNotSupported:
+      return "not_supported";
+    case ErrorCode::kCorrupted:
+      return "corrupted";
+    case ErrorCode::kRevoked:
+      return "revoked";
+    case ErrorCode::kStale:
+      return "stale";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace trio

@@ -1,0 +1,108 @@
+// Copyright (c) Trio reproduction authors.
+// Lightweight error-code based status type. The codebase does not use exceptions;
+// every fallible operation returns Status or Result<T> (see src/common/result.h).
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace trio {
+
+// Error codes deliberately mirror the errno values a POSIX file system would surface,
+// plus Trio-specific conditions (kCorrupted, kRevoked, kStale).
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,         // ENOENT
+  kExists,           // EEXIST
+  kPermission,       // EACCES
+  kInvalidArgument,  // EINVAL
+  kNoSpace,          // ENOSPC
+  kBusy,             // EBUSY: exclusive-writer conflict that cannot be resolved now
+  kNotDir,           // ENOTDIR
+  kIsDir,            // EISDIR
+  kNotEmpty,         // ENOTEMPTY
+  kTooLarge,         // EFBIG
+  kNameTooLong,      // ENAMETOOLONG
+  kBadFd,            // EBADF
+  kIo,               // EIO
+  kNotSupported,     // ENOTSUP
+  kCorrupted,        // integrity verification failed
+  kRevoked,          // lease revoked by the kernel controller
+  kStale,            // auxiliary state stale; rebuild required
+  kTimeout,          // corruption-fix deadline expired
+  kInternal,         // invariant violation inside Trio itself
+};
+
+// Human readable name for an error code ("not_found", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// Status carries a code and, on error paths that merit it, a short message.
+// The OK status is cheap to construct and copy (no allocation).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string_view message) : code_(code), message_(message) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "not_found: no such entry 'foo'".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+  bool Is(ErrorCode code) const { return code_ == code; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status NotFound(std::string_view msg = "") { return Status(ErrorCode::kNotFound, msg); }
+inline Status AlreadyExists(std::string_view msg = "") { return Status(ErrorCode::kExists, msg); }
+inline Status PermissionDenied(std::string_view msg = "") {
+  return Status(ErrorCode::kPermission, msg);
+}
+inline Status InvalidArgument(std::string_view msg = "") {
+  return Status(ErrorCode::kInvalidArgument, msg);
+}
+inline Status NoSpace(std::string_view msg = "") { return Status(ErrorCode::kNoSpace, msg); }
+inline Status Busy(std::string_view msg = "") { return Status(ErrorCode::kBusy, msg); }
+inline Status NotDir(std::string_view msg = "") { return Status(ErrorCode::kNotDir, msg); }
+inline Status IsDir(std::string_view msg = "") { return Status(ErrorCode::kIsDir, msg); }
+inline Status NotEmpty(std::string_view msg = "") { return Status(ErrorCode::kNotEmpty, msg); }
+inline Status TooLarge(std::string_view msg = "") { return Status(ErrorCode::kTooLarge, msg); }
+inline Status NameTooLong(std::string_view msg = "") {
+  return Status(ErrorCode::kNameTooLong, msg);
+}
+inline Status BadFd(std::string_view msg = "") { return Status(ErrorCode::kBadFd, msg); }
+inline Status IoError(std::string_view msg = "") { return Status(ErrorCode::kIo, msg); }
+inline Status NotSupported(std::string_view msg = "") {
+  return Status(ErrorCode::kNotSupported, msg);
+}
+inline Status Corrupted(std::string_view msg = "") { return Status(ErrorCode::kCorrupted, msg); }
+inline Status Revoked(std::string_view msg = "") { return Status(ErrorCode::kRevoked, msg); }
+inline Status Stale(std::string_view msg = "") { return Status(ErrorCode::kStale, msg); }
+inline Status Timeout(std::string_view msg = "") { return Status(ErrorCode::kTimeout, msg); }
+inline Status Internal(std::string_view msg = "") { return Status(ErrorCode::kInternal, msg); }
+
+#define TRIO_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::trio::Status _trio_status = (expr);     \
+    if (!_trio_status.ok()) {                 \
+      return _trio_status;                    \
+    }                                         \
+  } while (0)
+
+}  // namespace trio
+
+#endif  // SRC_COMMON_STATUS_H_

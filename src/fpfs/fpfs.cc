@@ -1,0 +1,64 @@
+#include "src/fpfs/fpfs.h"
+
+namespace trio {
+
+std::string FpFs::JoinPath(const std::vector<std::string>& components) {
+  std::string key;
+  for (const std::string& component : components) {
+    key.push_back('/');
+    key.append(component);
+  }
+  return key.empty() ? "/" : key;
+}
+
+Result<ArckFs::NodePtr> FpFs::ResolveDir(const std::vector<std::string>& components) {
+  const std::string key = JoinPath(components);
+  {
+    ReadGuard<RwLock> guard(cache_lock_);
+    auto it = path_cache_.find(key);
+    if (it != path_cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // Mapping freshness is EnsureMapped's problem (the node may have been revoked);
+      // the cache only removes the per-component walk.
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Fall back to the base walk and populate every prefix on the way out.
+  TRIO_ASSIGN_OR_RETURN(NodePtr node, ArckFs::ResolveDir(components));
+  {
+    WriteGuard<RwLock> guard(cache_lock_);
+    path_cache_[key] = node;
+  }
+  return node;
+}
+
+Status FpFs::Rename(const std::string& from, const std::string& to) {
+  Status status = ArckFs::Rename(from, to);
+  if (status.ok()) {
+    // Full-path indexing cannot cheaply re-key a moved prefix (§5: "FPFS cannot
+    // efficiently handle rename"): drop everything.
+    InvalidateAll();
+  }
+  return status;
+}
+
+Status FpFs::Rmdir(const std::string& path) {
+  Status status = ArckFs::Rmdir(path);
+  if (status.ok()) {
+    InvalidateAll();
+  }
+  return status;
+}
+
+void FpFs::InvalidateAll() {
+  WriteGuard<RwLock> guard(cache_lock_);
+  path_cache_.clear();
+}
+
+size_t FpFs::PathCacheSize() const {
+  ReadGuard<RwLock> guard(cache_lock_);
+  return path_cache_.size();
+}
+
+}  // namespace trio

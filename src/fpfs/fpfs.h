@@ -1,0 +1,55 @@
+// FPFS (§5): a LibFS customized for deep directory hierarchies using full-path indexing
+// [45, 53]. It replaces the per-directory hash tables' role in path resolution with one
+// global hash table mapping a full path string directly to the directory's node,
+// eliminating the component-by-component traversal. Like KVFS, this is a pure
+// auxiliary-state customization over the unchanged ArckFS core state.
+//
+// Trade-off inherited from full-path indexing: rename (and rmdir of populated paths)
+// invalidates prefixes; FPFS simply drops the whole cache, so rename-heavy workloads are
+// a poor fit — exactly the paper's point that customizations are workload-specific.
+
+#ifndef SRC_FPFS_FPFS_H_
+#define SRC_FPFS_FPFS_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rwlock.h"
+#include "src/libfs/arckfs.h"
+
+namespace trio {
+
+class FpFs : public ArckFs {
+ public:
+  using ArckFs::ArckFs;
+
+  std::string Name() const override { return "FPFS"; }
+
+  // Cache-invalidating operations.
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Rmdir(const std::string& path) override;
+
+  size_t PathCacheSize() const;
+  uint64_t path_cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t path_cache_misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ protected:
+  // The customization: resolve the joined path through the global table; fall back to the
+  // component walk (populating the table) on miss.
+  Result<NodePtr> ResolveDir(const std::vector<std::string>& components) override;
+
+ private:
+  static std::string JoinPath(const std::vector<std::string>& components);
+  void InvalidateAll();
+
+  mutable RwLock cache_lock_;
+  std::unordered_map<std::string, NodePtr> path_cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace trio
+
+#endif  // SRC_FPFS_FPFS_H_

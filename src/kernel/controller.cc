@@ -1,0 +1,1292 @@
+#include "src/kernel/controller.h"
+
+#include <algorithm>
+
+namespace trio {
+
+namespace {
+
+// Classic owner/group/other permission check against the shadow inode (ground truth, I4).
+bool AccessAllowed(const ShadowInode& shadow, uint32_t uid, uint32_t gid, bool write) {
+  if (uid == 0) {
+    return true;
+  }
+  const uint32_t perm = shadow.mode & 0777;
+  uint32_t bits;
+  if (uid == shadow.uid) {
+    bits = perm >> 6;
+  } else if (gid == shadow.gid) {
+    bits = perm >> 3;
+  } else {
+    bits = perm;
+  }
+  return write ? (bits & 2) != 0 : (bits & 4) != 0;
+}
+
+inline size_t WmapSlots(const NvmPool& pool) {
+  return SuperblockOf(pool)->wmap_log_pages * kPageSize / sizeof(uint64_t);
+}
+
+}  // namespace
+
+KernelController::KernelController(NvmPool& pool, KernelConfig config, Clock* clock)
+    : pool_(pool), config_(config), clock_(clock) {
+  verifier_ = std::make_unique<IntegrityVerifier>(pool_, *this, *this);
+  if (config_.start_delegation) {
+    StartDelegation();
+  }
+}
+
+KernelController::~KernelController() { delegation_.reset(); }
+
+void KernelController::StartDelegation() {
+  if (delegation_ == nullptr) {
+    delegation_ = std::make_unique<DelegationPool>(
+        pool_, pool_.topology().delegation_threads_per_node, config_.delegation_ring_capacity);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mount / unmount / recovery
+// ---------------------------------------------------------------------------
+
+Status KernelController::Mount() {
+  TRIO_RETURN_IF_ERROR(CheckSuperblock(pool_));
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  Superblock* sb = SuperblockOf(pool_);
+  needs_recovery_ = sb->clean_shutdown == 0;
+
+  page_states_.clear();
+  ino_states_.clear();
+  records_.clear();
+  free_pages_by_node_.assign(pool_.topology().num_nodes, {});
+  free_inos_.clear();
+  next_ino_ = kRootIno + 1;
+
+  // The ownership tables are auxiliary state (§3.2): rebuild them by walking the core
+  // state from the root.
+  std::unordered_set<PageNumber> seen_pages;
+  std::unordered_set<Ino> seen_inos;
+  Status scan = ScanTreeLocked(kRootIno, kInvalidIno, /*dirent_page=*/0, /*dirent_slot=*/0,
+                               sb->root, &seen_pages, &seen_inos);
+  if (!scan.ok()) {
+    TRIO_LOG(kWarn) << "mount scan found damage: " << scan.ToString();
+  }
+
+  // Everything in the file region not owned by a file is free.
+  for (PageNumber p = sb->file_region_page; p < sb->total_pages; ++p) {
+    if (page_states_.find(p) == page_states_.end()) {
+      free_pages_by_node_[pool_.NodeOfPage(p)].push_back(p);
+    }
+  }
+
+  // We are live: a crash from here on is unclean until Unmount().
+  const uint64_t live = 0;
+  pool_.Write(&sb->clean_shutdown, &live, sizeof(live));
+  pool_.PersistNow(&sb->clean_shutdown, sizeof(live));
+  mounted_ = true;
+  return OkStatus();
+}
+
+Status KernelController::ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_page,
+                                        size_t dirent_slot, const DirentBlock& dirent,
+                                        std::unordered_set<PageNumber>* seen_pages,
+                                        std::unordered_set<Ino>* seen_inos) {
+  if (!seen_inos->insert(ino).second) {
+    return Corrupted("inode appears twice in tree");
+  }
+  FileRecord record;
+  record.ino = ino;
+  record.parent = parent;
+  record.is_dir = dirent.IsDirectory();
+  record.dirent_page = dirent_page;
+  record.dirent_slot = dirent_slot;
+  record.first_index_page = dirent.first_index_page;
+
+  // Claim this file's pages; tolerate damage by stopping at the first bad page.
+  Status walk = ForEachIndexPage(pool_, dirent.first_index_page, [&](PageNumber p) -> Status {
+    if (!seen_pages->insert(p).second) {
+      return Corrupted("index page claimed twice");
+    }
+    record.pages.insert(p);
+    return OkStatus();
+  });
+  if (walk.ok()) {
+    walk = ForEachDataPage(pool_, dirent.first_index_page,
+                           [&](uint64_t, PageNumber p) -> Status {
+                             if (!seen_pages->insert(p).second) {
+                               return Corrupted("data page claimed twice");
+                             }
+                             record.pages.insert(p);
+                             return OkStatus();
+                           });
+  }
+
+  for (PageNumber p : record.pages) {
+    page_states_[p] = PageState{ResourceState::kOwned, kNoLibFs, ino};
+  }
+  ino_states_[ino] = InoState{ResourceState::kOwned, kNoLibFs, parent};
+  if (ino >= next_ino_) {
+    next_ino_ = ino + 1;
+  }
+
+  // Adopt files that were created but never reconciled before a crash: give them a shadow
+  // inode matching their dirent (the recovery verify pass re-checks structure).
+  ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+  if (shadow != nullptr && !shadow->Exists()) {
+    ShadowInode fresh{dirent.mode, dirent.uid, dirent.gid, 1};
+    pool_.Write(shadow, &fresh, sizeof(fresh));
+    pool_.PersistNow(shadow, sizeof(fresh));
+  }
+
+  Status children_status = OkStatus();
+  if (record.is_dir && walk.ok()) {
+    children_status = ForEachDirent(
+        pool_, dirent.first_index_page,
+        [&](DirentBlock* child, PageNumber page, size_t slot) -> Status {
+          if (seen_inos->count(child->ino) != 0) {
+            // Torn rename can leave the same ino under two names; keep the first, let the
+            // LibFS recovery program resolve the journal.
+            TRIO_LOG(kWarn) << "mount: duplicate ino " << child->ino << " skipped";
+            return OkStatus();
+          }
+          Status s = ScanTreeLocked(child->ino, ino, page, slot, *child, seen_pages,
+                                    seen_inos);
+          if (!s.ok()) {
+            TRIO_LOG(kWarn) << "mount: subtree of ino " << child->ino
+                            << " damaged: " << s.ToString();
+          }
+          return OkStatus();
+        });
+  }
+
+  records_[ino] = std::move(record);
+  if (!walk.ok()) {
+    return walk;
+  }
+  return children_status;
+}
+
+Status KernelController::Unmount() {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  if (!libfses_.empty()) {
+    return Busy("LibFSes still registered");
+  }
+  Superblock* sb = SuperblockOf(pool_);
+  const uint64_t clean = 1;
+  pool_.Write(&sb->clean_shutdown, &clean, sizeof(clean));
+  pool_.PersistNow(&sb->clean_shutdown, sizeof(clean));
+  mounted_ = false;
+  return OkStatus();
+}
+
+Status KernelController::RunRecovery() {
+  // Phase 1: untrusted LibFS recovery programs (journal undo), outside the kernel lock.
+  std::vector<std::function<void()>> programs;
+  {
+    std::unique_lock<std::recursive_mutex> lock(mutex_);
+    for (auto& [id, libfs] : libfses_) {
+      if (libfs->callbacks.recovery) {
+        programs.push_back(libfs->callbacks.recovery);
+      }
+    }
+  }
+  for (auto& program : programs) {
+    program();
+  }
+
+  // Phase 2: the recovery programs may have moved dirents around; rebuild the tables.
+  TRIO_RETURN_IF_ERROR(Mount());
+
+  // Phase 3: verify every file that was write-mapped when the crash happened (§4.4).
+  // If the write-map log overflowed before the crash, coverage is unknown: verify the
+  // whole tree instead (an online fsck over every record).
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  Superblock* sb = SuperblockOf(pool_);
+  std::vector<Ino> to_verify;
+  auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(sb->wmap_log_page));
+  if (pool_.Load64(&sb->wmap_log_overflow) != 0) {
+    for (const auto& [ino, record] : records_) {
+      to_verify.push_back(ino);
+    }
+    pool_.CommitStore64(&sb->wmap_log_overflow, 0);
+  }
+  for (size_t i = 0; i < WmapSlots(pool_); ++i) {
+    if (log[i] != kInvalidIno) {
+      to_verify.push_back(log[i]);
+      pool_.CommitStore64(&log[i], kInvalidIno);
+    }
+  }
+  std::sort(to_verify.begin(), to_verify.end());
+  to_verify.erase(std::unique(to_verify.begin(), to_verify.end()), to_verify.end());
+  for (Ino ino : to_verify) {
+    FileRecord* record = RecordOf(ino);
+    if (record == nullptr) {
+      continue;
+    }
+    VerifyRequest request;
+    request.ino = ino;
+    request.dirent = DirentOfLocked(*record);
+    request.writer = kNoLibFs;
+    const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+    request.writer_uid = shadow != nullptr ? shadow->uid : 0;
+    request.writer_gid = shadow != nullptr ? shadow->gid : 0;
+    Result<VerifyReport> report = verifier_->Verify(request);
+    if (!report.ok()) {
+      TRIO_LOG(kWarn) << "recovery: ino " << ino
+                      << " failed verification: " << report.status().ToString()
+                      << "; removing";
+      if (ino != kRootIno) {
+        DirentBlock* dirent = DirentOfLocked(*record);
+        pool_.CommitStore64(&dirent->ino, kInvalidIno);
+        ReclaimFileLocked(record);
+      }
+    }
+  }
+  needs_recovery_ = false;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// LibFS lifecycle
+// ---------------------------------------------------------------------------
+
+LibFsId KernelController::RegisterLibFs(const LibFsOptions& options) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  const LibFsId id = next_libfs_id_++;
+  auto record = std::make_unique<LibFsRecord>();
+  record->id = id;
+  record->uid = options.uid;
+  record->gid = options.gid;
+  record->callbacks = options.callbacks;
+  libfses_[id] = std::move(record);
+  // Every LibFS can read the superblock.
+  mmu_.Grant(id, 0, PagePerm::kRead);
+  return id;
+}
+
+void KernelController::UnregisterLibFs(LibFsId libfs) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto it = libfses_.find(libfs);
+  if (it == libfses_.end()) {
+    return;
+  }
+  LibFsRecord* record = it->second.get();
+
+  // Release read mappings.
+  for (Ino ino : std::vector<Ino>(record->read_mapped.begin(), record->read_mapped.end())) {
+    FileRecord* file = RecordOf(ino);
+    if (file != nullptr) {
+      file->readers.erase(libfs);
+    }
+  }
+  record->read_mapped.clear();
+
+  // Release write mappings: verify and reconcile each. Directories first: their
+  // verification resolves renamed-in children (so a renamed file's record points at its
+  // current dirent before the file is verified) and registers freshly created children as
+  // implicit write grants — which is why this drains in rounds until nothing is left.
+  while (!record->write_mapped.empty()) {
+    std::vector<Ino> ordered;
+    ordered.reserve(record->write_mapped.size());
+    for (Ino ino : record->write_mapped) {
+      const FileRecord* file = RecordOf(ino);
+      if (file != nullptr && file->is_dir) {
+        ordered.push_back(ino);
+      }
+    }
+    for (Ino ino : record->write_mapped) {
+      const FileRecord* file = RecordOf(ino);
+      if (file == nullptr || !file->is_dir) {
+        ordered.push_back(ino);
+      }
+    }
+    for (Ino ino : ordered) {
+      FileRecord* file = RecordOf(ino);
+      if (file != nullptr && file->writer == libfs) {
+        (void)VerifyAndReconcileLocked(lock, file);
+        file = RecordOf(ino);
+        if (file != nullptr) {
+          file->writer = kNoLibFs;
+          file->checkpoint.reset();
+        }
+        WmapLogRemove(ino);
+      }
+      record->write_mapped.erase(ino);
+    }
+  }
+  ResolveOrphansLocked(record);
+
+  // Return leases.
+  for (PageNumber page : record->leased_pages) {
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+  }
+  for (Ino ino : record->leased_inos) {
+    ino_states_.erase(ino);
+    free_inos_.push_back(ino);
+  }
+  mmu_.RevokeAll(libfs);
+  libfses_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Resource leasing
+// ---------------------------------------------------------------------------
+
+Status KernelController::AllocPages(LibFsId libfs, size_t count, int node_hint,
+                                    std::vector<PageNumber>* out) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto it = libfses_.find(libfs);
+  if (it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  LibFsRecord* record = it->second.get();
+  const int nodes = static_cast<int>(free_pages_by_node_.size());
+  const int node = node_hint >= 0 && node_hint < nodes ? node_hint : 0;
+  std::vector<PageNumber> granted;
+  granted.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    PageNumber page = kInvalidPage;
+    for (int attempt = 0; attempt < nodes; ++attempt) {
+      auto& free_list = free_pages_by_node_[(node + attempt) % nodes];
+      if (!free_list.empty()) {
+        page = free_list.back();
+        free_list.pop_back();
+        break;
+      }
+    }
+    if (page == kInvalidPage) {
+      // All-or-nothing: roll back what this call handed out.
+      for (PageNumber p : granted) {
+        record->leased_pages.erase(p);
+        page_states_.erase(p);
+        mmu_.Revoke(libfs, p);
+        free_pages_by_node_[pool_.NodeOfPage(p)].push_back(p);
+        stats_.pages_allocated.fetch_sub(1, std::memory_order_relaxed);
+      }
+      return NoSpace("out of NVM pages");
+    }
+    // Zero before leasing: a freed page must not leak another user's data.
+    pool_.Set(pool_.PageAddress(page), 0, kPageSize);
+    page_states_[page] = PageState{ResourceState::kLeased, libfs, kInvalidIno};
+    record->leased_pages.insert(page);
+    mmu_.Grant(libfs, page, PagePerm::kReadWrite);
+    granted.push_back(page);
+    stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
+  }
+  out->insert(out->end(), granted.begin(), granted.end());
+  return OkStatus();
+}
+
+Status KernelController::FreePages(LibFsId libfs, const std::vector<PageNumber>& pages) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto it = libfses_.find(libfs);
+  if (it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  LibFsRecord* record = it->second.get();
+  for (PageNumber page : pages) {
+    auto state_it = page_states_.find(page);
+    if (state_it == page_states_.end()) {
+      return InvalidArgument("freeing a page that is not allocated");
+    }
+    PageState& state = state_it->second;
+    if (state.state == ResourceState::kLeased && state.lessee == libfs) {
+      record->leased_pages.erase(page);
+    } else if (state.state == ResourceState::kOwned) {
+      FileRecord* file = RecordOf(state.owner);
+      if (file == nullptr || file->writer != libfs) {
+        return PermissionDenied("freeing a page of a file not write-mapped by caller");
+      }
+      file->pages.erase(page);
+    } else {
+      return PermissionDenied("page not freeable by caller");
+    }
+    mmu_.Revoke(libfs, page);
+    page_states_.erase(state_it);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+Result<Ino> KernelController::AllocIno(LibFsId libfs) {
+  std::vector<Ino> out;
+  TRIO_RETURN_IF_ERROR(AllocInos(libfs, 1, &out));
+  return out[0];
+}
+
+Status KernelController::AllocInos(LibFsId libfs, size_t count, std::vector<Ino>* out) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto it = libfses_.find(libfs);
+  if (it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  std::vector<Ino> granted;
+  granted.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Ino ino = kInvalidIno;
+    if (!free_inos_.empty()) {
+      ino = free_inos_.back();
+      free_inos_.pop_back();
+    } else if (next_ino_ < SuperblockOf(pool_)->max_inodes) {
+      ino = next_ino_++;
+    } else {
+      for (Ino undo : granted) {
+        ino_states_.erase(undo);
+        it->second->leased_inos.erase(undo);
+        free_inos_.push_back(undo);
+      }
+      return NoSpace("out of inode numbers");
+    }
+    ino_states_[ino] = InoState{ResourceState::kLeased, libfs, kInvalidIno};
+    it->second->leased_inos.insert(ino);
+    granted.push_back(ino);
+  }
+  out->insert(out->end(), granted.begin(), granted.end());
+  return OkStatus();
+}
+
+Status KernelController::FreeIno(LibFsId libfs, Ino ino) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto it = libfses_.find(libfs);
+  if (it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  auto state_it = ino_states_.find(ino);
+  if (state_it == ino_states_.end() || state_it->second.state != ResourceState::kLeased ||
+      state_it->second.lessee != libfs) {
+    return InvalidArgument("ino not leased to caller");
+  }
+  it->second->leased_inos.erase(ino);
+  ino_states_.erase(state_it);
+  free_inos_.push_back(ino);
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Mapping and sharing
+// ---------------------------------------------------------------------------
+
+KernelController::FileRecord* KernelController::RecordOf(Ino ino) {
+  auto it = records_.find(ino);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const KernelController::FileRecord* KernelController::RecordOf(Ino ino) const {
+  auto it = records_.find(ino);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+DirentBlock* KernelController::DirentOfLocked(const FileRecord& record) {
+  if (record.dirent_page == 0) {
+    return &SuperblockOf(pool_)->root;
+  }
+  auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(record.dirent_page));
+  return &page->slots[record.dirent_slot];
+}
+
+void KernelController::GrantFilePagesLocked(LibFsId libfs, const FileRecord& record,
+                                            bool write) {
+  const PagePerm perm = write ? PagePerm::kReadWrite : PagePerm::kRead;
+  for (PageNumber page : record.pages) {
+    mmu_.Grant(libfs, page, perm);
+  }
+  if (record.dirent_page != 0) {
+    // The co-located inode lives in the parent's data page (§4.1): stat needs read, size /
+    // metadata updates need write. Page-granularity is the documented caveat here.
+    mmu_.Grant(libfs, record.dirent_page, perm);
+  }
+}
+
+void KernelController::RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record) {
+  for (PageNumber page : record.pages) {
+    // Leave leased pages mapped; only revoke the file's own pages.
+    auto it = page_states_.find(page);
+    if (it != page_states_.end() && it->second.state == ResourceState::kLeased &&
+        it->second.lessee == libfs) {
+      continue;
+    }
+    mmu_.Revoke(libfs, page);
+  }
+  if (record.dirent_page == 0) {
+    return;
+  }
+  // The dirent page is shared with the parent directory and sibling files; recompute the
+  // strongest permission still justified by this LibFS's other mappings.
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    mmu_.Revoke(libfs, record.dirent_page);
+    return;
+  }
+  const LibFsRecord& lr = *libfs_it->second;
+  PagePerm perm = PagePerm::kNone;
+  auto consider = [&](Ino ino, PagePerm candidate) {
+    const FileRecord* other = RecordOf(ino);
+    if (other == nullptr || other->ino == record.ino) {
+      return;
+    }
+    const bool touches = other->pages.count(record.dirent_page) != 0 ||
+                         other->dirent_page == record.dirent_page;
+    if (touches && static_cast<int>(candidate) > static_cast<int>(perm)) {
+      perm = candidate;
+    }
+  };
+  for (Ino ino : lr.write_mapped) {
+    consider(ino, PagePerm::kReadWrite);
+  }
+  for (Ino ino : lr.read_mapped) {
+    consider(ino, PagePerm::kRead);
+  }
+  mmu_.Grant(libfs, record.dirent_page, perm);  // kNone erases.
+}
+
+Result<MapInfo> KernelController::MapRoot(LibFsId libfs, bool write) {
+  return MapFile(libfs, kInvalidIno, kRootIno, write);
+}
+
+Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bool write) {
+  const uint64_t t0 = NowNs();
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+
+  while (true) {
+    FileRecord* record = RecordOf(ino);
+    if (record == nullptr) {
+      return NotFound("no such file");
+    }
+    LibFsRecord* me = libfses_.find(libfs)->second.get();
+
+    // Permission check against the shadow inode (ground truth).
+    const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+    if (shadow == nullptr || !shadow->Exists()) {
+      return NotFound("file has no shadow inode");
+    }
+    if (!AccessAllowed(*shadow, me->uid, me->gid, write)) {
+      return PermissionDenied("access denied by shadow inode");
+    }
+
+    // Already mapped suitably?
+    if (record->writer == libfs) {
+      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+      MapInfo info{record->dirent_page, record->dirent_slot, true, record->lease_deadline_ns,
+                   DirentOfLocked(*record)->first_index_page};
+      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+      return info;
+    }
+    if (!write && record->readers.count(libfs) != 0 && record->writer == kNoLibFs) {
+      MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
+                   DirentOfLocked(*record)->first_index_page};
+      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+      return info;
+    }
+
+    // Conflicts: a writer blocks everyone; readers block a writer (§3.2: concurrent read
+    // XOR exclusive write). Leases bound how long a holder can stall us; the holder is
+    // asked to release via its revoke callback.
+    LibFsId conflict = kNoLibFs;
+    if (record->writer != kNoLibFs && record->writer != libfs) {
+      conflict = record->writer;
+    } else if (write) {
+      for (LibFsId reader : record->readers) {
+        if (reader != libfs) {
+          conflict = reader;
+          break;
+        }
+      }
+    }
+
+    if (conflict != kNoLibFs) {
+      auto holder_it = libfses_.find(conflict);
+      if (holder_it == libfses_.end() || !holder_it->second->callbacks.revoke) {
+        // Dead or unresponsive holder: force the release ourselves.
+        if (record->writer == conflict) {
+          (void)VerifyAndReconcileLocked(lock, record);
+          record->writer = kNoLibFs;
+          record->checkpoint.reset();
+          WmapLogRemove(ino);
+          if (holder_it != libfses_.end()) {
+            holder_it->second->write_mapped.erase(ino);
+          }
+        } else {
+          record->readers.erase(conflict);
+          if (holder_it != libfses_.end()) {
+            holder_it->second->read_mapped.erase(ino);
+          }
+        }
+        continue;
+      }
+      stats_.revocations.fetch_add(1, std::memory_order_relaxed);
+      auto revoke = holder_it->second->callbacks.revoke;
+      lock.unlock();
+      revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
+      lock.lock();
+      continue;  // Re-evaluate from scratch; records may have been reclaimed.
+    }
+
+    // Grant.
+    if (write) {
+      // Readers of this same LibFS upgrading: drop the read mapping.
+      record->readers.erase(libfs);
+      me->read_mapped.erase(ino);
+      const uint64_t c0 = NowNs();
+      Status checkpoint_status = TakeCheckpointLocked(record);
+      stats_.checkpoint_ns.fetch_add(NowNs() - c0, std::memory_order_relaxed);
+      if (!checkpoint_status.ok()) {
+        return checkpoint_status;
+      }
+      record->writer = libfs;
+      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+      me->write_mapped.insert(ino);
+      WmapLogAdd(ino);
+    } else {
+      record->readers.insert(libfs);
+      me->read_mapped.insert(ino);
+    }
+    GrantFilePagesLocked(libfs, *record, write);
+    stats_.maps.fetch_add(1, std::memory_order_relaxed);
+    MapInfo info{record->dirent_page, record->dirent_slot, write,
+                 write ? record->lease_deadline_ns : 0,
+                 DirentOfLocked(*record)->first_index_page};
+    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    return info;
+  }
+}
+
+Status KernelController::UnmapFile(LibFsId libfs, Ino ino) {
+  const uint64_t t0 = NowNs();
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  LibFsRecord* me = libfs_it->second.get();
+  FileRecord* record = RecordOf(ino);
+  if (record == nullptr) {
+    me->write_mapped.erase(ino);
+    me->read_mapped.erase(ino);
+    return NotFound("no such file");
+  }
+
+  Status result = OkStatus();
+  if (record->writer == libfs) {
+    result = VerifyAndReconcileLocked(lock, record);
+    record = RecordOf(ino);  // Reconciliation/rollback never erases it, but be safe.
+    if (record != nullptr) {
+      record->writer = kNoLibFs;
+      record->checkpoint.reset();
+      RevokeFilePagesLocked(libfs, *record);
+    }
+    me->write_mapped.erase(ino);
+    WmapLogRemove(ino);
+    if (me->write_mapped.empty()) {
+      ResolveOrphansLocked(me);
+    }
+  } else if (record->readers.erase(libfs) > 0) {
+    me->read_mapped.erase(ino);
+    RevokeFilePagesLocked(libfs, *record);
+  } else {
+    return InvalidArgument("file not mapped by caller");
+  }
+  stats_.unmaps.fetch_add(1, std::memory_order_relaxed);
+  stats_.unmap_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  return result;
+}
+
+Status KernelController::CommitFile(LibFsId libfs, Ino ino) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  FileRecord* record = RecordOf(ino);
+  if (record == nullptr || record->writer != libfs) {
+    return InvalidArgument("file not write-mapped by caller");
+  }
+  // Verify the current state without the corruption-handling fallback: a failed commit
+  // simply leaves the old checkpoint in force (§4.3).
+  VerifyRequest request;
+  request.ino = ino;
+  request.dirent = DirentOfLocked(*record);
+  request.writer = libfs;
+  LibFsRecord* me = libfses_.find(libfs)->second.get();
+  request.writer_uid = me->uid;
+  request.writer_gid = me->gid;
+  std::vector<CheckpointChild> checkpoint_children;
+  if (record->checkpoint != nullptr) {
+    checkpoint_children = record->checkpoint->children;
+    request.checkpoint_children = &checkpoint_children;
+  }
+  const uint64_t v0 = NowNs();
+  Result<VerifyReport> report = verifier_->Verify(request);
+  stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+  stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
+  if (!report.ok()) {
+    stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
+    return report.status();
+  }
+  TRIO_RETURN_IF_ERROR(ApplyReportLocked(record, *report));
+  return TakeCheckpointLocked(record);
+}
+
+Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursive_mutex>& lock,
+                                                  FileRecord* record) {
+  const Ino ino = record->ino;
+  const LibFsId writer = record->writer;
+  auto libfs_it = libfses_.find(writer);
+  if (libfs_it == libfses_.end()) {
+    return Internal("writer vanished");
+  }
+  LibFsRecord* me = libfs_it->second.get();
+
+  VerifyRequest request;
+  request.ino = ino;
+  request.dirent = DirentOfLocked(*record);
+  request.writer = writer;
+  request.writer_uid = me->uid;
+  request.writer_gid = me->gid;
+  std::vector<CheckpointChild> checkpoint_children;
+  if (record->checkpoint != nullptr) {
+    checkpoint_children = record->checkpoint->children;
+    request.checkpoint_children = &checkpoint_children;
+  }
+
+  const uint64_t v0 = NowNs();
+  Result<VerifyReport> report = verifier_->Verify(request);
+  stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+  stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
+  if (report.ok()) {
+    return ApplyReportLocked(record, *report);
+  }
+
+  stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
+  Status failure = report.status();
+  TRIO_LOG(kInfo) << "verification failed for ino " << ino << ": " << failure.ToString();
+
+  // §4.3: "ArckFS notifies LibFS A to fix the corruption with a timeout."
+  auto fix = me->callbacks.fix_corruption;
+  if (fix) {
+    const uint64_t deadline = NowNs() + config_.fix_timeout_ms * 1000000ull;
+    lock.unlock();
+    const bool claims_fixed = fix(ino, failure);
+    lock.lock();
+    record = RecordOf(ino);
+    if (record == nullptr) {
+      return failure;
+    }
+    if (claims_fixed && NowNs() <= deadline) {
+      request.dirent = DirentOfLocked(*record);
+      Result<VerifyReport> retry = verifier_->Verify(request);
+      stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+      if (retry.ok()) {
+        stats_.corruptions_fixed_by_libfs.fetch_add(1, std::memory_order_relaxed);
+        return ApplyReportLocked(record, *retry);
+      }
+      failure = retry.status();
+    }
+  }
+
+  // Quarantine the corrupted image for the offender, then roll back to the checkpoint.
+  QuarantineLocked(record);
+  RollbackToCheckpointLocked(record);
+  stats_.corruptions_rolled_back.fetch_add(1, std::memory_order_relaxed);
+  return failure;
+}
+
+Status KernelController::ApplyReportLocked(FileRecord* record, const VerifyReport& report) {
+  LibFsRecord* writer =
+      record->writer != kNoLibFs ? libfses_.find(record->writer)->second.get() : nullptr;
+
+  // Pages: adopt newly referenced leased pages, free no-longer-referenced owned pages.
+  std::unordered_set<PageNumber> new_pages(report.pages.begin(), report.pages.end());
+  for (PageNumber page : record->pages) {
+    if (new_pages.count(page) != 0) {
+      continue;
+    }
+    // Dropped from the file (truncate / shrink): back to the free pool.
+    if (record->writer != kNoLibFs) {
+      mmu_.Revoke(record->writer, page);
+    }
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (PageNumber page : new_pages) {
+    PageState& state = page_states_[page];
+    if (state.state == ResourceState::kLeased) {
+      if (writer != nullptr) {
+        writer->leased_pages.erase(page);
+      }
+      state = PageState{ResourceState::kOwned, kNoLibFs, record->ino};
+    }
+  }
+  record->pages = std::move(new_pages);
+  record->first_index_page = DirentOfLocked(*record)->first_index_page;
+
+  // Fresh children become live files with shadow inodes and an implicit write grant to
+  // their creator (their own pages reconcile at their own first verification).
+  for (const NewChildInfo& child : report.new_children) {
+    if (writer != nullptr) {
+      writer->leased_inos.erase(child.ino);
+    }
+    ino_states_[child.ino] = InoState{ResourceState::kOwned, kNoLibFs, record->ino};
+
+    FileRecord fresh;
+    fresh.ino = child.ino;
+    fresh.parent = record->ino;
+    fresh.is_dir = child.is_dir;
+    fresh.dirent_page = child.dirent_page;
+    fresh.dirent_slot = child.dirent_slot;
+    fresh.first_index_page = child.first_index_page;
+
+    ShadowInode shadow{child.mode, child.uid, child.gid, 1};
+    ShadowInode* slot = ShadowInodeOf(pool_, child.ino);
+    pool_.Write(slot, &shadow, sizeof(shadow));
+    pool_.PersistNow(slot, sizeof(shadow));
+
+    if (record->writer != kNoLibFs) {
+      fresh.writer = record->writer;
+      fresh.lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+      writer->write_mapped.insert(child.ino);
+      WmapLogAdd(child.ino);
+    }
+    auto [it, inserted] = records_.emplace(child.ino, std::move(fresh));
+    if (inserted && it->second.writer != kNoLibFs) {
+      (void)TakeCheckpointLocked(&it->second);
+    }
+  }
+
+  // Renames into this directory.
+  for (const MovedInChild& moved : report.moved_in) {
+    FileRecord* child = RecordOf(moved.ino);
+    if (child == nullptr) {
+      continue;
+    }
+    child->parent = record->ino;
+    child->dirent_page = moved.dirent_page;
+    child->dirent_slot = moved.dirent_slot;
+    ino_states_[moved.ino].parent = record->ino;
+    if (writer != nullptr) {
+      writer->pending_orphans.erase(moved.ino);
+    }
+  }
+
+  // Children that vanished: deleted, or renamed to a directory we have not verified yet.
+  for (Ino removed : report.removed_children) {
+    auto state_it = ino_states_.find(removed);
+    if (state_it == ino_states_.end() || state_it->second.parent != record->ino) {
+      continue;  // Already moved elsewhere or reclaimed.
+    }
+    if (writer != nullptr) {
+      writer->pending_orphans.insert(removed);
+    } else {
+      FileRecord* child = RecordOf(removed);
+      if (child != nullptr) {
+        ReclaimFileLocked(child);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+void KernelController::ResolveOrphansLocked(LibFsRecord* libfs) {
+  // Anything still orphaned when the writer's session quiesces was deleted, not renamed.
+  std::vector<Ino> orphans(libfs->pending_orphans.begin(), libfs->pending_orphans.end());
+  libfs->pending_orphans.clear();
+  for (Ino ino : orphans) {
+    FileRecord* record = RecordOf(ino);
+    if (record == nullptr) {
+      continue;
+    }
+    auto state_it = ino_states_.find(ino);
+    if (state_it != ino_states_.end() && state_it->second.state == ResourceState::kOwned) {
+      // Still owned with the stale parent: a deletion. Directories were checked empty by
+      // I3 at parent-verify time.
+      ReclaimFileLocked(record);
+    }
+  }
+}
+
+void KernelController::ReclaimFileLocked(FileRecord* record) {
+  const Ino ino = record->ino;
+  // Recursively reclaim children first (mass deletion by page rewrite is legal tombstoning).
+  std::vector<Ino> children;
+  for (auto& [child_ino, child] : records_) {
+    if (child.parent == ino && child_ino != ino) {
+      children.push_back(child_ino);
+    }
+  }
+  for (Ino child : children) {
+    FileRecord* child_record = RecordOf(child);
+    if (child_record != nullptr) {
+      ReclaimFileLocked(child_record);
+    }
+  }
+  record = RecordOf(ino);
+  if (record == nullptr) {
+    return;
+  }
+  for (PageNumber page : record->pages) {
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+  if (shadow != nullptr) {
+    ShadowInode cleared{};
+    pool_.Write(shadow, &cleared, sizeof(cleared));
+    pool_.PersistNow(shadow, sizeof(cleared));
+  }
+  WmapLogRemove(ino);
+  ino_states_.erase(ino);
+  records_.erase(ino);
+  free_inos_.push_back(ino);
+}
+
+Status KernelController::TakeCheckpointLocked(FileRecord* record) {
+  auto checkpoint = std::make_unique<FileCheckpointData>();
+  checkpoint->meta = *DirentOfLocked(*record);
+
+  auto copy_page = [&](PageNumber page) {
+    checkpoint->pages.push_back(page);
+    auto content = std::make_unique<char[]>(kPageSize);
+    std::memcpy(content.get(), pool_.PageAddress(page), kPageSize);
+    checkpoint->contents.push_back(std::move(content));
+  };
+
+  // §4.3: checkpoint the file's metadata — index pages for a regular file; both index and
+  // data pages for a directory (directory data pages *are* metadata).
+  const PageNumber first = checkpoint->meta.first_index_page;
+  TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber page) -> Status {
+    copy_page(page);
+    return OkStatus();
+  }));
+  if (record->is_dir) {
+    TRIO_RETURN_IF_ERROR(
+        ForEachDataPage(pool_, first, [&](uint64_t, PageNumber page) -> Status {
+          copy_page(page);
+          return OkStatus();
+        }));
+    TRIO_RETURN_IF_ERROR(ForEachDirent(pool_, first,
+                                       [&](DirentBlock* child, PageNumber, size_t) -> Status {
+                                         checkpoint->children.push_back(CheckpointChild{
+                                             child->ino, child->IsDirectory()});
+                                         return OkStatus();
+                                       }));
+  }
+  record->checkpoint = std::move(checkpoint);
+  return OkStatus();
+}
+
+void KernelController::QuarantineLocked(FileRecord* record) {
+  std::vector<std::vector<char>> images;
+  for (PageNumber page : record->pages) {
+    std::vector<char> image(kPageSize);
+    std::memcpy(image.data(), pool_.PageAddress(page), kPageSize);
+    images.push_back(std::move(image));
+  }
+  quarantine_[record->ino] = std::move(images);
+  quarantine_owner_[record->ino] = record->writer;
+}
+
+std::vector<std::vector<char>> KernelController::RetrieveQuarantine(LibFsId libfs, Ino ino) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto owner = quarantine_owner_.find(ino);
+  if (owner == quarantine_owner_.end() || owner->second != libfs) {
+    return {};
+  }
+  auto it = quarantine_.find(ino);
+  if (it == quarantine_.end()) {
+    return {};
+  }
+  std::vector<std::vector<char>> images = std::move(it->second);
+  quarantine_.erase(it);
+  quarantine_owner_.erase(owner);
+  return images;
+}
+
+void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
+  FileCheckpointData* checkpoint = record->checkpoint.get();
+  DirentBlock* dirent = DirentOfLocked(*record);
+  if (checkpoint == nullptr) {
+    // A brand-new file with no checkpoint: the safe state is "empty".
+    DirentBlock cleared = *dirent;
+    cleared.first_index_page = 0;
+    cleared.size = 0;
+    pool_.Write(dirent, &cleared, sizeof(cleared));
+    pool_.PersistNow(dirent, sizeof(cleared));
+    record->first_index_page = 0;
+    for (PageNumber page : record->pages) {
+      page_states_.erase(page);
+      free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    }
+    record->pages.clear();
+    return;
+  }
+
+  // Restore checkpointed page images where the page still belongs to this file.
+  for (size_t i = 0; i < checkpoint->pages.size(); ++i) {
+    const PageNumber page = checkpoint->pages[i];
+    auto state = page_states_.find(page);
+    if (state != page_states_.end() && state->second.state == ResourceState::kOwned &&
+        state->second.owner == record->ino) {
+      pool_.Write(pool_.PageAddress(page), checkpoint->contents[i].get(), kPageSize);
+      pool_.Persist(pool_.PageAddress(page), kPageSize);
+    }
+  }
+  pool_.Fence();
+
+  // Restore the metadata (the dirent+inode block). Size mismatches against surviving data
+  // resolve as holes, which read back as zeros ("trimming or padding zero bits", §4.3).
+  pool_.Write(dirent, &checkpoint->meta, sizeof(checkpoint->meta));
+  pool_.PersistNow(dirent, sizeof(checkpoint->meta));
+  record->first_index_page = checkpoint->meta.first_index_page;
+
+  // Scrub: drop index entries that reference pages this file no longer owns, and rebuild
+  // the owned-page set from the restored chain.
+  std::unordered_set<PageNumber> restored;
+  Status scrub = ForEachIndexPage(pool_, record->first_index_page, [&](PageNumber p) -> Status {
+    auto state = page_states_.find(p);
+    if (state == page_states_.end() || state->second.state != ResourceState::kOwned ||
+        state->second.owner != record->ino) {
+      return Corrupted("restored chain broken");
+    }
+    restored.insert(p);
+    auto* index = reinterpret_cast<IndexPage*>(pool_.PageAddress(p));
+    for (size_t i = 0; i < kIndexEntriesPerPage; ++i) {
+      const PageNumber entry = index->entries[i];
+      if (entry == 0) {
+        continue;
+      }
+      auto entry_state = page_states_.find(entry);
+      const bool owned = entry_state != page_states_.end() &&
+                         entry_state->second.state == ResourceState::kOwned &&
+                         entry_state->second.owner == record->ino;
+      if (!owned) {
+        pool_.CommitStore64(&index->entries[i], 0);
+      } else {
+        restored.insert(entry);
+      }
+    }
+    return OkStatus();
+  });
+  if (!scrub.ok()) {
+    // The chain head itself was lost; fall back to an empty file.
+    DirentBlock cleared = checkpoint->meta;
+    cleared.first_index_page = 0;
+    cleared.size = 0;
+    pool_.Write(dirent, &cleared, sizeof(cleared));
+    pool_.PersistNow(dirent, sizeof(cleared));
+    record->first_index_page = 0;
+    restored.clear();
+  }
+
+  // Pages that were owned but are no longer reachable go back to the free pool.
+  for (PageNumber page : record->pages) {
+    if (restored.count(page) != 0) {
+      continue;
+    }
+    if (record->writer != kNoLibFs) {
+      mmu_.Revoke(record->writer, page);
+    }
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+  }
+  record->pages = std::move(restored);
+}
+
+// ---------------------------------------------------------------------------
+// Permission changes
+// ---------------------------------------------------------------------------
+
+Status KernelController::Chmod(LibFsId libfs, Ino ino, uint32_t perm_bits) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  FileRecord* record = RecordOf(ino);
+  ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+  if (record == nullptr || shadow == nullptr || !shadow->Exists()) {
+    return NotFound("no such file");
+  }
+  if (libfs_it->second->uid != 0 && libfs_it->second->uid != shadow->uid) {
+    return PermissionDenied("only the owner may chmod");
+  }
+  ShadowInode updated = *shadow;
+  updated.mode = (updated.mode & kModeTypeMask) | (perm_bits & kModePermMask);
+  pool_.Write(shadow, &updated, sizeof(updated));
+  pool_.PersistNow(shadow, sizeof(updated));
+  // Refresh the cached copy in the dirent so I4 stays consistent.
+  DirentBlock* dirent = DirentOfLocked(*record);
+  pool_.Write(&dirent->mode, &updated.mode, sizeof(updated.mode));
+  pool_.PersistNow(&dirent->mode, sizeof(updated.mode));
+  return OkStatus();
+}
+
+Status KernelController::Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gid) {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  if (libfs_it->second->uid != 0) {
+    return PermissionDenied("only root may chown");
+  }
+  FileRecord* record = RecordOf(ino);
+  ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+  if (record == nullptr || shadow == nullptr || !shadow->Exists()) {
+    return NotFound("no such file");
+  }
+  ShadowInode updated = *shadow;
+  updated.uid = uid;
+  updated.gid = gid;
+  pool_.Write(shadow, &updated, sizeof(updated));
+  pool_.PersistNow(shadow, sizeof(updated));
+  DirentBlock* dirent = DirentOfLocked(*record);
+  pool_.Write(&dirent->uid, &updated.uid, sizeof(updated.uid));
+  pool_.Write(&dirent->gid, &updated.gid, sizeof(updated.gid));
+  pool_.PersistNow(&dirent->uid, sizeof(uint32_t) * 2);
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// OwnershipView / VerifyEnv
+// ---------------------------------------------------------------------------
+
+PageState KernelController::StateOfPage(PageNumber page) const {
+  // mutex_ is recursive: the verifier calls this on the kernel's own thread mid-verify.
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  if (page < FileRegionStart(pool_)) {
+    return PageState{ResourceState::kReserved, kNoLibFs, kInvalidIno};
+  }
+  auto it = page_states_.find(page);
+  if (it == page_states_.end()) {
+    return PageState{};
+  }
+  return it->second;
+}
+
+InoState KernelController::StateOfIno(Ino ino) const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  auto it = ino_states_.find(ino);
+  if (it == ino_states_.end()) {
+    return InoState{};
+  }
+  return it->second;
+}
+
+Status KernelController::CheckRemovedChildDir(Ino child, LibFsId writer) const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  const FileRecord* record = RecordOf(child);
+  if (record == nullptr) {
+    return OkStatus();  // Already reclaimed.
+  }
+  if ((record->writer != kNoLibFs && record->writer != writer) ||
+      std::any_of(record->readers.begin(), record->readers.end(),
+                  [&](LibFsId r) { return r != writer; })) {
+    return Corrupted("I3: removed child directory still mapped by another LibFS");
+  }
+  Result<uint64_t> live = CountDirents(const_cast<NvmPool&>(pool_), record->first_index_page);
+  if (!live.ok()) {
+    return live.status();
+  }
+  if (*live != 0) {
+    return Corrupted("I3: removed child directory is not empty");
+  }
+  return OkStatus();
+}
+
+bool KernelController::IsMovePermitted(Ino child, Ino new_parent, LibFsId writer) const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  const FileRecord* record = RecordOf(child);
+  if (record == nullptr) {
+    return false;
+  }
+  auto libfs_it = libfses_.find(writer);
+  if (libfs_it != libfses_.end() &&
+      libfs_it->second->pending_orphans.count(child) != 0) {
+    return true;
+  }
+  const FileRecord* old_parent = RecordOf(record->parent);
+  return old_parent != nullptr && old_parent->writer == writer;
+}
+
+// ---------------------------------------------------------------------------
+// Write-map log (crash recovery, §4.4)
+// ---------------------------------------------------------------------------
+
+void KernelController::WmapLogAdd(Ino ino) {
+  auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(SuperblockOf(pool_)->wmap_log_page));
+  const size_t slots = WmapSlots(pool_);
+  for (size_t i = 0; i < slots; ++i) {
+    if (pool_.Load64(&log[i]) == ino) {
+      return;
+    }
+  }
+  for (size_t i = 0; i < slots; ++i) {
+    if (pool_.Load64(&log[i]) == kInvalidIno) {
+      pool_.CommitStore64(&log[i], ino);
+      return;
+    }
+  }
+  // Log full: fall back to verify-everything-at-recovery semantics.
+  Superblock* sb = SuperblockOf(pool_);
+  if (pool_.Load64(&sb->wmap_log_overflow) == 0) {
+    pool_.CommitStore64(&sb->wmap_log_overflow, 1);
+    TRIO_LOG(kInfo) << "write-map log full; recovery will verify the full tree";
+  }
+}
+
+void KernelController::WmapLogRemove(Ino ino) {
+  auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(SuperblockOf(pool_)->wmap_log_page));
+  for (size_t i = 0; i < WmapSlots(pool_); ++i) {
+    if (pool_.Load64(&log[i]) == ino) {
+      pool_.CommitStore64(&log[i], kInvalidIno);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inspection helpers
+// ---------------------------------------------------------------------------
+
+size_t KernelController::FreePageCount() const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& list : free_pages_by_node_) {
+    total += list.size();
+  }
+  return total;
+}
+
+bool KernelController::IsWriteMapped(Ino ino) const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  const FileRecord* record = RecordOf(ino);
+  return record != nullptr && record->writer != kNoLibFs;
+}
+
+Result<Ino> KernelController::ParentOf(Ino ino) const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  const FileRecord* record = RecordOf(ino);
+  if (record == nullptr) {
+    return NotFound("no such file");
+  }
+  return record->parent;
+}
+
+}  // namespace trio

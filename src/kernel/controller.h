@@ -1,0 +1,256 @@
+// The in-kernel access controller (§3.2, §4.3, §4.5). It decides which shared file-system
+// resources (NVM pages, inode numbers) each LibFS can access, enforces the
+// concurrent-read/exclusive-write file sharing policy with leases, maintains the global
+// ownership information the integrity verifier reads (I2), checkpoints file metadata
+// before write grants, drives verification when write access transfers, and handles
+// corruption (fix-with-timeout, quarantine-to-offender, checkpoint rollback).
+//
+// In the paper this is a Linux kernel module; here it is an in-process object. Every public
+// entry point models one user->kernel crossing and is counted in stats().syscalls, which
+// the cost models in src/sim consume.
+
+#ifndef SRC_KERNEL_CONTROLLER_H_
+#define SRC_KERNEL_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/core/core_state.h"
+#include "src/core/format.h"
+#include "src/core/ownership.h"
+#include "src/kernel/delegation.h"
+#include "src/kernel/mmu_sim.h"
+#include "src/verifier/verifier.h"
+
+namespace trio {
+
+struct KernelConfig {
+  uint64_t lease_ms = 100;        // §6.5: "ArckFS's 100ms lease time".
+  uint64_t fix_timeout_ms = 10;   // Deadline for a LibFS to fix its own corruption.
+  bool start_delegation = false;  // Spin up delegation threads at construction.
+  size_t delegation_ring_capacity = 1024;
+};
+
+// Callbacks a LibFS registers with the kernel controller.
+struct LibFsCallbacks {
+  // The kernel asks the LibFS to release a file (lease revocation). Must synchronously
+  // flush and call UnmapFile before returning. May be invoked from another app's thread.
+  std::function<void(Ino)> revoke;
+  // Corruption detected in a file this LibFS wrote; it may repair the core state in place.
+  // Return true to request re-verification. Called with the failure diagnostic.
+  std::function<bool(Ino, const Status&)> fix_corruption;
+  // Crash-recovery program (§4.4): replay/undo this LibFS's journal. Untrusted: the kernel
+  // re-verifies all write-mapped files afterwards.
+  std::function<void()> recovery;
+};
+
+struct LibFsOptions {
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  LibFsCallbacks callbacks;
+};
+
+struct MapInfo {
+  PageNumber dirent_page = 0;  // 0 => the root dirent inside the superblock.
+  size_t dirent_slot = 0;
+  bool writable = false;
+  uint64_t lease_deadline_ns = 0;
+  PageNumber first_index_page = 0;  // As of grant time (convenience for rebuild).
+};
+
+struct KernelStats {
+  std::atomic<uint64_t> syscalls{0};
+  std::atomic<uint64_t> maps{0};
+  std::atomic<uint64_t> unmaps{0};
+  std::atomic<uint64_t> verifications{0};
+  std::atomic<uint64_t> verify_failures{0};
+  std::atomic<uint64_t> corruptions_fixed_by_libfs{0};
+  std::atomic<uint64_t> corruptions_rolled_back{0};
+  std::atomic<uint64_t> revocations{0};
+  std::atomic<uint64_t> pages_allocated{0};
+  std::atomic<uint64_t> pages_freed{0};
+  // Sharing-cost breakdown (Fig 8): cumulative nanoseconds per phase.
+  std::atomic<uint64_t> map_ns{0};
+  std::atomic<uint64_t> unmap_ns{0};
+  std::atomic<uint64_t> verify_ns{0};
+  std::atomic<uint64_t> checkpoint_ns{0};
+
+  void Reset() {
+    syscalls = maps = unmaps = verifications = verify_failures = 0;
+    corruptions_fixed_by_libfs = corruptions_rolled_back = revocations = 0;
+    pages_allocated = pages_freed = 0;
+    map_ns = unmap_ns = verify_ns = checkpoint_ns = 0;
+  }
+};
+
+class KernelController : public OwnershipView, public VerifyEnv {
+ public:
+  KernelController(NvmPool& pool, KernelConfig config = {},
+                   Clock* clock = SystemClock::Instance());
+  ~KernelController();
+  KernelController(const KernelController&) = delete;
+  KernelController& operator=(const KernelController&) = delete;
+
+  // Rebuilds ownership tables by scanning the directory tree from the root (the tables are
+  // auxiliary state, §3.2). Detects an unclean shutdown; call RunRecovery() after LibFSes
+  // have re-registered in that case.
+  Status Mount();
+  // Marks a clean shutdown. All LibFSes must have unregistered.
+  Status Unmount();
+  bool NeedsRecovery() const { return needs_recovery_; }
+  // §4.4: invoke each registered LibFS's recovery program, then verify every file that was
+  // write-mapped at crash time.
+  Status RunRecovery();
+
+  // ---- LibFS lifecycle ----
+  LibFsId RegisterLibFs(const LibFsOptions& options);
+  void UnregisterLibFs(LibFsId libfs);
+
+  // ---- Resource leasing ----
+  Status AllocPages(LibFsId libfs, size_t count, int node_hint,
+                    std::vector<PageNumber>* out);
+  Status FreePages(LibFsId libfs, const std::vector<PageNumber>& pages);
+  Result<Ino> AllocIno(LibFsId libfs);
+  // Batched form: LibFSes amortize the kernel crossing over many creates (§4.5 per-CPU
+  // inode allocators live LibFS-side as caches over this).
+  Status AllocInos(LibFsId libfs, size_t count, std::vector<Ino>* out);
+  Status FreeIno(LibFsId libfs, Ino ino);
+
+  // ---- Mapping / sharing ----
+  Result<MapInfo> MapRoot(LibFsId libfs, bool write);
+  // `parent` is the directory through which the LibFS resolved `ino` (it must hold at
+  // least a read mapping of the parent).
+  Result<MapInfo> MapFile(LibFsId libfs, Ino parent, Ino ino, bool write);
+  Status UnmapFile(LibFsId libfs, Ino ino);
+  // Verify now and replace the checkpoint with the current (valid) state, keeping the
+  // write grant (§4.3 "commit call").
+  Status CommitFile(LibFsId libfs, Ino ino);
+
+  // ---- Permission changes (I4 path: shadow inode is ground truth) ----
+  Status Chmod(LibFsId libfs, Ino ino, uint32_t perm_bits);
+  Status Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gid);
+
+  // Corrupted files quarantined to their offending writer (§4.3: "makes the corrupted file
+  // a private file to LibFS A"): raw page images the LibFS can salvage.
+  std::vector<std::vector<char>> RetrieveQuarantine(LibFsId libfs, Ino ino);
+
+  // ---- OwnershipView (read access for the integrity verifier) ----
+  PageState StateOfPage(PageNumber page) const override;
+  InoState StateOfIno(Ino ino) const override;
+
+  // ---- VerifyEnv ----
+  Status CheckRemovedChildDir(Ino child, LibFsId writer) const override;
+  bool IsMovePermitted(Ino child, Ino new_parent, LibFsId writer) const override;
+
+  NvmPool& pool() { return pool_; }
+  MmuSim& mmu() { return mmu_; }
+  KernelStats& stats() { return stats_; }
+  IntegrityVerifier& verifier() { return *verifier_; }
+  DelegationPool* delegation() { return delegation_.get(); }
+  void StartDelegation();
+  Clock* clock() { return clock_; }
+  const KernelConfig& config() const { return config_; }
+
+  // Test/inspection helpers.
+  size_t FreePageCount() const;
+  bool IsWriteMapped(Ino ino) const;
+  Result<Ino> ParentOf(Ino ino) const;
+
+ private:
+  struct FileCheckpointData {
+    DirentBlock meta;
+    std::vector<PageNumber> pages;                    // Checkpointed page numbers.
+    std::vector<std::unique_ptr<char[]>> contents;    // kPageSize each, parallel to pages.
+    std::vector<CheckpointChild> children;            // Directories only.
+  };
+
+  struct FileRecord {
+    Ino ino = kInvalidIno;
+    Ino parent = kInvalidIno;
+    bool is_dir = false;
+    PageNumber dirent_page = 0;  // 0 => superblock root.
+    size_t dirent_slot = 0;
+    PageNumber first_index_page = 0;  // As of last reconcile.
+    std::unordered_set<PageNumber> pages;
+    LibFsId writer = kNoLibFs;
+    std::unordered_set<LibFsId> readers;
+    uint64_t lease_deadline_ns = 0;
+    std::unique_ptr<FileCheckpointData> checkpoint;
+  };
+
+  struct LibFsRecord {
+    LibFsId id = kNoLibFs;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    LibFsCallbacks callbacks;
+    std::unordered_set<PageNumber> leased_pages;
+    std::unordered_set<Ino> leased_inos;
+    std::unordered_set<Ino> write_mapped;
+    std::unordered_set<Ino> read_mapped;
+    // Children that disappeared from a verified directory and are not yet known to be
+    // renamed elsewhere. Resolved (reclaimed or adopted) when the session quiesces.
+    std::unordered_set<Ino> pending_orphans;
+  };
+
+  // All private methods below require mutex_ held unless noted.
+  DirentBlock* DirentOfLocked(const FileRecord& record);
+  FileRecord* RecordOf(Ino ino);
+  const FileRecord* RecordOf(Ino ino) const;
+  Status TakeCheckpointLocked(FileRecord* record);
+  void GrantFilePagesLocked(LibFsId libfs, const FileRecord& record, bool write);
+  void RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record);
+  // Runs verification + reconciliation for a file whose write session is ending.
+  // Releases and re-acquires mutex_ around LibFS callbacks. Returns the verify status.
+  Status VerifyAndReconcileLocked(std::unique_lock<std::recursive_mutex>& lock,
+                                  FileRecord* record);
+  Status ApplyReportLocked(FileRecord* record, const VerifyReport& report);
+  void RollbackToCheckpointLocked(FileRecord* record);
+  void QuarantineLocked(FileRecord* record);
+  void ResolveOrphansLocked(LibFsRecord* libfs);
+  void ReclaimFileLocked(FileRecord* record);  // Frees pages + ino + shadow, drops record.
+  Status ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_page, size_t dirent_slot,
+                        const DirentBlock& dirent, std::unordered_set<PageNumber>* seen_pages,
+                        std::unordered_set<Ino>* seen_inos);
+  void WmapLogAdd(Ino ino);
+  void WmapLogRemove(Ino ino);
+  uint64_t NowNs() { return clock_->NowNs(); }
+
+  NvmPool& pool_;
+  KernelConfig config_;
+  Clock* clock_;
+  MmuSim mmu_;
+  KernelStats stats_;
+  std::unique_ptr<IntegrityVerifier> verifier_;
+  std::unique_ptr<DelegationPool> delegation_;
+
+  // Recursive: the verifier calls back into OwnershipView/VerifyEnv methods on the same
+  // thread while the kernel drives it under this lock.
+  mutable std::recursive_mutex mutex_;
+  std::unordered_map<PageNumber, PageState> page_states_;  // Absent => free file page.
+  std::unordered_map<Ino, InoState> ino_states_;           // Absent => free ino.
+  std::unordered_map<Ino, FileRecord> records_;
+  std::unordered_map<LibFsId, std::unique_ptr<LibFsRecord>> libfses_;
+  std::unordered_map<Ino, std::vector<std::vector<char>>> quarantine_;  // keyed by ino.
+  std::unordered_map<Ino, LibFsId> quarantine_owner_;
+  // Per-NUMA-node free lists (per-CPU sharding happens in the LibFS-side allocator cache;
+  // the kernel hands out batches).
+  std::vector<std::vector<PageNumber>> free_pages_by_node_;
+  Ino next_ino_ = 2;
+  std::vector<Ino> free_inos_;
+  LibFsId next_libfs_id_ = 1;
+  bool mounted_ = false;
+  bool needs_recovery_ = false;
+};
+
+}  // namespace trio
+
+#endif  // SRC_KERNEL_CONTROLLER_H_

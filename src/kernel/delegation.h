@@ -1,0 +1,133 @@
+// Opportunistic delegation (§4.5), following OdinFS: per-NUMA-node pools of background
+// "kernel" threads perform NVM copies on behalf of application threads, so that (a) the
+// number of threads touching each NVM node stays fixed (Optane collapses under excessive
+// concurrency) and (b) accesses are always node-local. Application threads submit requests
+// through a bounded MPMC ring and wait on a completion counter. ArckFS does not delegate
+// small accesses (reads < 32 KiB, writes < 256 B) because the communication overhead
+// dominates.
+
+#ifndef SRC_KERNEL_DELEGATION_H_
+#define SRC_KERNEL_DELEGATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/mpmc_ring.h"
+#include "src/nvm/nvm.h"
+
+namespace trio {
+
+// Delegation thresholds (§4.5).
+inline constexpr size_t kDelegateReadThreshold = 32 * 1024;
+inline constexpr size_t kDelegateWriteThreshold = 256;
+
+struct DelegationRequest {
+  enum class Op : uint8_t { kRead, kWrite, kStop } op = Op::kStop;
+  char* nvm = nullptr;          // NVM-side address.
+  char* dram = nullptr;         // Application buffer.
+  uint32_t len = 0;
+  bool persist = true;          // Writes: flush + fence after the copy.
+  std::atomic<uint32_t>* pending = nullptr;  // Decremented on completion.
+};
+
+class DelegationPool {
+ public:
+  DelegationPool(NvmPool& pool, int threads_per_node, size_t ring_capacity = 1024)
+      : pool_(pool), num_nodes_(pool.topology().num_nodes) {
+    rings_.reserve(num_nodes_);
+    for (int n = 0; n < num_nodes_; ++n) {
+      rings_.push_back(std::make_unique<MpmcRing<DelegationRequest>>(ring_capacity));
+    }
+    for (int n = 0; n < num_nodes_; ++n) {
+      for (int t = 0; t < threads_per_node; ++t) {
+        workers_.emplace_back([this, n] { WorkerLoop(n); });
+      }
+    }
+  }
+
+  ~DelegationPool() { Stop(); }
+  DelegationPool(const DelegationPool&) = delete;
+  DelegationPool& operator=(const DelegationPool&) = delete;
+
+  void Stop() {
+    if (stopped_.exchange(true)) {
+      return;
+    }
+    for (auto& worker : workers_) {
+      (void)worker;
+    }
+    // Wake every worker with a stop request per thread.
+    const size_t per_node = workers_.size() / static_cast<size_t>(num_nodes_);
+    for (int n = 0; n < num_nodes_; ++n) {
+      for (size_t t = 0; t < per_node; ++t) {
+        DelegationRequest stop;
+        stop.op = DelegationRequest::Op::kStop;
+        rings_[n]->Push(stop);
+      }
+    }
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+    workers_.clear();
+  }
+
+  // Submits one copy targeting NVM address `nvm` (entirely within one node's stripe —
+  // callers split requests at node boundaries) and bumps nothing: callers pre-set
+  // `pending` to the number of submissions and wait with WaitFor().
+  void Submit(const DelegationRequest& request) {
+    const int node = pool_.NodeOfPage(pool_.PageOf(request.nvm));
+    rings_[node]->Push(request);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static void WaitFor(std::atomic<uint32_t>& pending) {
+    while (pending.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop(int node) {
+    MpmcRing<DelegationRequest>& ring = *rings_[node];
+    while (true) {
+      DelegationRequest request;
+      if (!ring.TryPop(request)) {
+        std::this_thread::yield();
+        continue;
+      }
+      switch (request.op) {
+        case DelegationRequest::Op::kStop:
+          return;
+        case DelegationRequest::Op::kRead:
+          pool_.Read(request.dram, request.nvm, request.len);
+          break;
+        case DelegationRequest::Op::kWrite:
+          pool_.Write(request.nvm, request.dram, request.len);
+          if (request.persist) {
+            pool_.Persist(request.nvm, request.len);
+            pool_.Fence();
+          }
+          break;
+      }
+      if (request.pending != nullptr) {
+        request.pending->fetch_sub(1, std::memory_order_release);
+      }
+    }
+  }
+
+  NvmPool& pool_;
+  const int num_nodes_;
+  std::vector<std::unique_ptr<MpmcRing<DelegationRequest>>> rings_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> submitted_{0};
+};
+
+}  // namespace trio
+
+#endif  // SRC_KERNEL_DELEGATION_H_

@@ -1,0 +1,85 @@
+// MMU emulation. On real hardware the kernel controller programs page tables so that each
+// application's loads/stores can only reach the NVM pages it was granted (§3.2). In this
+// single-process emulation, each LibFS carries an MmuSim map of page -> permission that the
+// kernel controller programs on map/unmap/alloc/free, and LibFS code checks before touching
+// NVM. A *malicious* LibFS (src/attacks) skips its own checks — but the attack tests only
+// let it scribble on pages where MmuSim says it holds write permission, which is exactly
+// what the hardware MMU would permit; everything else "faults" (test failure).
+
+#ifndef SRC_KERNEL_MMU_SIM_H_
+#define SRC_KERNEL_MMU_SIM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/core/ownership.h"
+#include "src/nvm/nvm.h"
+
+namespace trio {
+
+enum class PagePerm : uint8_t { kNone = 0, kRead = 1, kReadWrite = 3 };
+
+class MmuSim {
+ public:
+  MmuSim() = default;
+
+  void Grant(LibFsId libfs, PageNumber page, PagePerm perm) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (perm == PagePerm::kNone) {
+      tables_[libfs].erase(page);
+    } else {
+      tables_[libfs][page] = perm;
+    }
+  }
+
+  void Revoke(LibFsId libfs, PageNumber page) { Grant(libfs, page, PagePerm::kNone); }
+
+  void RevokeAll(LibFsId libfs) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    tables_.erase(libfs);
+  }
+
+  // Would a load (write=false) or store (write=true) to this page fault?
+  bool Check(LibFsId libfs, PageNumber page, bool write) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto table = tables_.find(libfs);
+    if (table == tables_.end()) {
+      return false;
+    }
+    auto it = table->second.find(page);
+    if (it == table->second.end()) {
+      return false;
+    }
+    return !write || it->second == PagePerm::kReadWrite;
+  }
+
+  bool CheckRange(LibFsId libfs, const NvmPool& pool, const void* addr, size_t len,
+                  bool write) const {
+    if (len == 0) {
+      return true;
+    }
+    const PageNumber first = pool.PageOf(addr);
+    const PageNumber last = pool.PageOf(static_cast<const char*>(addr) + len - 1);
+    for (PageNumber p = first; p <= last; ++p) {
+      if (!Check(libfs, p, write)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t MappedPageCount(LibFsId libfs) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto table = tables_.find(libfs);
+    return table == tables_.end() ? 0 : table->second.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<LibFsId, std::unordered_map<PageNumber, PagePerm>> tables_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_KERNEL_MMU_SIM_H_

@@ -1,0 +1,241 @@
+// ArckFS (§4): the generic POSIX-like LibFS built on the Trio architecture. One ArckFs
+// instance is one LibFS belonging to one application (or to one trust group whose
+// processes share it, §3.2). It realizes the full file system design in userspace:
+//
+//  * Direct access: after the kernel controller maps a file, every data and metadata
+//    operation runs on loads/stores to the core state — no kernel crossing.
+//  * Auxiliary state (§4.2): per-file radix tree, readers-writer inode lock + range lock;
+//    per-directory resizable chained hash table with per-bucket locks, multiple logging
+//    tails and an index tail; fd table; per-CPU leases of pages/inos; per-CPU undo journal.
+//  * Crash consistency (§4.4): metadata ops are synchronous and atomic (ordered persists
+//    committing on an 8-byte store); data ops are synchronous, not atomic; rename uses the
+//    undo journal; fsync is a no-op.
+//  * Optane adaptation (§4.5): large accesses are shipped to the kernel's delegation
+//    threads (reads >= 32 KiB, writes >= 256 B) and file pages are striped across NUMA
+//    nodes by page index.
+//
+// KVFS and FPFS (§5) subclass this and replace auxiliary state / interfaces — which is
+// precisely the customization Trio permits without touching the trusted entities.
+
+#ifndef SRC_LIBFS_ARCKFS_H_
+#define SRC_LIBFS_ARCKFS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/range_lock.h"
+#include "src/common/rwlock.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/dir_index.h"
+#include "src/libfs/fd_table.h"
+#include "src/libfs/fs_interface.h"
+#include "src/libfs/journal.h"
+#include "src/libfs/lease_cache.h"
+#include "src/libfs/radix_tree.h"
+
+namespace trio {
+
+struct ArckFsConfig {
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  // Ship large copies to the kernel's delegation threads (requires
+  // kernel.StartDelegation()). Off = the "ArckFS-no-dele" configuration of §6.
+  bool use_delegation = false;
+  size_t page_batch = 64;
+  size_t ino_batch = 64;
+  size_t journal_shards = 4;
+  // §4.4: "Extending the LibFS to support other consistency modes is simple by following
+  // the prior approaches." sync_data=false is the relaxed-data mode: data writes skip the
+  // per-write flush and become durable at fsync/release; metadata stays synchronous and
+  // atomic.
+  bool sync_data = true;
+  // Journal pages from a previous incarnation to undo during crash recovery (§4.4). The
+  // application persists these page numbers across restarts (in a real deployment the
+  // LibFS would stash them in a well-known private file).
+  std::vector<PageNumber> recover_journal_pages;
+  // Optional corruption-fix hook the kernel calls on a failed verification of our file.
+  std::function<bool(Ino, const Status&)> fix_corruption;
+};
+
+struct LibFsStats {
+  std::atomic<uint64_t> rebuilds{0};
+  std::atomic<uint64_t> rebuild_ns{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> creates{0};
+  std::atomic<uint64_t> unlinks{0};
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> revocations{0};
+};
+
+class ArckFs : public FsInterface {
+ public:
+  explicit ArckFs(KernelController& kernel, ArckFsConfig config = {});
+  ~ArckFs() override;
+  ArckFs(const ArckFs&) = delete;
+  ArckFs& operator=(const ArckFs&) = delete;
+
+  // ---- FsInterface ----
+  Result<Fd> Open(const std::string& path, OpenFlags flags, uint32_t mode = 0644) override;
+  Status Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t count) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t count) override;
+  Result<size_t> Pread(Fd fd, void* buf, size_t count, uint64_t offset) override;
+  Result<size_t> Pwrite(Fd fd, const void* buf, size_t count, uint64_t offset) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Status Fsync(Fd fd) override;
+  Status Ftruncate(Fd fd, uint64_t size) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<StatInfo> Stat(const std::string& path) override;
+  Result<std::vector<DirEntryInfo>> ReadDir(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Chmod(const std::string& path, uint32_t perm) override;
+  std::string Name() const override { return "ArckFS"; }
+
+  // ---- Trio extensions ----
+  // Voluntarily release this LibFS's mapping of `path` (write release triggers
+  // verification; §6.5's sharing benchmarks call this between operations).
+  Status ReleaseFile(const std::string& path);
+  // Verify + re-checkpoint without releasing (§4.3 commit call).
+  Status Commit(const std::string& path);
+
+  LibFsId id() const { return libfs_; }
+  KernelController& kernel() { return kernel_; }
+  LibFsStats& libfs_stats() { return stats_; }
+  // Current journal page numbers (persist these to recover after a crash).
+  std::vector<PageNumber> JournalPages();
+
+ protected:
+  // Per-ino auxiliary state. Directories and regular files share the node type; the
+  // directory members stay null for files and vice versa.
+  struct FileNode {
+    Ino ino = kInvalidIno;
+    Ino parent = kInvalidIno;
+    bool is_dir = false;
+    bool locally_created = false;  // Created by us, not yet reconciled by the kernel.
+
+    // Mapping state machine, driven under map_mutex; ops hold op_lock shared.
+    std::mutex map_mutex;
+    BravoRwLock op_lock;
+    std::atomic<int> map_state{0};  // 0 = unmapped, 1 = read, 2 = write.
+    std::atomic<bool> stale{false};
+    DirentBlock* dirent = nullptr;
+
+    // Regular-file auxiliary state (§4.2).
+    BravoRwLock inode_lock;
+    RangeLock range_lock;
+    PageRadixTree radix;
+    std::vector<PageNumber> index_pages;  // Chain order; guarded by inode_lock exclusive
+                                          // (extension happens only on the exclusive path).
+    std::vector<PageNumber> reuse_pages;  // Owned, unlinked by truncate; reusable in-file.
+    std::unordered_set<PageNumber> dirty_pages;  // Relaxed-data mode: awaiting fsync.
+    SpinLock dirty_lock;
+
+    // Directory auxiliary state (§4.2).
+    std::unique_ptr<DirIndex> dir_index;
+    struct DirTail {
+      PageNumber page = 0;
+      SpinLock lock;
+      // Logging tails are only useful for non-full pages (§4.2); full ones are skipped
+      // until an unlink frees a slot in them.
+      std::atomic<bool> full{false};
+    };
+    SpinLock tails_lock;  // Guards dir_tails + dir_tail_index + dir_index_pages +
+                          // dir_next_entry.
+    std::vector<std::unique_ptr<DirTail>> dir_tails;
+    std::unordered_map<PageNumber, size_t> dir_tail_index;  // page -> dir_tails slot.
+    // First possibly-non-full tail: creates start scanning here, keeping the common
+    // create O(1) in directory size.
+    std::atomic<size_t> dir_first_nonfull{0};
+    std::vector<PageNumber> dir_index_pages;
+    size_t dir_next_entry = 0;  // Free entries used in the last index page (index tail).
+  };
+  using NodePtr = std::shared_ptr<FileNode>;
+
+  // ---- Node / mapping machinery (shared with KVFS and FPFS) ----
+  NodePtr GetOrCreateNode(Ino ino, Ino parent, bool is_dir, DirentBlock* dirent);
+  NodePtr FindNode(Ino ino);
+  void DropNode(Ino ino);
+  // Maps the node (read or write) through the kernel and rebuilds auxiliary state if the
+  // mapping was (re)established. Never call while holding op_lock.
+  Status EnsureMapped(FileNode* node, bool write);
+  // Acquire op_lock shared and confirm the mapping is still live at `level` (1=read,
+  // 2=write); retries via EnsureMapped on staleness. Returns with op_lock held shared.
+  Status LockForOp(FileNode* node, int level);
+  void UnlockOp(FileNode* node) { node->op_lock.unlock_shared(); }
+  // Revoker-side: quiesce, unmap, drop auxiliary state.
+  void RevokeNode(Ino ino);
+
+  // ---- Path resolution ----
+  // Virtual so customized LibFSes can replace the strategy: FPFS swaps the per-component
+  // walk for a global full-path hash table (§5) — pure auxiliary-state customization.
+  virtual Result<NodePtr> ResolveDir(const std::vector<std::string>& components);
+  Result<DirSlot> FindEntry(FileNode* dir, std::string_view name);
+
+  // ---- Directory core-state operations (callers hold dir op_lock shared + write map) ----
+  Result<DirSlot> CreateEntry(FileNode* dir, std::string_view name, uint32_t mode,
+                              bool exclusive);
+  Status RemoveEntry(FileNode* dir, std::string_view name, bool must_be_dir,
+                     bool must_be_file);
+  DirentBlock* SlotPointer(const DirSlot& slot);
+
+  // ---- Regular-file data path (callers hold file op_lock shared + suitable map) ----
+  Result<size_t> WriteLocked(FileNode* node, const void* buf, size_t count, uint64_t offset);
+  Result<size_t> ReadLocked(FileNode* node, void* buf, size_t count, uint64_t offset);
+  Status TruncateLocked(FileNode* node, uint64_t new_size);
+
+  // Rebuilding auxiliary state from core state (§4.2).
+  Status RebuildAux(FileNode* node);
+
+  // Data-page plumbing.
+  Status EnsureIndexCapacity(FileNode* node, uint64_t max_page_index);
+  Result<PageNumber> AllocDataPage(FileNode* node, uint64_t page_index, bool zero);
+  Status LinkDataPage(FileNode* node, uint64_t page_index, PageNumber page);
+  Status AppendDirDataPage(FileNode* dir);
+
+  // Copies with optional delegation. `persist` = flush the written lines now (the
+  // synchronous-data mode); relaxed mode records dirty pages instead.
+  void CopyToNvm(char* dst, const char* src, size_t len, bool delegate, bool persist,
+                 std::atomic<uint32_t>* pending);
+  // Relaxed-data mode: persist everything this node dirtied since the last flush.
+  void FlushDirtyData(FileNode* node);
+  void CopyFromNvm(char* dst, const char* src, size_t len, bool delegate,
+                   std::atomic<uint32_t>* pending);
+
+  UndoJournal& JournalShard();
+  void ReplayJournals();
+
+  Result<NodePtr> OpenNodeByPath(const std::string& path, bool write);
+  LibFsId RegisterWithKernel(KernelController& kernel, const ArckFsConfig& config);
+  // The kernel learns about files we created only when the parent is verified; force that
+  // reconciliation before kernel calls that need a record of `ino` (chmod, commit, ...).
+  Status EnsureReconciled(Ino ino);
+
+  KernelController& kernel_;
+  NvmPool& pool_;
+  ArckFsConfig config_;
+  LibFsId libfs_ = kNoLibFs;
+  LeaseCache leases_;
+  FdTable<FileNode> fds_;
+  LibFsStats stats_;
+
+  std::mutex nodes_mutex_;
+  std::unordered_map<Ino, NodePtr> nodes_;
+
+  std::mutex journal_init_mutex_;
+  std::vector<std::unique_ptr<UndoJournal>> journals_;
+  std::mutex rename_mutex_;  // Simplification: renames serialize (VFS has a global
+                             // equivalent; per-shard journals could relax this).
+};
+
+}  // namespace trio
+
+#endif  // SRC_LIBFS_ARCKFS_H_

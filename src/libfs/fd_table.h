@@ -1,0 +1,113 @@
+// File-descriptor table: auxiliary LibFS state (§3.2 lists fds as canonical auxiliary
+// state). Slots recycle through per-shard free lists so unrelated threads do not contend
+// on one allocator (§4.5: per-CPU fd allocators).
+
+#ifndef SRC_LIBFS_FD_TABLE_H_
+#define SRC_LIBFS_FD_TABLE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/per_cpu.h"
+#include "src/common/spinlock.h"
+#include "src/libfs/fs_interface.h"
+
+namespace trio {
+
+template <typename FileT>
+class FdTable {
+ public:
+  struct Entry {
+    std::shared_ptr<FileT> file;
+    std::atomic<uint64_t> offset{0};
+    bool append = false;
+    bool writable = false;
+  };
+
+  explicit FdTable(size_t capacity = 4096) : capacity_(capacity) {
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+
+  Result<Fd> Alloc(std::shared_ptr<FileT> file, bool writable, bool append,
+                   uint64_t offset) {
+    auto& free_list = free_lists_.Local();
+    Fd fd = -1;
+    {
+      std::lock_guard<SpinLock> guard(free_list.lock);
+      if (!free_list.fds.empty()) {
+        fd = free_list.fds.back();
+        free_list.fds.pop_back();
+      }
+    }
+    if (fd < 0) {
+      const uint64_t next = next_fd_.fetch_add(1, std::memory_order_relaxed);
+      if (next >= capacity_) {
+        return TooLarge("fd table full");
+      }
+      fd = static_cast<Fd>(next);
+    }
+    Slot& slot = slots_[fd];
+    slot.entry.file = std::move(file);
+    slot.entry.offset.store(offset, std::memory_order_relaxed);
+    slot.entry.append = append;
+    slot.entry.writable = writable;
+    slot.live.store(true, std::memory_order_release);
+    return fd;
+  }
+
+  Entry* Get(Fd fd) {
+    if (fd < 0 || static_cast<size_t>(fd) >= capacity_ ||
+        !slots_[fd].live.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    return &slots_[fd].entry;
+  }
+
+  Status Release(Fd fd) {
+    Entry* entry = Get(fd);
+    if (entry == nullptr) {
+      return BadFd("close of unopened fd");
+    }
+    slots_[fd].live.store(false, std::memory_order_release);
+    entry->file.reset();
+    auto& free_list = free_lists_.Local();
+    std::lock_guard<SpinLock> guard(free_list.lock);
+    free_list.fds.push_back(fd);
+    return OkStatus();
+  }
+
+  // Closes every fd (LibFS teardown); returns how many were open.
+  size_t ReleaseAll() {
+    size_t released = 0;
+    const uint64_t high = std::min<uint64_t>(next_fd_.load(), capacity_);
+    for (uint64_t fd = 0; fd < high; ++fd) {
+      if (slots_[fd].live.exchange(false)) {
+        slots_[fd].entry.file.reset();
+        ++released;
+      }
+    }
+    return released;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> live{false};
+    Entry entry;
+  };
+  struct FreeList {
+    SpinLock lock;
+    std::vector<Fd> fds;
+  };
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_fd_{0};
+  PerCpu<FreeList> free_lists_{8};
+};
+
+}  // namespace trio
+
+#endif  // SRC_LIBFS_FD_TABLE_H_

@@ -1,0 +1,49 @@
+#include "src/libfs/fs_interface.h"
+
+namespace trio {
+
+Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgument("paths must be absolute");
+  }
+  std::vector<std::string> components;
+  size_t start = 1;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) {
+      end = path.size();
+    }
+    if (end > start) {
+      std::string component = path.substr(start, end - start);
+      if (component == ".") {
+        // Skip.
+      } else if (component == "..") {
+        if (components.empty()) {
+          return InvalidArgument("path escapes root");
+        }
+        components.pop_back();
+      } else if (!ValidFileName(component)) {
+        return component.size() >= kMaxNameLen ? NameTooLong(component)
+                                               : InvalidArgument("bad path component");
+      } else {
+        components.push_back(std::move(component));
+      }
+    }
+    start = end + 1;
+  }
+  return components;
+}
+
+Result<SplitParent> SplitParentPath(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
+  if (components.empty()) {
+    return InvalidArgument("path refers to the root");
+  }
+  SplitParent out;
+  out.leaf = std::move(components.back());
+  components.pop_back();
+  out.parent = std::move(components);
+  return out;
+}
+
+}  // namespace trio

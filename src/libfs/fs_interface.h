@@ -1,0 +1,111 @@
+// The POSIX-like file system API (§4: "ArckFS provides the POSIX APIs with similar file
+// system semantics"). ArckFS, the customized LibFSes, and every baseline file system in
+// src/baselines implement this interface, and the workload generators, examples, and
+// mini-LevelDB consume it — so every experiment runs the same calls against every system.
+
+#ifndef SRC_LIBFS_FS_INTERFACE_H_
+#define SRC_LIBFS_FS_INTERFACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/format.h"
+
+namespace trio {
+
+struct OpenFlags {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool append = false;
+  bool exclusive = false;  // With create: fail if the file exists (O_EXCL).
+
+  static OpenFlags ReadOnly() { return OpenFlags{}; }
+  static OpenFlags ReadWrite() {
+    OpenFlags f;
+    f.write = true;
+    return f;
+  }
+  static OpenFlags CreateRw() {
+    OpenFlags f;
+    f.write = true;
+    f.create = true;
+    return f;
+  }
+  static OpenFlags CreateTrunc() {
+    OpenFlags f;
+    f.write = true;
+    f.create = true;
+    f.truncate = true;
+    return f;
+  }
+};
+
+struct StatInfo {
+  Ino ino = kInvalidIno;
+  uint32_t mode = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t size = 0;
+  int64_t mtime_ns = 0;
+  int64_t ctime_ns = 0;
+
+  bool IsDirectory() const { return (mode & kModeTypeMask) == kModeDirectory; }
+  bool IsRegular() const { return (mode & kModeTypeMask) == kModeRegular; }
+};
+
+struct DirEntryInfo {
+  std::string name;
+  Ino ino = kInvalidIno;
+  bool is_dir = false;
+};
+
+using Fd = int;
+
+class FsInterface {
+ public:
+  virtual ~FsInterface() = default;
+
+  virtual Result<Fd> Open(const std::string& path, OpenFlags flags, uint32_t mode = 0644) = 0;
+  virtual Status Close(Fd fd) = 0;
+
+  // Cursor-based I/O.
+  virtual Result<size_t> Read(Fd fd, void* buf, size_t count) = 0;
+  virtual Result<size_t> Write(Fd fd, const void* buf, size_t count) = 0;
+  // Positional I/O.
+  virtual Result<size_t> Pread(Fd fd, void* buf, size_t count, uint64_t offset) = 0;
+  virtual Result<size_t> Pwrite(Fd fd, const void* buf, size_t count, uint64_t offset) = 0;
+  virtual Result<uint64_t> Seek(Fd fd, uint64_t offset) = 0;
+  virtual Status Fsync(Fd fd) = 0;
+  virtual Status Ftruncate(Fd fd, uint64_t size) = 0;
+
+  virtual Status Mkdir(const std::string& path, uint32_t mode = 0755) = 0;
+  virtual Status Rmdir(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Result<StatInfo> Stat(const std::string& path) = 0;
+  virtual Result<std::vector<DirEntryInfo>> ReadDir(const std::string& path) = 0;
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  virtual Status Chmod(const std::string& path, uint32_t perm) = 0;
+
+  // Human-readable identity for benchmark tables.
+  virtual std::string Name() const = 0;
+};
+
+// Splits "/a/b/c" into {"a","b","c"}. Rejects empty components and relative paths.
+Result<std::vector<std::string>> SplitPath(const std::string& path);
+
+// Splits into (parent components, leaf name).
+struct SplitParent {
+  std::vector<std::string> parent;
+  std::string leaf;
+};
+Result<SplitParent> SplitParentPath(const std::string& path);
+
+}  // namespace trio
+
+#endif  // SRC_LIBFS_FS_INTERFACE_H_

@@ -1,0 +1,123 @@
+// Per-CPU undo journal (§4.4): "A few complex operations, such as rename, require
+// journaling. ArckFS uses undo logs for simplicity." Each shard owns one leased NVM page.
+// Protocol: Begin -> LogPreImage* -> Activate (persist barrier) -> mutate core state ->
+// Deactivate. Crash with an active journal means the mutation may be torn; the LibFS's
+// recovery program (§4.4) calls Recover to copy the pre-images back.
+
+#ifndef SRC_LIBFS_JOURNAL_H_
+#define SRC_LIBFS_JOURNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/spinlock.h"
+#include "src/common/status.h"
+#include "src/nvm/nvm.h"
+
+namespace trio {
+
+class UndoJournal {
+ public:
+  // `page` is an NVM page leased to this LibFS. One UndoJournal per CPU shard.
+  UndoJournal(NvmPool& pool, PageNumber page) : pool_(pool), page_(page) {
+    auto* header = Header();
+    pool_.Store64(&header->active, 0);
+    pool_.Store64(&header->used, sizeof(JournalHeader));
+    pool_.PersistNow(header, sizeof(JournalHeader));
+  }
+
+  PageNumber page() const { return page_; }
+  SpinLock& lock() { return lock_; }
+
+  // Must be called with lock() held. Resets the record area.
+  void Begin() {
+    auto* header = Header();
+    pool_.Store64(&header->used, sizeof(JournalHeader));
+  }
+
+  // Copies len bytes at `nvm_addr` (pool address) into the journal as an undo record.
+  Status LogPreImage(const void* nvm_addr, uint32_t len) {
+    auto* header = Header();
+    const uint64_t used = pool_.Load64(&header->used);
+    const uint64_t need = sizeof(Record) + len;
+    if (used + need > kPageSize) {
+      return NoSpace("journal page full");
+    }
+    char* base = pool_.PageAddress(page_);
+    auto* record = reinterpret_cast<Record*>(base + used);
+    Record r;
+    r.pool_offset = static_cast<const char*>(nvm_addr) - pool_.base();
+    r.len = len;
+    r.reserved = 0;
+    pool_.Write(record, &r, sizeof(Record));
+    pool_.Write(base + used + sizeof(Record), nvm_addr, len);
+    pool_.Persist(base + used, need);
+    pool_.Store64(&header->used, used + need);
+    pool_.Persist(&header->used, sizeof(header->used));
+    return OkStatus();
+  }
+
+  // Persist barrier, then mark the journal active. After this returns, a crash replays.
+  void Activate() {
+    pool_.Fence();
+    auto* header = Header();
+    pool_.CommitStore64(&header->active, 1);
+  }
+
+  // The guarded mutation is fully persisted; discard the undo records.
+  void Deactivate() {
+    auto* header = Header();
+    pool_.CommitStore64(&header->active, 0);
+  }
+
+  // Recovery program body: undo a torn mutation, if any. Returns true if it replayed.
+  bool Recover() { return RecoverPage(pool_, page_); }
+
+  // Static form: replay a journal page from a previous incarnation without resetting it
+  // first (the constructor resets; recovery must not).
+  static bool RecoverPage(NvmPool& pool, PageNumber page) {
+    char* base = pool.PageAddress(page);
+    auto* header = reinterpret_cast<JournalHeader*>(base);
+    if (pool.Load64(&header->active) == 0) {
+      return false;
+    }
+    const uint64_t used = pool.Load64(&header->used);
+    uint64_t cursor = sizeof(JournalHeader);
+    while (cursor + sizeof(Record) <= used && used <= kPageSize) {
+      const auto* record = reinterpret_cast<const Record*>(base + cursor);
+      if (cursor + sizeof(Record) + record->len > used) {
+        break;  // Torn journal append: records beyond here never activated.
+      }
+      pool.Write(pool.base() + record->pool_offset, base + cursor + sizeof(Record),
+                 record->len);
+      pool.Persist(pool.base() + record->pool_offset, record->len);
+      cursor += sizeof(Record) + record->len;
+    }
+    pool.Fence();
+    pool.CommitStore64(&header->active, 0);
+    return true;
+  }
+
+ private:
+  struct JournalHeader {
+    uint64_t active;
+    uint64_t used;  // Bytes of the page in use, including this header.
+  };
+  struct Record {
+    uint64_t pool_offset;
+    uint32_t len;
+    uint32_t reserved;
+  };
+
+  JournalHeader* Header() {
+    return reinterpret_cast<JournalHeader*>(pool_.PageAddress(page_));
+  }
+
+  NvmPool& pool_;
+  PageNumber page_;
+  SpinLock lock_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_LIBFS_JOURNAL_H_

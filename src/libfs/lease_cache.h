@@ -1,0 +1,91 @@
+// LibFS-side caches of kernel-leased resources: NVM pages (per NUMA node, per CPU shard)
+// and inode numbers. These are the LibFS halves of the paper's per-CPU block and inode
+// allocators (§4.5); the kernel hands out batches, so the common create/append path never
+// traps.
+
+#ifndef SRC_LIBFS_LEASE_CACHE_H_
+#define SRC_LIBFS_LEASE_CACHE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/per_cpu.h"
+#include "src/common/spinlock.h"
+#include "src/kernel/controller.h"
+
+namespace trio {
+
+class LeaseCache {
+ public:
+  LeaseCache(KernelController& kernel, LibFsId libfs, size_t page_batch = 64,
+             size_t ino_batch = 64)
+      : kernel_(kernel), libfs_(libfs), page_batch_(page_batch), ino_batch_(ino_batch) {
+    const int nodes = kernel_.pool().topology().num_nodes;
+    page_caches_.reserve(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      page_caches_.push_back(std::make_unique<PerCpu<PageShard>>(8));
+    }
+  }
+
+  ~LeaseCache() = default;  // Leases are reclaimed by UnregisterLibFs.
+
+  // A zeroed, write-mapped, leased page on (approximately) the requested node.
+  Result<PageNumber> AllocPage(int node_hint) {
+    const int node = node_hint >= 0 ? node_hint % static_cast<int>(page_caches_.size()) : 0;
+    PageShard& shard = page_caches_[node]->Local();
+    std::lock_guard<SpinLock> guard(shard.lock);
+    if (shard.pages.empty()) {
+      TRIO_RETURN_IF_ERROR(kernel_.AllocPages(libfs_, page_batch_, node, &shard.pages));
+    }
+    PageNumber page = shard.pages.back();
+    shard.pages.pop_back();
+    return page;
+  }
+
+  // Returns a *leased* page to the local cache. The caller must treat recycled pages as
+  // dirty (they are re-zeroed on the partial-write path).
+  void RecyclePage(PageNumber page) {
+    const int node = kernel_.pool().NodeOfPage(page) % static_cast<int>(page_caches_.size());
+    PageShard& shard = page_caches_[node]->Local();
+    std::lock_guard<SpinLock> guard(shard.lock);
+    shard.pages.push_back(page);
+  }
+
+  Result<Ino> AllocIno() {
+    InoShard& shard = ino_caches_.Local();
+    std::lock_guard<SpinLock> guard(shard.lock);
+    if (shard.inos.empty()) {
+      TRIO_RETURN_IF_ERROR(kernel_.AllocInos(libfs_, ino_batch_, &shard.inos));
+    }
+    Ino ino = shard.inos.back();
+    shard.inos.pop_back();
+    return ino;
+  }
+
+  void RecycleIno(Ino ino) {
+    InoShard& shard = ino_caches_.Local();
+    std::lock_guard<SpinLock> guard(shard.lock);
+    shard.inos.push_back(ino);
+  }
+
+ private:
+  struct PageShard {
+    SpinLock lock;
+    std::vector<PageNumber> pages;
+  };
+  struct InoShard {
+    SpinLock lock;
+    std::vector<Ino> inos;
+  };
+
+  KernelController& kernel_;
+  const LibFsId libfs_;
+  const size_t page_batch_;
+  const size_t ino_batch_;
+  std::vector<std::unique_ptr<PerCpu<PageShard>>> page_caches_;
+  PerCpu<InoShard> ino_caches_{8};
+};
+
+}  // namespace trio
+
+#endif  // SRC_LIBFS_LEASE_CACHE_H_

@@ -1,0 +1,54 @@
+// Trust groups (§3.2): "multiple processes belonging to the same user and mutually
+// trusting each other ... can share files with a shared LibFS and thereby avoid the
+// sharing overhead." In this emulation a "process" is a member handle; all members drive
+// the same ArckFs instance, so file handoffs between them never cross the trust boundary
+// — no revocation, no verification, no auxiliary-state rebuild (Table 3's
+// ArckFS-trust-group column).
+
+#ifndef SRC_LIBFS_TRUST_GROUP_H_
+#define SRC_LIBFS_TRUST_GROUP_H_
+
+#include <atomic>
+#include <memory>
+
+#include "src/libfs/arckfs.h"
+
+namespace trio {
+
+class TrustGroup {
+ public:
+  // All members run with the group's uid/gid (the paper requires one user per group).
+  TrustGroup(KernelController& kernel, ArckFsConfig config = {})
+      : fs_(std::make_unique<ArckFs>(kernel, std::move(config))) {}
+
+  // A member's view of the group's shared LibFS. Joining is what a process would do on
+  // startup; the handle is only bookkeeping — the LibFS (and thus every mapping and all
+  // auxiliary state) is shared.
+  class Member {
+   public:
+    Member(TrustGroup* group) : group_(group) {  // NOLINT(google-explicit-constructor)
+      group_->members_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~Member() { group_->members_.fetch_sub(1, std::memory_order_relaxed); }
+    Member(const Member&) = delete;
+    Member& operator=(const Member&) = delete;
+
+    FsInterface& fs() { return *group_->fs_; }
+    ArckFs& arckfs() { return *group_->fs_; }
+
+   private:
+    TrustGroup* group_;
+  };
+
+  Member Join() { return Member(this); }
+  size_t member_count() const { return members_.load(std::memory_order_relaxed); }
+  ArckFs& shared_libfs() { return *fs_; }
+
+ private:
+  std::unique_ptr<ArckFs> fs_;
+  std::atomic<size_t> members_{0};
+};
+
+}  // namespace trio
+
+#endif  // SRC_LIBFS_TRUST_GROUP_H_

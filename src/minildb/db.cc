@@ -1,0 +1,291 @@
+#include "src/minildb/db.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace trio {
+
+namespace {
+constexpr uint8_t kWalPut = 1;
+constexpr uint8_t kWalDelete = 2;
+}  // namespace
+
+Result<std::unique_ptr<MiniDb>> MiniDb::Open(FsInterface& fs, MiniDbOptions options) {
+  std::unique_ptr<MiniDb> db(new MiniDb(fs, std::move(options)));
+  Status made = fs.Mkdir(db->options_.dir);
+  if (!made.ok() && !made.Is(ErrorCode::kExists)) {
+    return made;
+  }
+  db->memtable_ = std::make_unique<SkipList>();
+  TRIO_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+MiniDb::~MiniDb() {
+  if (wal_fd_ >= 0) {
+    (void)fs_.Close(wal_fd_);
+  }
+}
+
+std::string MiniDb::TablePath(uint64_t number) const {
+  return options_.dir + "/sst_" + std::to_string(number);
+}
+std::string MiniDb::WalPath(uint64_t number) const {
+  return options_.dir + "/wal_" + std::to_string(number);
+}
+
+Status MiniDb::Recover() {
+  // Discover existing tables and WALs from the directory.
+  TRIO_ASSIGN_OR_RETURN(std::vector<DirEntryInfo> entries, fs_.ReadDir(options_.dir));
+  std::vector<uint64_t> tables;
+  std::vector<uint64_t> wals;
+  for (const DirEntryInfo& entry : entries) {
+    if (entry.name.rfind("sst_", 0) == 0) {
+      tables.push_back(std::stoull(entry.name.substr(4)));
+    } else if (entry.name.rfind("wal_", 0) == 0) {
+      wals.push_back(std::stoull(entry.name.substr(4)));
+    }
+  }
+  std::sort(tables.begin(), tables.end());
+  std::sort(wals.begin(), wals.end());
+  for (uint64_t number : tables) {
+    TRIO_ASSIGN_OR_RETURN(std::unique_ptr<SsTableReader> reader,
+                          SsTableReader::Open(fs_, TablePath(number)));
+    // Recovered tables all go to L0 ordering by age; newest last in `tables`.
+    level0_.push_front(std::move(reader));
+    next_file_number_ = std::max(next_file_number_, number + 1);
+  }
+  for (uint64_t number : wals) {
+    TRIO_RETURN_IF_ERROR(ReplayWal(WalPath(number)));
+    TRIO_RETURN_IF_ERROR(fs_.Unlink(WalPath(number)));
+    next_file_number_ = std::max(next_file_number_, number + 1);
+  }
+  return RotateWal();
+}
+
+Status MiniDb::ReplayWal(const std::string& path) {
+  TRIO_ASSIGN_OR_RETURN(StatInfo info, fs_.Stat(path));
+  std::string log(info.size, '\0');
+  TRIO_ASSIGN_OR_RETURN(Fd fd, fs_.Open(path, OpenFlags::ReadOnly()));
+  TRIO_ASSIGN_OR_RETURN(size_t n, fs_.Pread(fd, log.data(), log.size(), 0));
+  TRIO_RETURN_IF_ERROR(fs_.Close(fd));
+  log.resize(n);
+  size_t cursor = 0;
+  while (cursor + 9 <= log.size()) {
+    const uint8_t type = static_cast<uint8_t>(log[cursor]);
+    uint32_t key_len;
+    uint32_t value_len;
+    std::memcpy(&key_len, log.data() + cursor + 1, 4);
+    std::memcpy(&value_len, log.data() + cursor + 5, 4);
+    cursor += 9;
+    if (cursor + key_len + value_len > log.size()) {
+      break;  // Torn tail record: ignore (it never committed).
+    }
+    const std::string key(log.data() + cursor, key_len);
+    cursor += key_len;
+    const std::string value(log.data() + cursor, value_len);
+    cursor += value_len;
+    if (type == kWalPut) {
+      memtable_bytes_ += memtable_->Insert(key, std::string(1, kLivePrefix) + value);
+    } else if (type == kWalDelete) {
+      memtable_bytes_ += memtable_->Insert(key, std::string(1, kTombstonePrefix));
+    }
+  }
+  return OkStatus();
+}
+
+Status MiniDb::RotateWal() {
+  if (wal_fd_ >= 0) {
+    TRIO_RETURN_IF_ERROR(fs_.Close(wal_fd_));
+    TRIO_RETURN_IF_ERROR(fs_.Unlink(WalPath(current_wal_)));
+  }
+  current_wal_ = next_file_number_++;
+  TRIO_ASSIGN_OR_RETURN(Fd fd, fs_.Open(WalPath(current_wal_), OpenFlags::CreateTrunc()));
+  wal_fd_ = fd;
+  wal_offset_ = 0;
+  return OkStatus();
+}
+
+Status MiniDb::WalAppend(uint8_t type, const std::string& key, const std::string& value) {
+  std::string record;
+  record.reserve(9 + key.size() + value.size());
+  record.push_back(static_cast<char>(type));
+  const uint32_t key_len = key.size();
+  const uint32_t value_len = value.size();
+  record.append(reinterpret_cast<const char*>(&key_len), 4);
+  record.append(reinterpret_cast<const char*>(&value_len), 4);
+  record.append(key);
+  record.append(value);
+  TRIO_ASSIGN_OR_RETURN(size_t n, fs_.Pwrite(wal_fd_, record.data(), record.size(),
+                                             wal_offset_));
+  wal_offset_ += n;
+  stats_.wal_bytes += n;
+  if (options_.sync_wal) {
+    TRIO_RETURN_IF_ERROR(fs_.Fsync(wal_fd_));
+  }
+  return OkStatus();
+}
+
+Status MiniDb::WriteInternal(const std::string& key, const std::string& value,
+                             bool deleted) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  TRIO_RETURN_IF_ERROR(
+      WalAppend(deleted ? kWalDelete : kWalPut, key, deleted ? "" : value));
+  const std::string stored =
+      deleted ? std::string(1, kTombstonePrefix) : std::string(1, kLivePrefix) + value;
+  memtable_bytes_ += memtable_->Insert(key, stored);
+  return MaybeFlushLocked();
+}
+
+Status MiniDb::Put(const std::string& key, const std::string& value) {
+  stats_.puts++;
+  return WriteInternal(key, value, false);
+}
+
+Status MiniDb::Delete(const std::string& key) {
+  stats_.deletes++;
+  return WriteInternal(key, "", true);
+}
+
+Result<std::string> MiniDb::Get(const std::string& key) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  stats_.gets++;
+  std::string stored;
+  if (memtable_->Lookup(key, &stored)) {
+    if (stored[0] == kTombstonePrefix) {
+      return NotFound(key);
+    }
+    return stored.substr(1);
+  }
+  for (auto& table : level0_) {
+    Result<TableEntry> entry = table->Get(key);
+    if (entry.ok()) {
+      if (entry->deleted) {
+        return NotFound(key);
+      }
+      return entry->value;
+    }
+    if (!entry.status().Is(ErrorCode::kNotFound)) {
+      return entry.status();
+    }
+  }
+  for (auto& table : level1_) {
+    if (key < table->smallest() || key > table->largest()) {
+      continue;
+    }
+    Result<TableEntry> entry = table->Get(key);
+    if (entry.ok()) {
+      if (entry->deleted) {
+        return NotFound(key);
+      }
+      return entry->value;
+    }
+    if (!entry.status().Is(ErrorCode::kNotFound)) {
+      return entry.status();
+    }
+  }
+  return NotFound(key);
+}
+
+Status MiniDb::Flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (memtable_->Size() == 0) {
+    return OkStatus();
+  }
+  memtable_bytes_ = options_.memtable_bytes;  // Force.
+  return MaybeFlushLocked();
+}
+
+Status MiniDb::MaybeFlushLocked() {
+  if (memtable_bytes_ < options_.memtable_bytes || memtable_->Size() == 0) {
+    return OkStatus();
+  }
+  std::vector<TableEntry> entries;
+  entries.reserve(memtable_->Size());
+  memtable_->ForEach([&](const std::string& key, const std::string& stored) {
+    TableEntry entry;
+    entry.key = key;
+    entry.deleted = stored[0] == kTombstonePrefix;
+    if (!entry.deleted) {
+      entry.value = stored.substr(1);
+    }
+    entries.push_back(std::move(entry));
+  });
+  const uint64_t number = next_file_number_++;
+  TRIO_RETURN_IF_ERROR(SsTableWriter::WriteTable(fs_, TablePath(number), entries));
+  TRIO_ASSIGN_OR_RETURN(std::unique_ptr<SsTableReader> reader,
+                        SsTableReader::Open(fs_, TablePath(number)));
+  level0_.push_front(std::move(reader));
+  memtable_ = std::make_unique<SkipList>();
+  memtable_bytes_ = 0;
+  stats_.flushes++;
+  TRIO_RETURN_IF_ERROR(RotateWal());
+  if (level0_.size() >= options_.l0_compaction_trigger) {
+    return CompactLocked();
+  }
+  return OkStatus();
+}
+
+Status MiniDb::CompactLocked() {
+  stats_.compactions++;
+  // Merge every L0 table (newest wins) with the whole of L1 into a fresh sorted run.
+  std::map<std::string, TableEntry> merged;
+  for (auto& table : level1_) {
+    TRIO_RETURN_IF_ERROR(table->ForEach([&](const TableEntry& entry) -> Status {
+      merged[entry.key] = entry;
+      return OkStatus();
+    }));
+  }
+  for (auto it = level0_.rbegin(); it != level0_.rend(); ++it) {  // Oldest to newest.
+    TRIO_RETURN_IF_ERROR((*it)->ForEach([&](const TableEntry& entry) -> Status {
+      merged[entry.key] = entry;
+      return OkStatus();
+    }));
+  }
+
+  // Drop tombstones (nothing older than L1 exists) and split into ~2 MiB tables.
+  std::vector<std::string> old_paths;
+  for (auto& table : level0_) {
+    old_paths.push_back(table->path());
+  }
+  for (auto& table : level1_) {
+    old_paths.push_back(table->path());
+  }
+  level0_.clear();
+  level1_.clear();
+
+  std::vector<TableEntry> run;
+  size_t run_bytes = 0;
+  auto emit_run = [&]() -> Status {
+    if (run.empty()) {
+      return OkStatus();
+    }
+    const uint64_t number = next_file_number_++;
+    TRIO_RETURN_IF_ERROR(SsTableWriter::WriteTable(fs_, TablePath(number), run));
+    TRIO_ASSIGN_OR_RETURN(std::unique_ptr<SsTableReader> reader,
+                          SsTableReader::Open(fs_, TablePath(number)));
+    level1_.push_back(std::move(reader));
+    run.clear();
+    run_bytes = 0;
+    return OkStatus();
+  };
+  for (auto& [key, entry] : merged) {
+    if (entry.deleted) {
+      continue;
+    }
+    run_bytes += entry.key.size() + entry.value.size();
+    run.push_back(std::move(entry));
+    if (run_bytes >= (2 << 20)) {
+      TRIO_RETURN_IF_ERROR(emit_run());
+    }
+  }
+  TRIO_RETURN_IF_ERROR(emit_run());
+
+  for (const std::string& path : old_paths) {
+    TRIO_RETURN_IF_ERROR(fs_.Unlink(path));
+  }
+  return OkStatus();
+}
+
+}  // namespace trio

@@ -1,0 +1,103 @@
+#include "src/minildb/db_bench.h"
+
+#include <chrono>
+
+#include "src/common/random.h"
+
+namespace trio {
+
+namespace {
+
+std::string KeyOf(uint64_t n) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llu", static_cast<unsigned long long>(n));
+  return std::string(buf, 16);
+}
+
+std::string ValueOf(uint64_t n, size_t size) {
+  std::string value(size, 'v');
+  const std::string tag = std::to_string(n);
+  value.replace(0, std::min(tag.size(), value.size()), tag, 0,
+                std::min(tag.size(), value.size()));
+  return value;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* DbBenchName(DbBenchWorkload workload) {
+  switch (workload) {
+    case DbBenchWorkload::kFillSeq:
+      return "fillseq";
+    case DbBenchWorkload::kFillSync:
+      return "fillsync";
+    case DbBenchWorkload::kFillRandom:
+      return "fillrandom";
+    case DbBenchWorkload::kFill100K:
+      return "fill100K";
+    case DbBenchWorkload::kReadRandom:
+      return "readrandom";
+    case DbBenchWorkload::kDeleteRandom:
+      return "deleterandom";
+  }
+  return "?";
+}
+
+Result<DbBenchResult> RunDbBench(FsInterface& fs, DbBenchWorkload workload,
+                                 uint64_t num_ops, uint64_t seed) {
+  MiniDbOptions options;
+  options.dir = "/dbbench";
+  options.sync_wal = workload == DbBenchWorkload::kFillSync;
+  if (workload == DbBenchWorkload::kFill100K) {
+    options.memtable_bytes = 4 << 20;
+  }
+  TRIO_ASSIGN_OR_RETURN(std::unique_ptr<MiniDb> db, MiniDb::Open(fs, options));
+  Rng rng(seed);
+  const size_t value_size = workload == DbBenchWorkload::kFill100K ? 100 * 1024 : 100;
+
+  // Pre-fill for read/delete workloads (db_bench uses an existing database).
+  if (workload == DbBenchWorkload::kReadRandom ||
+      workload == DbBenchWorkload::kDeleteRandom) {
+    for (uint64_t i = 0; i < num_ops; ++i) {
+      TRIO_RETURN_IF_ERROR(db->Put(KeyOf(i), ValueOf(i, 100)));
+    }
+    TRIO_RETURN_IF_ERROR(db->Flush());
+  }
+
+  DbBenchResult result;
+  const double start = NowSeconds();
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    switch (workload) {
+      case DbBenchWorkload::kFillSeq:
+      case DbBenchWorkload::kFillSync:
+        TRIO_RETURN_IF_ERROR(db->Put(KeyOf(i), ValueOf(i, value_size)));
+        break;
+      case DbBenchWorkload::kFillRandom:
+        TRIO_RETURN_IF_ERROR(db->Put(KeyOf(rng.Below(num_ops)), ValueOf(i, value_size)));
+        break;
+      case DbBenchWorkload::kFill100K:
+        TRIO_RETURN_IF_ERROR(db->Put(KeyOf(i), ValueOf(i, value_size)));
+        break;
+      case DbBenchWorkload::kReadRandom: {
+        Result<std::string> value = db->Get(KeyOf(rng.Below(num_ops)));
+        if (!value.ok() && !value.status().Is(ErrorCode::kNotFound)) {
+          return value.status();
+        }
+        break;
+      }
+      case DbBenchWorkload::kDeleteRandom:
+        TRIO_RETURN_IF_ERROR(db->Delete(KeyOf(rng.Below(num_ops))));
+        break;
+    }
+    ++result.ops;
+  }
+  result.seconds = NowSeconds() - start;
+  return result;
+}
+
+}  // namespace trio

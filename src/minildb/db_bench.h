@@ -1,0 +1,38 @@
+// db_bench workloads over MiniDb, matching the LevelDB evaluation setup of §6.6:
+// one thread, 100-byte values, N objects. Workloads: fillseq, fillsync, fillrandom,
+// fill100K (100 KiB values), readrandom, deleterandom — the rows of Table 5.
+
+#ifndef SRC_MINILDB_DB_BENCH_H_
+#define SRC_MINILDB_DB_BENCH_H_
+
+#include <string>
+
+#include "src/minildb/db.h"
+
+namespace trio {
+
+enum class DbBenchWorkload {
+  kFillSeq,
+  kFillSync,
+  kFillRandom,
+  kFill100K,
+  kReadRandom,
+  kDeleteRandom,
+};
+
+const char* DbBenchName(DbBenchWorkload workload);
+
+struct DbBenchResult {
+  uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_ms() const { return seconds > 0 ? ops / seconds / 1000.0 : 0; }
+};
+
+// Runs `workload` with `num_ops` operations against a DB living on `fs`. Read/delete
+// workloads fill the database first (not timed).
+Result<DbBenchResult> RunDbBench(FsInterface& fs, DbBenchWorkload workload,
+                                 uint64_t num_ops, uint64_t seed = 301);
+
+}  // namespace trio
+
+#endif  // SRC_MINILDB_DB_BENCH_H_

@@ -1,0 +1,142 @@
+// Skiplist memtable backbone for minildb — the in-memory sorted structure LevelDB keeps
+// its recent writes in. Single writer at a time (the DB serializes writes, as LevelDB
+// does); readers may run concurrently with the writer because nodes are immutable after
+// insertion and next-pointers are published with release stores.
+
+#ifndef SRC_MINILDB_SKIPLIST_H_
+#define SRC_MINILDB_SKIPLIST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/random.h"
+
+namespace trio {
+
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0xdb) {
+    head_ = NewNode("", "", kMaxHeight);
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->next[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~SkipList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next[0].load(std::memory_order_relaxed);
+      DeleteNode(node);
+      node = next;
+    }
+  }
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Inserts or overwrites. Returns bytes added (approximate memory accounting).
+  size_t Insert(const std::string& key, const std::string& value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) {
+      node->value = value;  // In-place overwrite; the DB lock serializes writers.
+      return 0;
+    }
+    const int height = RandomHeight();
+    if (height > height_.load(std::memory_order_relaxed)) {
+      for (int i = height_.load(std::memory_order_relaxed); i < height; ++i) {
+        prev[i] = head_;
+      }
+      height_.store(height, std::memory_order_relaxed);
+    }
+    Node* fresh = NewNode(key, value, height);
+    for (int i = 0; i < height; ++i) {
+      fresh->next[i].store(prev[i]->next[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+      prev[i]->next[i].store(fresh, std::memory_order_release);
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return key.size() + value.size() + sizeof(Node);
+  }
+
+  bool Lookup(const std::string& key, std::string* value) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) {
+      *value = node->value;
+      return true;
+    }
+    return false;
+  }
+
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  // In-order traversal (flush path).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* node = head_->next[0].load(std::memory_order_acquire); node != nullptr;
+         node = node->next[0].load(std::memory_order_acquire)) {
+      fn(node->key, node->value);
+    }
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    std::string value;
+    int height;
+    std::atomic<Node*> next[1];  // Over-allocated to `height`.
+  };
+
+  static Node* NewNode(const std::string& key, const std::string& value, int height) {
+    const size_t bytes = sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
+    char* memory = new char[bytes];
+    Node* node = new (memory) Node{key, value, height, {}};
+    for (int i = 1; i < height; ++i) {
+      new (&node->next[i]) std::atomic<Node*>(nullptr);
+    }
+    return node;
+  }
+
+  static void DeleteNode(Node* node) {
+    node->~Node();  // Extra atomics are trivially destructible.
+    delete[] reinterpret_cast<char*>(node);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rng_.OneIn(4)) {
+      ++height;
+    }
+    return height;
+  }
+
+  Node* FindGreaterOrEqual(const std::string& key, Node** prev) const {
+    Node* node = head_;
+    int level = height_.load(std::memory_order_relaxed) - 1;
+    while (true) {
+      Node* next = node->next[level].load(std::memory_order_acquire);
+      if (next != nullptr && next->key < key) {
+        node = next;
+      } else {
+        if (prev != nullptr) {
+          prev[level] = node;
+        }
+        if (level == 0) {
+          return next;
+        }
+        --level;
+      }
+    }
+  }
+
+  Node* head_;
+  std::atomic<int> height_{1};
+  std::atomic<size_t> size_{0};
+  Rng rng_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_MINILDB_SKIPLIST_H_

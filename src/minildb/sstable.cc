@@ -1,0 +1,236 @@
+#include "src/minildb/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/minildb/bloom.h"
+
+namespace trio {
+
+namespace {
+
+constexpr uint64_t kTableMagic = 0x4d494e494c444254ull;  // "MINILDBT"
+constexpr size_t kTargetBlockSize = 4096;
+constexpr uint32_t kDeletedBit = 0x80000000u;
+
+void Append32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void Append64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+uint32_t Read32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t Read64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+struct Footer {
+  uint64_t index_offset;
+  uint64_t index_size;
+  uint64_t bloom_offset;
+  uint64_t bloom_size;
+  uint64_t entry_count;
+  uint64_t magic;
+};
+
+}  // namespace
+
+Status SsTableWriter::WriteTable(FsInterface& fs, const std::string& path,
+                                 const std::vector<TableEntry>& entries) {
+  TRIO_ASSIGN_OR_RETURN(Fd fd, fs.Open(path, OpenFlags::CreateTrunc()));
+
+  std::string block;
+  std::string index;
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  uint64_t offset = 0;
+  std::string last_key_in_block;
+
+  auto flush_block = [&]() -> Status {
+    if (block.empty()) {
+      return OkStatus();
+    }
+    TRIO_ASSIGN_OR_RETURN(size_t n, fs.Pwrite(fd, block.data(), block.size(), offset));
+    (void)n;
+    Append32(&index, static_cast<uint32_t>(last_key_in_block.size()));
+    index.append(last_key_in_block);
+    Append64(&index, offset);
+    Append32(&index, static_cast<uint32_t>(block.size()));
+    offset += block.size();
+    block.clear();
+    return OkStatus();
+  };
+
+  for (const TableEntry& entry : entries) {
+    keys.push_back(entry.key);
+    Append32(&block, static_cast<uint32_t>(entry.key.size()));
+    Append32(&block,
+             static_cast<uint32_t>(entry.value.size()) | (entry.deleted ? kDeletedBit : 0));
+    block.append(entry.key);
+    block.append(entry.value);
+    last_key_in_block = entry.key;
+    if (block.size() >= kTargetBlockSize) {
+      TRIO_RETURN_IF_ERROR(flush_block());
+    }
+  }
+  TRIO_RETURN_IF_ERROR(flush_block());
+
+  Footer footer{};
+  footer.index_offset = offset;
+  footer.index_size = index.size();
+  TRIO_ASSIGN_OR_RETURN(size_t iw, fs.Pwrite(fd, index.data(), index.size(), offset));
+  (void)iw;
+  offset += index.size();
+
+  const std::string bloom = BloomFilter::Build(keys);
+  footer.bloom_offset = offset;
+  footer.bloom_size = bloom.size();
+  TRIO_ASSIGN_OR_RETURN(size_t bw, fs.Pwrite(fd, bloom.data(), bloom.size(), offset));
+  (void)bw;
+  offset += bloom.size();
+
+  footer.entry_count = entries.size();
+  footer.magic = kTableMagic;
+  TRIO_ASSIGN_OR_RETURN(size_t fw, fs.Pwrite(fd, &footer, sizeof(footer), offset));
+  (void)fw;
+  TRIO_RETURN_IF_ERROR(fs.Fsync(fd));
+  return fs.Close(fd);
+}
+
+Result<std::unique_ptr<SsTableReader>> SsTableReader::Open(FsInterface& fs,
+                                                           const std::string& path) {
+  std::unique_ptr<SsTableReader> reader(new SsTableReader(fs, path));
+  TRIO_RETURN_IF_ERROR(reader->Load());
+  return reader;
+}
+
+SsTableReader::~SsTableReader() {
+  if (fd_ >= 0) {
+    (void)fs_.Close(fd_);
+  }
+}
+
+Status SsTableReader::Load() {
+  TRIO_ASSIGN_OR_RETURN(StatInfo info, fs_.Stat(path_));
+  if (info.size < sizeof(Footer)) {
+    return Corrupted("table too small");
+  }
+  TRIO_ASSIGN_OR_RETURN(Fd fd, fs_.Open(path_, OpenFlags::ReadOnly()));
+  fd_ = fd;
+  Footer footer;
+  TRIO_ASSIGN_OR_RETURN(size_t n,
+                        fs_.Pread(fd_, &footer, sizeof(footer), info.size - sizeof(footer)));
+  if (n != sizeof(footer) || footer.magic != kTableMagic) {
+    return Corrupted("bad table footer");
+  }
+  entry_count_ = footer.entry_count;
+
+  std::string index(footer.index_size, '\0');
+  TRIO_ASSIGN_OR_RETURN(size_t in,
+                        fs_.Pread(fd_, index.data(), index.size(), footer.index_offset));
+  if (in != index.size()) {
+    return Corrupted("short index read");
+  }
+  size_t cursor = 0;
+  while (cursor + 16 <= index.size()) {
+    const uint32_t key_len = Read32(index.data() + cursor);
+    cursor += 4;
+    if (cursor + key_len + 12 > index.size()) {
+      return Corrupted("index entry overruns");
+    }
+    IndexEntry entry;
+    entry.last_key.assign(index.data() + cursor, key_len);
+    cursor += key_len;
+    entry.offset = Read64(index.data() + cursor);
+    cursor += 8;
+    entry.size = Read32(index.data() + cursor);
+    cursor += 4;
+    index_.push_back(std::move(entry));
+  }
+
+  bloom_.resize(footer.bloom_size);
+  TRIO_ASSIGN_OR_RETURN(size_t bn,
+                        fs_.Pread(fd_, bloom_.data(), bloom_.size(), footer.bloom_offset));
+  if (bn != bloom_.size()) {
+    return Corrupted("short bloom read");
+  }
+
+  if (!index_.empty()) {
+    largest_ = index_.back().last_key;
+    // Smallest: first key of the first block.
+    TRIO_ASSIGN_OR_RETURN(std::vector<TableEntry> first, ReadBlock(index_.front()));
+    if (!first.empty()) {
+      smallest_ = first.front().key;
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::vector<TableEntry>> SsTableReader::ReadBlock(const IndexEntry& index) {
+  std::vector<TableEntry> entries;
+  std::string block(index.size, '\0');
+  TRIO_ASSIGN_OR_RETURN(size_t n, fs_.Pread(fd_, block.data(), block.size(), index.offset));
+  if (n != block.size()) {
+    return Corrupted("short block read");
+  }
+  size_t cursor = 0;
+  while (cursor + 8 <= block.size()) {
+    const uint32_t key_len = Read32(block.data() + cursor);
+    const uint32_t raw_value_len = Read32(block.data() + cursor + 4);
+    const bool deleted = (raw_value_len & kDeletedBit) != 0;
+    const uint32_t value_len = raw_value_len & ~kDeletedBit;
+    cursor += 8;
+    if (cursor + key_len + value_len > block.size()) {
+      return Corrupted("block entry overruns");
+    }
+    TableEntry entry;
+    entry.key.assign(block.data() + cursor, key_len);
+    cursor += key_len;
+    entry.value.assign(block.data() + cursor, value_len);
+    cursor += value_len;
+    entry.deleted = deleted;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<TableEntry> SsTableReader::Get(const std::string& key) {
+  if (!BloomFilter::MayContain(bloom_, key)) {
+    return NotFound("bloom miss");
+  }
+  // Binary search for the first block whose last_key >= key.
+  auto it = std::lower_bound(index_.begin(), index_.end(), key,
+                             [](const IndexEntry& e, const std::string& k) {
+                               return e.last_key < k;
+                             });
+  if (it == index_.end()) {
+    return NotFound("beyond table");
+  }
+  TRIO_ASSIGN_OR_RETURN(std::vector<TableEntry> entries, ReadBlock(*it));
+  auto entry = std::lower_bound(entries.begin(), entries.end(), key,
+                                [](const TableEntry& e, const std::string& k) {
+                                  return e.key < k;
+                                });
+  if (entry == entries.end() || entry->key != key) {
+    return NotFound(key);
+  }
+  return *entry;
+}
+
+Status SsTableReader::ForEach(const std::function<Status(const TableEntry&)>& fn) {
+  for (const IndexEntry& block_index : index_) {
+    TRIO_ASSIGN_OR_RETURN(std::vector<TableEntry> entries, ReadBlock(block_index));
+    for (const TableEntry& entry : entries) {
+      TRIO_RETURN_IF_ERROR(fn(entry));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace trio

@@ -1,0 +1,81 @@
+// SSTable: the immutable on-FS sorted table format of minildb.
+//
+// Layout (all little-endian, lengths are uint32):
+//   [data blocks]     repeated (klen vlen key value) entries, ~4 KiB per block
+//   [index block]     per data block: (last_key_len last_key offset size)
+//   [bloom filter]    BloomFilter bits over every key
+//   [footer]          index_offset index_size bloom_offset bloom_size entry_count magic
+//
+// Writers stream through the FsInterface; readers binary-search the in-memory index and
+// read one data block per lookup.
+
+#ifndef SRC_MINILDB_SSTABLE_H_
+#define SRC_MINILDB_SSTABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/libfs/fs_interface.h"
+
+namespace trio {
+
+// A (key, value, deletion?) record; SSTables store tombstones so deletions mask older
+// tables until compaction drops them.
+struct TableEntry {
+  std::string key;
+  std::string value;
+  bool deleted = false;
+};
+
+class SsTableWriter {
+ public:
+  // Entries must arrive in strictly increasing key order.
+  static Status WriteTable(FsInterface& fs, const std::string& path,
+                           const std::vector<TableEntry>& entries);
+};
+
+class SsTableReader {
+ public:
+  // Loads index + bloom into memory (the auxiliary state of the table).
+  static Result<std::unique_ptr<SsTableReader>> Open(FsInterface& fs,
+                                                     const std::string& path);
+  ~SsTableReader();
+
+  // kNotFound when the key is absent; a found tombstone yields deleted=true.
+  Result<TableEntry> Get(const std::string& key);
+
+  // Streams every entry in key order (compaction input).
+  Status ForEach(const std::function<Status(const TableEntry&)>& fn);
+
+  const std::string& path() const { return path_; }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+  uint64_t entry_count() const { return entry_count_; }
+
+ private:
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint32_t size;
+  };
+
+  SsTableReader(FsInterface& fs, std::string path) : fs_(fs), path_(std::move(path)) {}
+  Status Load();
+  Result<std::vector<TableEntry>> ReadBlock(const IndexEntry& index);
+
+  FsInterface& fs_;
+  std::string path_;
+  Fd fd_ = -1;
+  std::vector<IndexEntry> index_;
+  std::string bloom_;
+  std::string smallest_;
+  std::string largest_;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace trio
+
+#endif  // SRC_MINILDB_SSTABLE_H_

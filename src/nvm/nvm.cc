@@ -1,0 +1,175 @@
+#include "src/nvm/nvm.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace trio {
+
+void NvmPool::Init() {
+  TRIO_CHECK(num_pages_ >= 8) << "pool too small";
+  TRIO_CHECK(topology_.num_nodes >= 1);
+  pages_per_node_ = (num_pages_ + topology_.num_nodes - 1) / topology_.num_nodes;
+  if (mode_ == NvmMode::kTracking) {
+    shadow_ = std::make_unique<char[]>(num_pages_ * kPageSize);
+    std::memcpy(shadow_.get(), main_, num_pages_ * kPageSize);
+  }
+}
+
+NvmPool::NvmPool(size_t pages, NvmMode mode, NumaTopology topology)
+    : num_pages_(pages), mode_(mode), topology_(topology) {
+  heap_ = std::make_unique<char[]>(num_pages_ * kPageSize);
+  main_ = heap_.get();
+  std::memset(main_, 0, num_pages_ * kPageSize);
+  Init();
+}
+
+NvmPool::NvmPool(const std::string& backing_file, size_t pages, NvmMode mode,
+                 NumaTopology topology)
+    : num_pages_(pages), mode_(mode), topology_(topology), file_backed_(true) {
+  const int fd = ::open(backing_file.c_str(), O_RDWR | O_CREAT, 0644);
+  TRIO_CHECK(fd >= 0) << "cannot open backing file " << backing_file;
+  const off_t size = static_cast<off_t>(num_pages_ * kPageSize);
+  TRIO_CHECK(::ftruncate(fd, size) == 0) << "cannot size backing file";
+  void* mapped = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  TRIO_CHECK(mapped != MAP_FAILED) << "mmap of backing file failed";
+  main_ = static_cast<char*>(mapped);
+  Init();
+}
+
+NvmPool::~NvmPool() {
+  if (file_backed_ && main_ != nullptr) {
+    ::msync(main_, num_pages_ * kPageSize, MS_SYNC);
+    ::munmap(main_, num_pages_ * kPageSize);
+  }
+}
+
+void NvmPool::SyncBackingFile() {
+  if (file_backed_ && main_ != nullptr) {
+    ::msync(main_, num_pages_ * kPageSize, MS_SYNC);
+  }
+}
+
+void NvmPool::MarkDirty(const void* dst, size_t len) {
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  const uint64_t first = LineOf(dst);
+  const uint64_t last = LineOf(static_cast<const char*>(dst) + len - 1);
+  for (uint64_t line = first; line <= last; ++line) {
+    // A line re-dirtied after clwb must be flushed again to be durable.
+    pending_lines_.erase(line);
+    dirty_lines_.insert(line);
+  }
+}
+
+void NvmPool::Persist(const void* dst, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  const uint64_t first = LineOf(dst);
+  const uint64_t last = LineOf(static_cast<const char*>(dst) + len - 1);
+  stats_.lines_flushed.fetch_add(last - first + 1, std::memory_order_relaxed);
+  if (mode_ != NvmMode::kTracking) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  for (uint64_t line = first; line <= last; ++line) {
+    if (dirty_lines_.erase(line) > 0) {
+      pending_lines_.insert(line);
+    }
+  }
+}
+
+void NvmPool::Fence() {
+  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ != NvmMode::kTracking) {
+    return;
+  }
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  FenceDelta delta;
+  for (uint64_t line : pending_lines_) {
+    std::memcpy(shadow_.get() + line * kCacheLineSize, main_ + line * kCacheLineSize,
+                kCacheLineSize);
+    if (recording_) {
+      std::array<char, kCacheLineSize> content;
+      std::memcpy(content.data(), main_ + line * kCacheLineSize, kCacheLineSize);
+      delta.lines.emplace_back(line, content);
+    }
+  }
+  pending_lines_.clear();
+  if (recording_) {
+    fence_deltas_.push_back(std::move(delta));
+  }
+}
+
+void NvmPool::StartFenceRecording() {
+  TRIO_CHECK(mode_ == NvmMode::kTracking);
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  recording_base_.assign(shadow_.get(), shadow_.get() + num_pages_ * kPageSize);
+  fence_deltas_.clear();
+  recording_ = true;
+}
+
+void NvmPool::StopFenceRecording() {
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  recording_ = false;
+}
+
+size_t NvmPool::RecordedFenceCount() {
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  return fence_deltas_.size();
+}
+
+void NvmPool::MaterializeAt(size_t fence_index, char* out) {
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  TRIO_CHECK(fence_index <= fence_deltas_.size());
+  std::memcpy(out, recording_base_.data(), recording_base_.size());
+  for (size_t i = 0; i < fence_index; ++i) {
+    for (const auto& [line, content] : fence_deltas_[i].lines) {
+      std::memcpy(out + line * kCacheLineSize, content.data(), kCacheLineSize);
+    }
+  }
+}
+
+void NvmPool::SimulateCrash(Rng* rng, double evict_probability) {
+  TRIO_CHECK(mode_ == NvmMode::kTracking) << "crash simulation requires kTracking mode";
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  auto maybe_evict = [&](uint64_t line) {
+    const bool survive =
+        evict_probability > 0.0 && rng != nullptr && rng->NextDouble() < evict_probability;
+    if (survive) {
+      std::memcpy(shadow_.get() + line * kCacheLineSize, main_ + line * kCacheLineSize,
+                  kCacheLineSize);
+    }
+  };
+  for (uint64_t line : dirty_lines_) {
+    maybe_evict(line);
+  }
+  // clwb issued but not fenced: the writeback may or may not have completed. Same treatment.
+  for (uint64_t line : pending_lines_) {
+    maybe_evict(line);
+  }
+  dirty_lines_.clear();
+  pending_lines_.clear();
+  std::memcpy(main_, shadow_.get(), num_pages_ * kPageSize);
+}
+
+void NvmPool::LoadImage(const char* image) {
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  std::memcpy(main_, image, num_pages_ * kPageSize);
+  if (mode_ == NvmMode::kTracking) {
+    std::memcpy(shadow_.get(), image, num_pages_ * kPageSize);
+  }
+  dirty_lines_.clear();
+  pending_lines_.clear();
+}
+
+size_t NvmPool::UnpersistedLineCount() {
+  std::lock_guard<std::mutex> guard(track_mutex_);
+  return dirty_lines_.size() + pending_lines_.size();
+}
+
+}  // namespace trio

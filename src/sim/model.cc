@@ -1,0 +1,107 @@
+#include "src/sim/model.h"
+
+#include <algorithm>
+
+namespace trio {
+namespace sim {
+
+SolveResult Solve(const MachineModel& machine, const SolveInput& input) {
+  const OpProfile& op = input.op;
+  const int threads = std::min(input.threads, machine.cores);
+  const int nodes = std::max(1, input.nodes);
+  const double total_write = op.write_bytes + op.journal_bytes;
+
+  double nvm_read_us;
+  double nvm_write_us;
+  double delegation_cap_ops = 1e18;
+  double bandwidth_cap_ops = 1e18;
+
+  if (op.delegated_data) {
+    // Fixed accessor count per node keeps Optane at its sweet spot (§4.5); bulk ops are
+    // striped across nodes, so one op's transfer runs at multi-node aggregate speed.
+    const double per_node_threads = machine.delegation_threads_per_node;
+    const double read_bw = machine.NodeReadBw(per_node_threads);
+    const double write_bw = machine.NodeWriteBw(per_node_threads);
+    const double stripe_nodes =
+        op.striped ? std::min<double>(nodes, std::max(1.0, (op.read_bytes + total_write) /
+                                                               (256.0 * 1024.0)))
+                   : 1.0;
+    nvm_read_us = TransferUs(op.read_bytes, read_bw * stripe_nodes);
+    nvm_write_us = TransferUs(total_write, write_bw * stripe_nodes);
+
+    // The delegation pool is a finite server farm: nodes * threads servers, each serving
+    // at its share of the node's peak bandwidth.
+    const double service_read_us =
+        TransferUs(op.read_bytes, read_bw / per_node_threads);
+    const double service_write_us =
+        TransferUs(total_write, write_bw / per_node_threads);
+    const double service_us = service_read_us + service_write_us + op.service_extra_us;
+    if (service_us > 0) {
+      delegation_cap_ops = nodes * per_node_threads / service_us * 1e6;
+    }
+    const double aggregate_bw = (read_bw + write_bw) * nodes;  // GiB/s.
+    const double bytes = op.read_bytes + total_write;
+    if (bytes > 0) {
+      bandwidth_cap_ops = aggregate_bw * kGiB / bytes;
+    }
+  } else {
+    // Application threads hit NVM directly: they spread over the configured nodes and
+    // contend; per-thread bandwidth follows the Optane curves.
+    const double accessors = static_cast<double>(threads) / nodes;
+    nvm_read_us = TransferUs(op.read_bytes, machine.PerThreadReadBw(accessors));
+    nvm_write_us = TransferUs(total_write, machine.PerThreadWriteBw(accessors));
+    const double aggregate_bw =
+        (machine.NodeReadBw(accessors) + machine.NodeWriteBw(accessors)) * nodes;
+    const double bytes = op.read_bytes + total_write;
+    if (bytes > 0) {
+      bandwidth_cap_ops = aggregate_bw * kGiB / bytes;
+    }
+  }
+
+  const double latency_us = op.cpu_us + op.traps * machine.trap_us +
+                            (op.delegated_data ? machine.delegation_rt_us : 0) +
+                            nvm_read_us + nvm_write_us;
+  const double latency_ops = threads / latency_us * 1e6;
+
+  double best = latency_ops;
+  const char* bound = "latency";
+  if (bandwidth_cap_ops < best) {
+    best = bandwidth_cap_ops;
+    bound = "nvm-bandwidth";
+  }
+  if (delegation_cap_ops < best) {
+    best = delegation_cap_ops;
+    bound = "delegation-capacity";
+  }
+  if (op.global_serial_us > 0) {
+    const double cap = 1e6 / op.global_serial_us;
+    if (threads > 1 && cap < best) {
+      best = cap;
+      bound = "global-serial";
+    }
+  }
+  if (op.shared_serial_us > 0) {
+    const double cap = 1e6 / op.shared_serial_us;
+    if (threads > 1 && cap < best) {
+      best = cap;
+      bound = "shared-serial";
+    }
+  }
+  if (op.self_cap_ops_per_us > 0) {
+    const double cap = op.self_cap_ops_per_us * 1e6;
+    if (cap < best) {
+      best = cap;
+      bound = "nvm-small-write";
+    }
+  }
+
+  SolveResult result;
+  result.ops_per_sec = best;
+  result.latency_us = latency_us;
+  result.data_gib_per_sec = best * (op.read_bytes + op.write_bytes) / kGiB;
+  result.bound = bound;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace trio

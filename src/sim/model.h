@@ -1,0 +1,68 @@
+// Analytic throughput model. Each (file system, operation) pair is summarized as an
+// OpProfile — software path time, kernel crossings, NVM traffic, journal amplification,
+// and time spent under serializing locks. Solve() turns a profile plus the machine model
+// into throughput at a given thread count by combining:
+//
+//   * a latency term: threads / per-op latency, with per-thread NVM bandwidth degraded by
+//     the Optane contention curves when threads access NVM directly;
+//   * an Amdahl cap from the most-contended serial section (VFS dcache lock, jbd2
+//     transaction lock, digestion, a shared directory's lock, ...);
+//   * a bandwidth cap from aggregate NVM bandwidth;
+//   * a delegation-capacity cap when bulk data is shipped to the per-node delegation
+//     threads (which also *protects* the bandwidth from the contention collapse — the
+//     whole point of §4.5).
+//
+// The per-system constants live in profiles.cc and are calibrated against the paper's
+// single-thread numbers (Fig. 5); EXPERIMENTS.md compares the regenerated curves against
+// every figure.
+
+#ifndef SRC_SIM_MODEL_H_
+#define SRC_SIM_MODEL_H_
+
+#include <string>
+
+#include "src/sim/machine.h"
+
+namespace trio {
+namespace sim {
+
+struct OpProfile {
+  double cpu_us = 0;            // Uncontended software path (user + kernel FS code).
+  double traps = 0;             // Kernel crossings per operation.
+  double read_bytes = 0;        // NVM bytes read per op.
+  double write_bytes = 0;       // NVM bytes written per op (data + metadata).
+  double journal_bytes = 0;     // Extra journal/log write amplification.
+  double global_serial_us = 0;  // Time under a system-global lock per op.
+  double shared_serial_us = 0;  // Time under a lock all workload threads share (e.g. the
+                                // directory lock in MWCM); 0 for private-resource loops.
+  bool delegated_data = false;  // Bulk transfer performed by delegation threads (§4.5).
+  bool striped = false;         // File pages striped across all NUMA nodes.
+  // Extra per-op time on the delegation worker side (kernel-resident designs like OdinFS
+  // pay bookkeeping there that ArckFS's userspace path avoids).
+  double service_extra_us = 0;
+  // Empirical saturation ceiling (ops/us) for operations whose scaling is limited by NVM
+  // small-write behaviour the bandwidth curves do not capture (e.g. FxMark MWCL, §6.4
+  // "excessive concurrent NVM access; these small accesses are not delegated").
+  // 0 = no such ceiling. Values are calibrated from the paper's measured curves.
+  double self_cap_ops_per_us = 0;
+};
+
+struct SolveInput {
+  OpProfile op;
+  int threads = 1;
+  int nodes = 1;  // NUMA nodes the system is configured over (1 or 8 in the paper).
+};
+
+struct SolveResult {
+  double ops_per_sec = 0;
+  double data_gib_per_sec = 0;  // read_bytes + write_bytes moved per second.
+  double latency_us = 0;        // Uncontended single-op latency.
+  const char* bound = "";       // Which term limited throughput (diagnostics).
+};
+
+SolveResult Solve(const MachineModel& machine, const SolveInput& input);
+
+}  // namespace sim
+}  // namespace trio
+
+#endif  // SRC_SIM_MODEL_H_

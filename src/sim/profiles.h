@@ -1,0 +1,49 @@
+// Per-system operation profiles — the calibration layer between the evaluated file
+// systems and the analytic model. Constants are fitted to the paper's single-thread
+// results (Fig. 5) and the structural analysis in §6; EXPERIMENTS.md records the
+// regenerated curves against each figure.
+//
+// System names accepted everywhere: "ArckFS", "ArckFS-nd", "OdinFS", "ext4",
+// "ext4-RAID0", "PMFS", "NOVA", "WineFS", "SplitFS", "Strata", "KVFS", "FPFS".
+
+#ifndef SRC_SIM_PROFILES_H_
+#define SRC_SIM_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/model.h"
+
+namespace trio {
+namespace sim {
+
+enum class MetaKind {
+  kOpen,        // open+close in five-depth dirs (Fig. 5c, MRP*).
+  kCreate,      // create an empty file (Fig. 5d, MWC*).
+  kUnlink,      // delete an empty file (Fig. 5d, MWU*).
+  kRename,      // MWR*.
+  kReaddir,     // enumerate a directory (MRD*).
+  kTruncate,    // reduce file size by 4K (DWTL).
+  kStat,
+};
+
+// Data operation (read/write of `bytes`) on `fs`.
+OpProfile DataOp(const std::string& fs, double bytes, bool is_read);
+
+// Metadata operation. `shared` = all workload threads target the same directory/file
+// (the FxMark -M/-H variants), which engages the per-directory serial sections.
+OpProfile MetaOp(const std::string& fs, MetaKind kind, bool shared);
+
+// How many NUMA nodes the system actually uses when the testbed exposes
+// `machine_nodes` (§6.1: only ArckFS, OdinFS, and ext4-RAID0 span all eight).
+int NodesUsed(const std::string& fs, int machine_nodes);
+
+// All systems plotted in the data-path figures.
+std::vector<std::string> DataFigureSystems();
+// All systems plotted in the metadata/FxMark figures.
+std::vector<std::string> MetaFigureSystems();
+
+}  // namespace sim
+}  // namespace trio
+
+#endif  // SRC_SIM_PROFILES_H_

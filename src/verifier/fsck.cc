@@ -1,0 +1,172 @@
+#include "src/verifier/fsck.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace trio {
+
+namespace {
+
+class FsckRun {
+ public:
+  explicit FsckRun(NvmPool& pool) : pool_(pool) {}
+
+  Result<FsckReport> Run() {
+    Status super = CheckSuperblock(pool_);
+    if (!super.ok()) {
+      Problem("G1", kInvalidIno, super.ToString());
+      return report_;
+    }
+    const Superblock* sb = SuperblockOf(pool_);
+    CheckFile(&sb->root, kInvalidIno, /*depth=*/0);
+    CheckShadowOrphans();
+    return report_;
+  }
+
+ private:
+  void Problem(const std::string& invariant, Ino ino, const std::string& detail) {
+    report_.problems.push_back(FsckProblem{invariant, ino, detail});
+  }
+
+  // Field-level checks mirroring the online verifier's I1 (duplicated deliberately: an
+  // offline checker should not share fate with the code it is auditing).
+  bool CheckDirentFields(const DirentBlock& d, bool is_root) {
+    const uint32_t type = d.mode & kModeTypeMask;
+    bool ok = true;
+    if (type != kModeRegular && type != kModeDirectory) {
+      Problem("G2", d.ino, "invalid file type bits");
+      ok = false;
+    }
+    if (!is_root && !ValidFileName(d.Name())) {
+      Problem("G2", d.ino, "invalid file name");
+      ok = false;
+    }
+    if (d.nlink != 1) {
+      Problem("G2", d.ino, "nlink != 1");
+      ok = false;
+    }
+    if (type == kModeDirectory && d.size != 0) {
+      Problem("G2", d.ino, "directory with nonzero size");
+      ok = false;
+    }
+    for (uint8_t b : d.reserved) {
+      if (b != 0) {
+        Problem("G2", d.ino, "nonzero reserved bytes");
+        ok = false;
+        break;
+      }
+    }
+    if (d.ino >= SuperblockOf(pool_)->max_inodes) {
+      Problem("G2", d.ino, "inode number out of range");
+      ok = false;
+    }
+    return ok;
+  }
+
+  // Claims a page for `ino`; reports G3 on double use.
+  bool ClaimPage(PageNumber page, Ino ino) {
+    auto [it, fresh] = page_owner_.emplace(page, ino);
+    if (!fresh) {
+      Problem("G3", ino,
+              "page " + std::to_string(page) + " also used by ino " +
+                  std::to_string(it->second));
+      return false;
+    }
+    report_.pages_in_use++;
+    return true;
+  }
+
+  void CheckFile(const DirentBlock* dirent, Ino parent, int depth) {
+    if (depth > 512) {
+      Problem("G2", dirent->ino, "directory nesting beyond plausible depth");
+      return;
+    }
+    const bool is_root = dirent->ino == kRootIno && parent == kInvalidIno;
+    if (!CheckDirentFields(*dirent, is_root)) {
+      return;
+    }
+    // G4: globally unique inode numbers.
+    if (!seen_inos_.insert(dirent->ino).second) {
+      Problem("G4", dirent->ino, "inode referenced by two dirents");
+      return;
+    }
+    // G5: shadow inode agreement.
+    ShadowInode* shadow = ShadowInodeOf(pool_, dirent->ino);
+    if (shadow == nullptr || !shadow->Exists()) {
+      Problem("G5", dirent->ino, "no shadow inode for live file");
+    } else if (shadow->mode != dirent->mode || shadow->uid != dirent->uid ||
+               shadow->gid != dirent->gid) {
+      Problem("G5", dirent->ino, "cached permissions differ from shadow inode");
+    }
+
+    // G2: chain structure. The walkers bound-check and detect cycles.
+    uint64_t index_pages = 0;
+    Status walk =
+        ForEachIndexPage(pool_, dirent->first_index_page, [&](PageNumber p) -> Status {
+          ClaimPage(p, dirent->ino);
+          ++index_pages;
+          return OkStatus();
+        });
+    if (!walk.ok()) {
+      Problem("G2", dirent->ino, "index chain: " + walk.ToString());
+      return;
+    }
+    walk = ForEachDataPage(pool_, dirent->first_index_page,
+                           [&](uint64_t, PageNumber p) -> Status {
+                             ClaimPage(p, dirent->ino);
+                             return OkStatus();
+                           });
+    if (!walk.ok()) {
+      Problem("G2", dirent->ino, "data pages: " + walk.ToString());
+      return;
+    }
+
+    if (dirent->IsRegular()) {
+      report_.regular_files++;
+      report_.bytes_in_files += dirent->size;
+      const uint64_t capacity = index_pages * kIndexEntriesPerPage * kPageSize;
+      if (dirent->size > capacity) {
+        Problem("G2", dirent->ino, "size exceeds index chain capacity");
+      }
+      return;
+    }
+
+    report_.directories++;
+    std::unordered_set<std::string> names;
+    Status scan = ForEachDirent(
+        pool_, dirent->first_index_page,
+        [&](DirentBlock* child, PageNumber, size_t) -> Status {
+          if (!names.insert(std::string(child->Name())).second) {
+            Problem("G2", dirent->ino,
+                    "duplicate name '" + std::string(child->Name()) + "'");
+          }
+          CheckFile(child, dirent->ino, depth + 1);
+          return OkStatus();
+        });
+    if (!scan.ok()) {
+      Problem("G2", dirent->ino, "dirent scan: " + scan.ToString());
+    }
+  }
+
+  // G6: every shadow inode marked live must have been reached from the root.
+  void CheckShadowOrphans() {
+    const Superblock* sb = SuperblockOf(pool_);
+    for (Ino ino = 1; ino < sb->max_inodes; ++ino) {
+      const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+      if (shadow != nullptr && shadow->Exists() && seen_inos_.count(ino) == 0) {
+        Problem("G6", ino, "shadow inode live but unreachable from the root");
+      }
+    }
+  }
+
+  NvmPool& pool_;
+  FsckReport report_;
+  std::unordered_map<PageNumber, Ino> page_owner_;
+  std::unordered_set<Ino> seen_inos_;
+};
+
+}  // namespace
+
+Result<FsckReport> RunFsck(NvmPool& pool) { return FsckRun(pool).Run(); }
+
+}  // namespace trio

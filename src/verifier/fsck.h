@@ -1,0 +1,48 @@
+// Offline file system checker (trio.fsck). The online integrity verifier (§4.3) checks
+// ONE file when its write access transfers; this checker is its offline complement in the
+// e2fsck tradition the paper draws the invariants from: a full sweep over the whole tree
+// with global cross-file invariants that no single-file check can see —
+//
+//   G1  the superblock is sane;
+//   G2  every file's dirent passes I1 and its chain is acyclic and in-bounds;
+//   G3  no NVM page is referenced by two files (global double-reference);
+//   G4  no inode number appears under two names (no hard links in ArckFS);
+//   G5  every live file has a matching shadow inode and the cached permissions agree;
+//   G6  every shadow inode marked live is reachable from the root (no orphans).
+//
+// Check-only: it never writes. The kernel controller's Mount/RunRecovery handle repair.
+
+#ifndef SRC_VERIFIER_FSCK_H_
+#define SRC_VERIFIER_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/core_state.h"
+#include "src/nvm/nvm.h"
+
+namespace trio {
+
+struct FsckProblem {
+  std::string invariant;  // "G1".."G6".
+  Ino ino = kInvalidIno;
+  std::string detail;
+};
+
+struct FsckReport {
+  uint64_t directories = 0;
+  uint64_t regular_files = 0;
+  uint64_t pages_in_use = 0;
+  uint64_t bytes_in_files = 0;
+  std::vector<FsckProblem> problems;
+
+  bool Clean() const { return problems.empty(); }
+};
+
+// Sweeps the whole pool. Never modifies it.
+Result<FsckReport> RunFsck(NvmPool& pool);
+
+}  // namespace trio
+
+#endif  // SRC_VERIFIER_FSCK_H_

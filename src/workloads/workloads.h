@@ -1,0 +1,155 @@
+// Workload generators reproducing the paper's benchmarks (§6.1):
+//
+//   FioWorkload       — fio [8]: per-thread private file, sequential/random 4 KiB or
+//                       2 MiB reads/writes ("each thread accesses a 1 GiB private file").
+//   FxMarkWorkload    — FxMark [39] microbenchmarks; Table 2's metadata set (DWTL,
+//                       MRP{L,M,H}, MRD{L,M}, MWC{L,M}, MWU{L,M}, MWRL, MWRM) plus the
+//                       DRBL/DRBM data ops used in §6.4's data-scalability summary.
+//   FilebenchWorkload — Filebench [7] personalities with Table 4's configurations:
+//                       Fileserver, Webserver, Webproxy, Varmail (+ the Webproxy KV
+//                       variant for KVFS and the depth-20 Varmail variant for FPFS).
+//
+// Every generator runs real operations against any FsInterface; sizes scale down by
+// `scale` so functional runs fit the emulated pool (the sim layer uses the paper's full
+// parameters — see bench/).
+
+#ifndef SRC_WORKLOADS_WORKLOADS_H_
+#define SRC_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/libfs/fs_interface.h"
+
+namespace trio {
+
+struct WorkloadStats {
+  uint64_t ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+// ---------------------------------------------------------------------------
+// fio
+// ---------------------------------------------------------------------------
+
+struct FioConfig {
+  uint64_t file_size = 4 << 20;  // Paper: 1 GiB; scaled for the emulated pool.
+  size_t block_size = 4096;      // 4 KiB or 2 MiB.
+  bool is_read = true;
+  bool random = false;
+  uint64_t seed = 1;
+};
+
+class FioWorkload {
+ public:
+  FioWorkload(FsInterface& fs, FioConfig config) : fs_(fs), config_(config) {}
+
+  // Creates and fills each thread's private file.
+  Status Prepare(int threads);
+  // Executes `ops` block operations on thread `thread`'s file.
+  Result<WorkloadStats> Run(int thread, uint64_t ops);
+
+ private:
+  std::string PathFor(int thread) const { return "/fio_t" + std::to_string(thread); }
+
+  FsInterface& fs_;
+  FioConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// FxMark
+// ---------------------------------------------------------------------------
+
+enum class FxMarkBench {
+  kDWTL,  // Reduce a private file's size by 4K.
+  kMRPL,  // Open a private file in five-depth dirs.
+  kMRPM,  // Open a random file in a shared five-depth dir.
+  kMRPH,  // Open the same file.
+  kMRDL,  // Enumerate a private directory.
+  kMRDM,  // Enumerate a shared directory.
+  kMWCL,  // Create an empty file in a private dir.
+  kMWCM,  // Create in a shared dir.
+  kMWUL,  // Unlink in a private dir.
+  kMWUM,  // Unlink in a shared dir.
+  kMWRL,  // Rename a private file in a private dir.
+  kMWRM,  // Move a private file to a shared dir.
+  kDRBL,  // Read a private block (data scalability).
+  kDRBM,  // Read a block of a shared file.
+};
+
+const char* FxMarkBenchName(FxMarkBench bench);
+// Is this a "shared resource" benchmark (the -M/-H variants)?
+bool FxMarkShared(FxMarkBench bench);
+
+class FxMarkWorkload {
+ public:
+  FxMarkWorkload(FsInterface& fs, FxMarkBench bench, uint64_t seed = 7)
+      : fs_(fs), bench_(bench), seed_(seed) {}
+
+  Status Prepare(int threads);
+  // One benchmark iteration on behalf of `thread`; `i` is the iteration number.
+  Status Op(int thread, uint64_t i);
+
+ private:
+  std::string PrivateDir(int thread) const { return "/fx_p" + std::to_string(thread); }
+
+  FsInterface& fs_;
+  FxMarkBench bench_;
+  uint64_t seed_;
+  int threads_ = 0;
+  std::vector<uint64_t> truncate_sizes_;   // DWTL state per thread.
+  std::vector<std::string> deep_private_;  // Per-thread five-depth target (MRPL).
+  std::string shared_deep_;                // Shared five-depth directory (MRPM/MRPH).
+};
+
+// ---------------------------------------------------------------------------
+// Filebench
+// ---------------------------------------------------------------------------
+
+enum class FilebenchPersonality { kFileserver, kWebserver, kWebproxy, kVarmail };
+
+const char* FilebenchName(FilebenchPersonality personality);
+
+// Table 4 configuration, with a linear scale factor applied to file counts and sizes so
+// functional runs fit the pool. Paper values (scale = 1.0): Fileserver 10K x 2MB 1:2 R/W;
+// Webserver 20K x 4MB(sic; modeled as 64KB medium files) 10:1; Webproxy 100K small files
+// 5:1; Varmail 100K x 16KB 1:1 with fsync.
+struct FilebenchConfig {
+  FilebenchPersonality personality = FilebenchPersonality::kFileserver;
+  double scale = 0.01;
+  int dir_depth = 1;  // Varmail's FPFS variant uses 20 (§6.6).
+  uint64_t seed = 11;
+
+  int FileCount() const;
+  uint64_t AvgFileSize() const;
+  size_t ReadIoSize() const;
+  size_t WriteIoSize() const;
+};
+
+class FilebenchWorkload {
+ public:
+  // Each thread gets a private fileset (the paper's fix for Filebench's fileset-lock
+  // scalability bug, §6.6).
+  FilebenchWorkload(FsInterface& fs, FilebenchConfig config) : fs_(fs), config_(config) {}
+
+  Status Prepare(int threads);
+  // One personality "transaction" for `thread`. Returns bytes moved.
+  Result<WorkloadStats> Op(int thread, uint64_t i);
+
+ private:
+  std::string FilesetDir(int thread) const;
+  std::string FilePath(int thread, uint64_t index) const;
+
+  FsInterface& fs_;
+  FilebenchConfig config_;
+  int threads_ = 0;
+  std::vector<Rng> rngs_;
+  std::vector<uint64_t> next_new_file_;
+  std::vector<std::string> deep_dirs_;  // dir_depth > 1 variant.
+};
+
+}  // namespace trio
+
+#endif  // SRC_WORKLOADS_WORKLOADS_H_

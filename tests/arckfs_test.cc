@@ -1,0 +1,489 @@
+// End-to-end tests of ArckFS over the full Trio stack: kernel controller + verifier +
+// LibFS on the emulated NVM pool.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+
+namespace trio {
+namespace {
+
+class ArckFsTest : public ::testing::Test {
+ protected:
+  ArckFsTest() : pool_(8192) {
+    FormatOptions options;
+    options.max_inodes = 4096;
+    TRIO_CHECK_OK(Format(pool_, options));
+    kernel_ = std::make_unique<KernelController>(pool_);
+    TRIO_CHECK_OK(kernel_->Mount());
+    fs_ = std::make_unique<ArckFs>(*kernel_);
+  }
+
+  ~ArckFsTest() override {
+    fs_.reset();
+    TRIO_CHECK_OK(kernel_->Unmount());
+  }
+
+  std::string ReadAll(const std::string& path) {
+    Result<Fd> fd = fs_->Open(path, OpenFlags::ReadOnly());
+    TRIO_CHECK(fd.ok()) << fd.status().ToString();
+    Result<StatInfo> info = fs_->Stat(path);
+    TRIO_CHECK(info.ok());
+    std::string out(info->size, '\0');
+    Result<size_t> n = fs_->Pread(*fd, out.data(), out.size(), 0);
+    TRIO_CHECK(n.ok());
+    out.resize(*n);
+    TRIO_CHECK_OK(fs_->Close(*fd));
+    return out;
+  }
+
+  void WriteFile(const std::string& path, const std::string& data) {
+    Result<Fd> fd = fs_->Open(path, OpenFlags::CreateTrunc());
+    TRIO_CHECK(fd.ok()) << fd.status().ToString();
+    Result<size_t> n = fs_->Pwrite(*fd, data.data(), data.size(), 0);
+    TRIO_CHECK(n.ok()) << n.status().ToString();
+    TRIO_CHECK_OK(fs_->Close(*fd));
+  }
+
+  NvmPool pool_;
+  std::unique_ptr<KernelController> kernel_;
+  std::unique_ptr<ArckFs> fs_;
+};
+
+TEST_F(ArckFsTest, CreateWriteReadBack) {
+  WriteFile("/hello.txt", "hello, trio!");
+  EXPECT_EQ(ReadAll("/hello.txt"), "hello, trio!");
+}
+
+TEST_F(ArckFsTest, OpenMissingFails) {
+  EXPECT_TRUE(fs_->Open("/nope", OpenFlags::ReadOnly()).status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(ArckFsTest, ExclusiveCreateFailsOnExisting) {
+  WriteFile("/f", "x");
+  OpenFlags flags = OpenFlags::CreateRw();
+  flags.exclusive = true;
+  EXPECT_TRUE(fs_->Open("/f", flags).status().Is(ErrorCode::kExists));
+}
+
+TEST_F(ArckFsTest, StatReportsSizeAndType) {
+  WriteFile("/f", std::string(5000, 'a'));
+  Result<StatInfo> info = fs_->Stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 5000u);
+  EXPECT_TRUE(info->IsRegular());
+  EXPECT_FALSE(info->IsDirectory());
+
+  Result<StatInfo> root = fs_->Stat("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->IsDirectory());
+  EXPECT_EQ(root->ino, kRootIno);
+}
+
+TEST_F(ArckFsTest, CursorReadWrite) {
+  Result<Fd> fd = fs_->Open("/c", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(*fs_->Write(*fd, "abc", 3), 3u);
+  EXPECT_EQ(*fs_->Write(*fd, "def", 3), 3u);
+  ASSERT_TRUE(fs_->Seek(*fd, 0).ok());
+  char buf[7] = {};
+  EXPECT_EQ(*fs_->Read(*fd, buf, 6), 6u);
+  EXPECT_STREQ(buf, "abcdef");
+  EXPECT_TRUE(fs_->Close(*fd).ok());
+}
+
+TEST_F(ArckFsTest, AppendMode) {
+  WriteFile("/log", "one");
+  OpenFlags flags = OpenFlags::ReadWrite();
+  flags.append = true;
+  Result<Fd> fd = fs_->Open("/log", flags);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(*fs_->Write(*fd, "two", 3), 3u);
+  EXPECT_TRUE(fs_->Close(*fd).ok());
+  EXPECT_EQ(ReadAll("/log"), "onetwo");
+}
+
+TEST_F(ArckFsTest, LargeFileCrossesIndexPages) {
+  // > 511 data pages forces a second index page (2.5 MiB > 511 * 4 KiB).
+  const size_t size = 650 * kPageSize;
+  std::string data(size, '\0');
+  Rng rng(42);
+  for (auto& c : data) {
+    c = static_cast<char>('a' + rng.Below(26));
+  }
+  WriteFile("/big", data);
+  EXPECT_EQ(ReadAll("/big"), data);
+}
+
+TEST_F(ArckFsTest, SparseWriteReadsZerosInHoles) {
+  Result<Fd> fd = fs_->Open("/sparse", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  // Write at 1 MiB, leaving a hole below.
+  ASSERT_TRUE(fs_->Pwrite(*fd, "tail", 4, 1 << 20).ok());
+  char buf[16];
+  Result<size_t> n = fs_->Pread(*fd, buf, 16, 4096);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 16u);
+  for (char c : std::string(buf, 16)) {
+    EXPECT_EQ(c, 0);
+  }
+  n = fs_->Pread(*fd, buf, 4, 1 << 20);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, 4), "tail");
+  EXPECT_TRUE(fs_->Close(*fd).ok());
+}
+
+TEST_F(ArckFsTest, ReadPastEofReturnsShort) {
+  WriteFile("/short", "12345");
+  Result<Fd> fd = fs_->Open("/short", OpenFlags::ReadOnly());
+  ASSERT_TRUE(fd.ok());
+  char buf[100];
+  EXPECT_EQ(*fs_->Pread(*fd, buf, 100, 0), 5u);
+  EXPECT_EQ(*fs_->Pread(*fd, buf, 100, 5), 0u);
+  EXPECT_EQ(*fs_->Pread(*fd, buf, 100, 500), 0u);
+  EXPECT_TRUE(fs_->Close(*fd).ok());
+}
+
+TEST_F(ArckFsTest, OverwriteInPlace) {
+  WriteFile("/ow", "aaaaaaaaaa");
+  Result<Fd> fd = fs_->Open("/ow", OpenFlags::ReadWrite());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Pwrite(*fd, "BB", 2, 4).ok());
+  EXPECT_TRUE(fs_->Close(*fd).ok());
+  EXPECT_EQ(ReadAll("/ow"), "aaaaBBaaaa");
+}
+
+TEST_F(ArckFsTest, TruncateShrinkAndGrow) {
+  WriteFile("/t", "0123456789");
+  ASSERT_TRUE(fs_->Truncate("/t", 4).ok());
+  EXPECT_EQ(ReadAll("/t"), "0123");
+  ASSERT_TRUE(fs_->Truncate("/t", 8).ok());
+  std::string grown = ReadAll("/t");
+  ASSERT_EQ(grown.size(), 8u);
+  EXPECT_EQ(grown.substr(0, 4), "0123");
+  EXPECT_EQ(grown.substr(4), std::string(4, '\0'));  // Zero-padded, not stale "4567".
+}
+
+TEST_F(ArckFsTest, TruncateAcrossPages) {
+  WriteFile("/tp", std::string(3 * kPageSize, 'x'));
+  ASSERT_TRUE(fs_->Truncate("/tp", kPageSize + 10).ok());
+  Result<StatInfo> info = fs_->Stat("/tp");
+  EXPECT_EQ(info->size, kPageSize + 10);
+  std::string data = ReadAll("/tp");
+  EXPECT_EQ(data, std::string(kPageSize + 10, 'x'));
+}
+
+TEST_F(ArckFsTest, MkdirAndNest) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b/c").ok());
+  WriteFile("/a/b/c/deep.txt", "deep");
+  EXPECT_EQ(ReadAll("/a/b/c/deep.txt"), "deep");
+  Result<StatInfo> info = fs_->Stat("/a/b");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->IsDirectory());
+}
+
+TEST_F(ArckFsTest, MkdirExistingFails) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_TRUE(fs_->Mkdir("/d").Is(ErrorCode::kExists));
+}
+
+TEST_F(ArckFsTest, ReadDirListsEntries) {
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  WriteFile("/dir/f1", "1");
+  WriteFile("/dir/f2", "2");
+  ASSERT_TRUE(fs_->Mkdir("/dir/sub").ok());
+  Result<std::vector<DirEntryInfo>> entries = fs_->ReadDir("/dir");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+  int dirs = 0;
+  for (const auto& e : *entries) {
+    dirs += e.is_dir ? 1 : 0;
+  }
+  EXPECT_EQ(dirs, 1);
+}
+
+TEST_F(ArckFsTest, UnlinkRemovesFile) {
+  WriteFile("/u", "x");
+  ASSERT_TRUE(fs_->Unlink("/u").ok());
+  EXPECT_TRUE(fs_->Stat("/u").status().Is(ErrorCode::kNotFound));
+  EXPECT_TRUE(fs_->Unlink("/u").Is(ErrorCode::kNotFound));
+}
+
+TEST_F(ArckFsTest, UnlinkDirectoryFails) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_TRUE(fs_->Unlink("/d").Is(ErrorCode::kIsDir));
+}
+
+TEST_F(ArckFsTest, RmdirRequiresEmpty) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  WriteFile("/d/f", "x");
+  EXPECT_TRUE(fs_->Rmdir("/d").Is(ErrorCode::kNotEmpty));
+  ASSERT_TRUE(fs_->Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_->Rmdir("/d").ok());
+  EXPECT_TRUE(fs_->Stat("/d").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(ArckFsTest, RmdirOnFileFails) {
+  WriteFile("/f", "x");
+  EXPECT_TRUE(fs_->Rmdir("/f").Is(ErrorCode::kNotDir));
+}
+
+TEST_F(ArckFsTest, RenameSameDirectory) {
+  WriteFile("/old", "payload");
+  ASSERT_TRUE(fs_->Rename("/old", "/new").ok());
+  EXPECT_TRUE(fs_->Stat("/old").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(ReadAll("/new"), "payload");
+}
+
+TEST_F(ArckFsTest, RenameAcrossDirectories) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dst").ok());
+  WriteFile("/src/f", "moved");
+  ASSERT_TRUE(fs_->Rename("/src/f", "/dst/g").ok());
+  EXPECT_TRUE(fs_->Stat("/src/f").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(ReadAll("/dst/g"), "moved");
+}
+
+TEST_F(ArckFsTest, RenameOverwritesExisting) {
+  WriteFile("/a", "AAA");
+  WriteFile("/b", "BBB");
+  ASSERT_TRUE(fs_->Rename("/a", "/b").ok());
+  EXPECT_TRUE(fs_->Stat("/a").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(ReadAll("/b"), "AAA");
+}
+
+TEST_F(ArckFsTest, RenameMissingSourceFails) {
+  EXPECT_TRUE(fs_->Rename("/ghost", "/x").Is(ErrorCode::kNotFound));
+}
+
+TEST_F(ArckFsTest, CrossDirRenameOfNonEmptyDirRejected) {
+  ASSERT_TRUE(fs_->Mkdir("/p").ok());
+  ASSERT_TRUE(fs_->Mkdir("/q").ok());
+  ASSERT_TRUE(fs_->Mkdir("/p/d").ok());
+  WriteFile("/p/d/f", "x");
+  EXPECT_TRUE(fs_->Rename("/p/d", "/q/d").Is(ErrorCode::kNotSupported));
+  // Empty directories may move.
+  ASSERT_TRUE(fs_->Unlink("/p/d/f").ok());
+  EXPECT_TRUE(fs_->Rename("/p/d", "/q/d").ok());
+  EXPECT_TRUE(fs_->Stat("/q/d")->IsDirectory());
+}
+
+TEST_F(ArckFsTest, FsyncIsNoopAndOk) {
+  Result<Fd> fd = fs_->Open("/f", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(fs_->Fsync(*fd).ok());
+  EXPECT_TRUE(fs_->Close(*fd).ok());
+  EXPECT_TRUE(fs_->Fsync(*fd).Is(ErrorCode::kBadFd));
+}
+
+TEST_F(ArckFsTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/many").ok());
+  for (int i = 0; i < 300; ++i) {
+    WriteFile("/many/file" + std::to_string(i), std::to_string(i));
+  }
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(ReadAll("/many/file" + std::to_string(i)), std::to_string(i));
+  }
+  Result<std::vector<DirEntryInfo>> entries = fs_->ReadDir("/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 300u);
+}
+
+TEST_F(ArckFsTest, CreateDeleteRecyclesSpace) {
+  // Churn must not exhaust the pool: deleted locally-created files recycle their leases.
+  for (int round = 0; round < 50; ++round) {
+    WriteFile("/churn", std::string(64 * kPageSize, 'x'));
+    ASSERT_TRUE(fs_->Unlink("/churn").ok());
+  }
+}
+
+TEST_F(ArckFsTest, InvalidPathsRejected) {
+  EXPECT_TRUE(fs_->Stat("relative").status().Is(ErrorCode::kInvalidArgument));
+  EXPECT_TRUE(fs_->Mkdir("/" + std::string(kMaxNameLen + 5, 'n')).Is(
+      ErrorCode::kNameTooLong));
+  EXPECT_TRUE(fs_->Stat("/a/../../x").status().Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(ArckFsTest, ChmodUpdatesMode) {
+  WriteFile("/perm", "x");
+  ASSERT_TRUE(fs_->Chmod("/perm", 0600).ok());
+  // Cached dirent copy was refreshed by the kernel.
+  EXPECT_EQ(fs_->Stat("/perm")->mode & kModePermMask, 0600u);
+}
+
+TEST_F(ArckFsTest, PersistsAcrossRemount) {
+  ASSERT_TRUE(fs_->Mkdir("/keep").ok());
+  WriteFile("/keep/data", "persistent");
+  // Clean shutdown.
+  fs_.reset();
+  TRIO_CHECK_OK(kernel_->Unmount());
+  kernel_.reset();
+
+  kernel_ = std::make_unique<KernelController>(pool_);
+  ASSERT_TRUE(kernel_->Mount().ok());
+  EXPECT_FALSE(kernel_->NeedsRecovery());
+  fs_ = std::make_unique<ArckFs>(*kernel_);
+  EXPECT_EQ(ReadAll("/keep/data"), "persistent");
+  Result<std::vector<DirEntryInfo>> entries = fs_->ReadDir("/keep");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_F(ArckFsTest, ConcurrentDisjointWritersOneFile) {
+  WriteFile("/shared", std::string(8 * kPageSize, '-'));
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<Fd> fd = fs_->Open("/shared", OpenFlags::ReadWrite());
+      ASSERT_TRUE(fd.ok());
+      std::string mine(2 * kPageSize, static_cast<char>('A' + t));
+      ASSERT_TRUE(fs_->Pwrite(*fd, mine.data(), mine.size(), t * 2 * kPageSize).ok());
+      ASSERT_TRUE(fs_->Close(*fd).ok());
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::string data = ReadAll("/shared");
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(data[t * 2 * kPageSize], 'A' + t);
+    EXPECT_EQ(data[(t + 1) * 2 * kPageSize - 1], 'A' + t);
+  }
+}
+
+TEST_F(ArckFsTest, ConcurrentCreatesInOneDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/conc").ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string path = "/conc/t" + std::to_string(t) + "_" + std::to_string(i);
+        Result<Fd> fd = fs_->Open(path, OpenFlags::CreateRw());
+        ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+        ASSERT_TRUE(fs_->Close(*fd).ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  Result<std::vector<DirEntryInfo>> entries = fs_->ReadDir("/conc");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_F(ArckFsTest, ConcurrentSameNameCreateExclusive) {
+  ASSERT_TRUE(fs_->Mkdir("/race").ok());
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      OpenFlags flags = OpenFlags::CreateRw();
+      flags.exclusive = true;
+      Result<Fd> fd = fs_->Open("/race/one", flags);
+      if (fd.ok()) {
+        winners.fetch_add(1);
+        ASSERT_TRUE(fs_->Close(*fd).ok());
+      } else {
+        EXPECT_TRUE(fd.status().Is(ErrorCode::kExists));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(winners.load(), 1);
+}
+
+// ---- Sharing between two LibFSes (the Trio handoff protocol, §3.2/§4.3) ----
+
+TEST_F(ArckFsTest, TwoLibFsesShareAFile) {
+  ArckFs other(*kernel_);
+  WriteFile("/shared", "from fs1");
+  // Writer must release before the other LibFS maps; the revoke path handles it even if
+  // we do not release explicitly.
+  Result<Fd> fd = other.Open("/shared", OpenFlags::ReadOnly());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  char buf[16] = {};
+  Result<size_t> n = other.Pread(*fd, buf, sizeof(buf), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, *n), "from fs1");
+  ASSERT_TRUE(other.Close(*fd).ok());
+  EXPECT_GE(kernel_->stats().verifications.load(), 1u);
+}
+
+TEST_F(ArckFsTest, ExclusiveWriteHandoff) {
+  ArckFs other(*kernel_);
+  WriteFile("/pingpong", "v1");
+
+  Result<Fd> fd2 = other.Open("/pingpong", OpenFlags::ReadWrite());
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(other.Pwrite(*fd2, "v2", 2, 0).ok());
+  ASSERT_TRUE(other.Close(*fd2).ok());
+
+  // Back to fs1: the kernel revokes fs2's grant, verifies, and remaps for us.
+  EXPECT_EQ(ReadAll("/pingpong"), "v2");
+  EXPECT_GE(kernel_->stats().verifications.load(), 2u);
+  EXPECT_EQ(kernel_->stats().verify_failures.load(), 0u);
+}
+
+TEST_F(ArckFsTest, WriterSeesOtherWritersCreations) {
+  ArckFs other(*kernel_);
+  ASSERT_TRUE(fs_->Mkdir("/box").ok());
+  WriteFile("/box/from1", "1");
+
+  Result<Fd> fd = other.Open("/box/from2", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  ASSERT_TRUE(other.Pwrite(*fd, "2", 1, 0).ok());
+  ASSERT_TRUE(other.Close(*fd).ok());
+
+  Result<std::vector<DirEntryInfo>> entries = fs_->ReadDir("/box");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(ReadAll("/box/from2"), "2");
+}
+
+TEST_F(ArckFsTest, TrustGroupSharesOneLibFsWithoutVerification) {
+  // Two "processes" in one trust group = two threads on one ArckFs (§3.2).
+  WriteFile("/tg", "x");
+  const uint64_t verifications_before = kernel_->stats().verifications.load();
+  std::thread peer([&] {
+    Result<Fd> fd = fs_->Open("/tg", OpenFlags::ReadWrite());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->Pwrite(*fd, "y", 1, 0).ok());
+    ASSERT_TRUE(fs_->Close(*fd).ok());
+  });
+  peer.join();
+  EXPECT_EQ(ReadAll("/tg"), "y");
+  // No write-grant handoff happened, so no additional verification ran.
+  EXPECT_EQ(kernel_->stats().verifications.load(), verifications_before);
+}
+
+TEST_F(ArckFsTest, ReleaseFileForcesVerification) {
+  WriteFile("/rel", "data");
+  const uint64_t before = kernel_->stats().verifications.load();
+  ASSERT_TRUE(fs_->ReleaseFile("/rel").ok());
+  // Parent reconcile + the file's own verification.
+  EXPECT_GE(kernel_->stats().verifications.load(), before + 1);
+  EXPECT_EQ(ReadAll("/rel"), "data");  // Remaps fine afterwards.
+}
+
+TEST_F(ArckFsTest, CommitRefreshesCheckpoint) {
+  WriteFile("/cm", "v1");
+  EXPECT_TRUE(fs_->Commit("/cm").ok());
+}
+
+}  // namespace
+}  // namespace trio

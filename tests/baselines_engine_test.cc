@@ -1,0 +1,169 @@
+// Unit tests for the baseline substrate: the SimpleKernelFs engine (inode-number API),
+// the VfsSim lock/trap model, journal-mode differentiation, and the SplitFS/Strata
+// specific behaviours (direct data path, log + digestion).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/baselines.h"
+#include "src/baselines/fs_factory.h"
+
+namespace trio {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : pool_(4096) {
+    options_.max_inodes = 512;
+    options_.journal_mode = JournalMode::kGlobalJournal;
+    TRIO_CHECK_OK(SimpleKernelFs::Format(pool_, options_));
+    engine_ = std::make_unique<SimpleKernelFs>(pool_, options_);
+  }
+
+  NvmPool pool_;
+  KernelFsOptions options_;
+  std::unique_ptr<SimpleKernelFs> engine_;
+};
+
+TEST_F(EngineTest, CreateLookupRoundTrip) {
+  Result<Ino> ino = engine_->Create(SimpleKernelFs::kKRootIno, "file", kModeRegular | 0644);
+  ASSERT_TRUE(ino.ok());
+  Result<Ino> found = engine_->Lookup(SimpleKernelFs::kKRootIno, "file");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *ino);
+  EXPECT_TRUE(engine_->Lookup(SimpleKernelFs::kKRootIno, "nope").status().Is(
+      ErrorCode::kNotFound));
+}
+
+TEST_F(EngineTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(engine_->Create(SimpleKernelFs::kKRootIno, "x", kModeRegular | 0644).ok());
+  EXPECT_TRUE(engine_->Create(SimpleKernelFs::kKRootIno, "x", kModeRegular | 0644)
+                  .status()
+                  .Is(ErrorCode::kExists));
+}
+
+TEST_F(EngineTest, WriteReadAcrossIndirectBlocks) {
+  Result<Ino> ino = engine_->Create(SimpleKernelFs::kKRootIno, "big", kModeRegular | 0644);
+  ASSERT_TRUE(ino.ok());
+  // Beyond the 10 direct blocks (40 KiB) into the indirect range.
+  const std::string data(64 * 1024 + 123, 'i');
+  ASSERT_TRUE(engine_->Write(*ino, data.data(), data.size(), 0).ok());
+  std::string out(data.size(), '\0');
+  Result<size_t> n = engine_->Read(*ino, out.data(), out.size(), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+  // Double-indirect range: write one block far out.
+  const uint64_t far = (SimpleKernelFs::kDirectBlocks + SimpleKernelFs::kPointersPerBlock +
+                        5) *
+                       kPageSize;
+  ASSERT_TRUE(engine_->Write(*ino, "deep", 4, far).ok());
+  char buf[4];
+  ASSERT_TRUE(engine_->Read(*ino, buf, 4, far).ok());
+  EXPECT_EQ(std::string(buf, 4), "deep");
+}
+
+TEST_F(EngineTest, RemoveFreesAndRejectsNonEmptyDirs) {
+  Result<Ino> dir = engine_->Create(SimpleKernelFs::kKRootIno, "d", kModeDirectory | 0755);
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(engine_->Create(*dir, "child", kModeRegular | 0644).ok());
+  EXPECT_TRUE(engine_->Remove(SimpleKernelFs::kKRootIno, "d", /*must_be_dir=*/true)
+                  .Is(ErrorCode::kNotEmpty));
+  ASSERT_TRUE(engine_->Remove(*dir, "child", false).ok());
+  EXPECT_TRUE(engine_->Remove(SimpleKernelFs::kKRootIno, "d", true).ok());
+  EXPECT_TRUE(engine_->Lookup(SimpleKernelFs::kKRootIno, "d").status().Is(
+      ErrorCode::kNotFound));
+}
+
+TEST_F(EngineTest, RenameMovesAndOverwrites) {
+  Result<Ino> a = engine_->Create(SimpleKernelFs::kKRootIno, "a", kModeRegular | 0644);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(engine_->Write(*a, "AAA", 3, 0).ok());
+  Result<Ino> b = engine_->Create(SimpleKernelFs::kKRootIno, "b", kModeRegular | 0644);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(engine_->Rename(SimpleKernelFs::kKRootIno, "a", SimpleKernelFs::kKRootIno,
+                              "b")
+                  .ok());
+  Result<Ino> now = engine_->Lookup(SimpleKernelFs::kKRootIno, "b");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(*now, *a);
+  EXPECT_TRUE(engine_->Lookup(SimpleKernelFs::kKRootIno, "a").status().Is(
+      ErrorCode::kNotFound));
+}
+
+TEST_F(EngineTest, JournalBytesAccumulateInJournaledModes) {
+  ASSERT_TRUE(engine_->Create(SimpleKernelFs::kKRootIno, "j", kModeRegular | 0644).ok());
+  EXPECT_GT(engine_->journal_bytes(), 0u);
+
+  // PMFS mode: no journal traffic.
+  NvmPool pmfs_pool(1024);
+  KernelFsOptions pmfs_options;
+  pmfs_options.max_inodes = 128;
+  pmfs_options.journal_mode = JournalMode::kNone;
+  TRIO_CHECK_OK(SimpleKernelFs::Format(pmfs_pool, pmfs_options));
+  SimpleKernelFs pmfs(pmfs_pool, pmfs_options);
+  ASSERT_TRUE(pmfs.Create(SimpleKernelFs::kKRootIno, "j", kModeRegular | 0644).ok());
+  EXPECT_EQ(pmfs.journal_bytes(), 0u);
+}
+
+TEST(VfsSimTest, TrapsAreCounted) {
+  VfsSim vfs;
+  EXPECT_EQ(vfs.traps(), 0u);
+  vfs.Trap();
+  vfs.Trap();
+  EXPECT_EQ(vfs.traps(), 2u);
+}
+
+TEST(VfsSimTest, AdapterTrapsPerSyscall) {
+  FsInstance instance = MakeFs("NOVA");
+  auto* adapter = static_cast<KernelFsAdapter*>(instance.fs.get());
+  const uint64_t before = adapter->vfs().traps();
+  Result<Fd> fd = instance.fs->Open("/t", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  char byte = 'x';
+  ASSERT_TRUE(instance.fs->Pwrite(*fd, &byte, 1, 0).ok());
+  ASSERT_TRUE(instance.fs->Close(*fd).ok());
+  // open + pwrite + close = at least 3 crossings (the point ArckFS avoids).
+  EXPECT_GE(adapter->vfs().traps() - before, 3u);
+}
+
+TEST(SplitFsTest, DataOpsBypassTheKernel) {
+  FsInstance instance = MakeFs("SplitFS");
+  auto* splitfs = static_cast<SplitFsLike*>(instance.fs.get());
+  Result<Fd> fd = instance.fs->Open("/s", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  std::string data(8192, 's');
+  ASSERT_TRUE(instance.fs->Pwrite(*fd, data.data(), data.size(), 0).ok());
+
+  const uint64_t traps_before = splitfs->vfs().traps();
+  const uint64_t direct_before = splitfs->direct_data_ops();
+  char buf[4096];
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(instance.fs->Pread(*fd, buf, sizeof(buf), 0).ok());
+    ASSERT_TRUE(instance.fs->Pwrite(*fd, buf, sizeof(buf), 0).ok());  // Overwrite: direct.
+  }
+  EXPECT_EQ(splitfs->vfs().traps(), traps_before);          // No kernel crossings.
+  EXPECT_EQ(splitfs->direct_data_ops() - direct_before, 100u);
+  ASSERT_TRUE(instance.fs->Close(*fd).ok());
+}
+
+TEST(StrataTest, WritesRideTheLogUntilDigestion) {
+  FsInstance instance = MakeFs("Strata");
+  auto* strata = static_cast<StrataLike*>(instance.fs.get());
+  Result<Fd> fd = instance.fs->Open("/log", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  std::string data(1000, 'd');
+  ASSERT_TRUE(instance.fs->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  EXPECT_GT(strata->log_bytes_written(), 1000u);  // Data + record headers.
+
+  // Reads force read-your-writes via digestion.
+  std::string out(1000, '\0');
+  Result<size_t> n = instance.fs->Pread(*fd, out.data(), out.size(), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GT(strata->digests(), 0u);
+  ASSERT_TRUE(instance.fs->Close(*fd).ok());
+}
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,356 @@
+// Unit tests for src/common: status/result, rng, hash, locks, ring buffer, per-cpu, clock.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/common/mpmc_ring.h"
+#include "src/common/per_cpu.h"
+#include "src/common/random.h"
+#include "src/common/range_lock.h"
+#include "src/common/result.h"
+#include "src/common/rwlock.h"
+#include "src/common/spinlock.h"
+#include "src/common/status.h"
+
+namespace trio {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("no such file 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.Is(ErrorCode::kNotFound));
+  EXPECT_EQ(s.ToString(), "not_found: no such file 'x'");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(ErrorCodeName(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Busy("locked"); };
+  auto wrapper = [&]() -> Status {
+    TRIO_RETURN_IF_ERROR(fails());
+    return OkStatus();
+  };
+  EXPECT_TRUE(wrapper().Is(ErrorCode::kBusy));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NoSpace("full");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().Is(ErrorCode::kNoSpace));
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool fail) -> Result<int> {
+    if (fail) {
+      return IoError("boom");
+    }
+    return 7;
+  };
+  auto consume = [&](bool fail) -> Result<int> {
+    TRIO_ASSIGN_OR_RETURN(int v, produce(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*consume(false), 8);
+  EXPECT_TRUE(consume(true).status().Is(ErrorCode::kIo));
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HashTest, StableAndDistinct) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashTest, LowBitsSpread) {
+  // Bucket index uses low bits; sequential names must not collide pathologically.
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 256; ++i) {
+    buckets.insert(HashString("file" + std::to_string(i)) % 64);
+  }
+  EXPECT_GT(buckets.size(), 32u);
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+template <typename LockT>
+void ExerciseRwLock() {
+  LockT lock;
+  int64_t value = 0;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.lock();
+        int64_t v = value;
+        value = v + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.lock_shared();
+        if (value < 0) {
+          failed = true;
+        }
+        lock.unlock_shared();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(value, 4000);
+  EXPECT_FALSE(failed);
+}
+
+TEST(RwLockTest, WritersAreExclusive) { ExerciseRwLock<RwLock>(); }
+
+TEST(BravoRwLockTest, WritersAreExclusive) { ExerciseRwLock<BravoRwLock>(); }
+
+TEST(RwLockTest, TryLockShared) {
+  RwLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock_shared();
+}
+
+TEST(BravoRwLockTest, ReaderFastPathThenWriterRevokes) {
+  BravoRwLock lock;
+  lock.lock_shared();
+  lock.unlock_shared();
+  lock.lock();  // Must drain any fast-path readers without deadlock.
+  lock.unlock();
+  lock.lock_shared();
+  lock.unlock_shared();
+}
+
+TEST(RangeLockTest, DisjointWritersProceed) {
+  RangeLock lock;
+  lock.LockRange(0, RangeLock::kSegmentSize, /*exclusive=*/true);
+  // A disjoint range must not block (would deadlock this single thread if it did).
+  lock.LockRange(RangeLock::kSegmentSize, RangeLock::kSegmentSize, /*exclusive=*/true);
+  lock.UnlockRange(RangeLock::kSegmentSize, RangeLock::kSegmentSize, true);
+  lock.UnlockRange(0, RangeLock::kSegmentSize, true);
+}
+
+TEST(RangeLockTest, ConcurrentReadersSameRange) {
+  RangeLock lock;
+  lock.LockRange(0, 100, /*exclusive=*/false);
+  lock.LockRange(0, 100, /*exclusive=*/false);
+  lock.UnlockRange(0, 100, false);
+  lock.UnlockRange(0, 100, false);
+}
+
+TEST(RangeLockTest, ZeroLengthIsNoop) {
+  RangeLock lock;
+  lock.LockRange(0, 0, true);
+  lock.UnlockRange(0, 0, true);
+}
+
+TEST(RangeLockTest, WriterExcludesOverlappingWriter) {
+  RangeLock lock;
+  lock.LockRange(0, 4096, true);
+  std::atomic<bool> acquired{false};
+  std::thread other([&] {
+    lock.LockRange(100, 10, true);
+    acquired = true;
+    lock.UnlockRange(100, 10, true);
+  });
+  // Give the other thread a chance; it must be blocked.
+  for (int i = 0; i < 100 && !acquired; ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(acquired.load());
+  lock.UnlockRange(0, 4096, true);
+  other.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(MpmcRingTest, FifoSingleThread) {
+  MpmcRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));  // Full.
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(out));  // Empty.
+}
+
+TEST(MpmcRingTest, ConcurrentProducersConsumers) {
+  MpmcRing<uint64_t> ring(64);
+  constexpr int kPerProducer = 5000;
+  std::atomic<uint64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ring.Push(static_cast<uint64_t>(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      uint64_t v;
+      while (consumed.load() < 2 * kPerProducer) {
+        if (ring.TryPop(v)) {
+          sum.fetch_add(v);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const uint64_t n = 2 * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(PerCpuTest, ShardsAreIndependent) {
+  PerCpu<int> counters(4);
+  counters.Shard(0) = 1;
+  counters.Shard(1) = 2;
+  EXPECT_EQ(counters.Shard(0), 1);
+  EXPECT_EQ(counters.Shard(1), 2);
+  int total = 0;
+  counters.ForEach([&](int& v) { total += v; });
+  EXPECT_EQ(total, 3);
+}
+
+TEST(PerCpuTest, LocalIsStablePerThread) {
+  PerCpu<int> counters(8);
+  counters.Local() = 42;
+  EXPECT_EQ(counters.Local(), 42);
+}
+
+TEST(FakeClockTest, AdvancesManually) {
+  FakeClock clock;
+  const uint64_t t0 = clock.NowNs();
+  clock.AdvanceMs(5);
+  EXPECT_EQ(clock.NowNs(), t0 + 5000000ull);
+}
+
+TEST(SystemClockTest, Monotonic) {
+  SystemClock* clock = SystemClock::Instance();
+  const uint64_t a = clock->NowNs();
+  const uint64_t b = clock->NowNs();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace trio

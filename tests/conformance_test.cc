@@ -1,0 +1,207 @@
+// POSIX-like conformance suite, parameterized over EVERY evaluated file system: ArckFS
+// (with and without delegation), FPFS, and the seven baselines. Whatever the internals,
+// the same calls must yield the same observable semantics — which is also what makes the
+// benchmark comparisons meaningful.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/fs_factory.h"
+
+namespace trio {
+namespace {
+
+class ConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  ConformanceTest() : instance_(MakeFs(GetParam())) {}
+
+  FsInterface& fs() { return *instance_.fs; }
+
+  void WriteFile(const std::string& path, const std::string& data) {
+    Result<Fd> fd = fs().Open(path, OpenFlags::CreateTrunc());
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    ASSERT_TRUE(fs().Pwrite(*fd, data.data(), data.size(), 0).ok());
+    ASSERT_TRUE(fs().Close(*fd).ok());
+  }
+
+  std::string ReadAll(const std::string& path) {
+    Result<Fd> fd = fs().Open(path, OpenFlags::ReadOnly());
+    if (!fd.ok()) {
+      return "<open failed>";
+    }
+    Result<StatInfo> info = fs().Stat(path);
+    if (!info.ok()) {
+      return "<stat failed>";
+    }
+    std::string out(info->size, '\0');
+    Result<size_t> n = fs().Pread(*fd, out.data(), out.size(), 0);
+    if (!n.ok()) {
+      return "<read failed>";
+    }
+    out.resize(*n);
+    (void)fs().Close(*fd);
+    return out;
+  }
+
+  FsInstance instance_;
+};
+
+TEST_P(ConformanceTest, WriteReadRoundTrip) {
+  WriteFile("/f", "round trip");
+  EXPECT_EQ(ReadAll("/f"), "round trip");
+}
+
+TEST_P(ConformanceTest, MissingFileNotFound) {
+  EXPECT_TRUE(fs().Open("/missing", OpenFlags::ReadOnly()).status().Is(
+      ErrorCode::kNotFound));
+  EXPECT_TRUE(fs().Stat("/missing").status().Is(ErrorCode::kNotFound));
+  EXPECT_TRUE(fs().Unlink("/missing").Is(ErrorCode::kNotFound));
+}
+
+TEST_P(ConformanceTest, StatTypesAndSizes) {
+  WriteFile("/file", std::string(1234, 'x'));
+  ASSERT_TRUE(fs().Mkdir("/dir").ok());
+  Result<StatInfo> file = fs().Stat("/file");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->IsRegular());
+  EXPECT_EQ(file->size, 1234u);
+  Result<StatInfo> dir = fs().Stat("/dir");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->IsDirectory());
+}
+
+TEST_P(ConformanceTest, NestedDirectories) {
+  ASSERT_TRUE(fs().Mkdir("/a").ok());
+  ASSERT_TRUE(fs().Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs().Mkdir("/a/b/c").ok());
+  WriteFile("/a/b/c/f", "nested");
+  EXPECT_EQ(ReadAll("/a/b/c/f"), "nested");
+}
+
+TEST_P(ConformanceTest, ReadDirContents) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  WriteFile("/d/x", "1");
+  WriteFile("/d/y", "2");
+  ASSERT_TRUE(fs().Mkdir("/d/z").ok());
+  Result<std::vector<DirEntryInfo>> entries = fs().ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST_P(ConformanceTest, UnlinkAndRmdirSemantics) {
+  ASSERT_TRUE(fs().Mkdir("/d").ok());
+  WriteFile("/d/f", "x");
+  EXPECT_TRUE(fs().Rmdir("/d").Is(ErrorCode::kNotEmpty));
+  EXPECT_TRUE(fs().Unlink("/d").Is(ErrorCode::kIsDir));
+  EXPECT_TRUE(fs().Rmdir("/d/f").Is(ErrorCode::kNotDir));
+  ASSERT_TRUE(fs().Unlink("/d/f").ok());
+  ASSERT_TRUE(fs().Rmdir("/d").ok());
+  EXPECT_TRUE(fs().Stat("/d").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_P(ConformanceTest, RenameBasics) {
+  WriteFile("/old", "content");
+  ASSERT_TRUE(fs().Rename("/old", "/new").ok());
+  EXPECT_TRUE(fs().Stat("/old").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(ReadAll("/new"), "content");
+}
+
+TEST_P(ConformanceTest, RenameAcrossDirectories) {
+  ASSERT_TRUE(fs().Mkdir("/p").ok());
+  ASSERT_TRUE(fs().Mkdir("/q").ok());
+  WriteFile("/p/f", "moved");
+  ASSERT_TRUE(fs().Rename("/p/f", "/q/g").ok());
+  EXPECT_EQ(ReadAll("/q/g"), "moved");
+}
+
+TEST_P(ConformanceTest, TruncateShrink) {
+  WriteFile("/t", "0123456789");
+  ASSERT_TRUE(fs().Truncate("/t", 4).ok());
+  EXPECT_EQ(fs().Stat("/t")->size, 4u);
+  EXPECT_EQ(ReadAll("/t"), "0123");
+}
+
+TEST_P(ConformanceTest, SparseFileReadsZeros) {
+  Result<Fd> fd = fs().Open("/sparse", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs().Pwrite(*fd, "end", 3, 100000).ok());
+  char buf[10];
+  Result<size_t> n = fs().Pread(*fd, buf, 10, 50000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(buf[i], 0);
+  }
+  ASSERT_TRUE(fs().Close(*fd).ok());
+}
+
+TEST_P(ConformanceTest, CursorSemantics) {
+  Result<Fd> fd = fs().Open("/cur", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs().Write(*fd, "aaa", 3).ok());
+  ASSERT_TRUE(fs().Write(*fd, "bbb", 3).ok());
+  ASSERT_TRUE(fs().Seek(*fd, 3).ok());
+  char buf[3];
+  ASSERT_TRUE(fs().Read(*fd, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "bbb");
+  ASSERT_TRUE(fs().Close(*fd).ok());
+}
+
+TEST_P(ConformanceTest, LargerThanOnePageIO) {
+  const std::string data(3 * kPageSize + 17, 'q');
+  WriteFile("/big", data);
+  EXPECT_EQ(ReadAll("/big"), data);
+}
+
+TEST_P(ConformanceTest, OverwriteMiddle) {
+  WriteFile("/ow", std::string(kPageSize * 2, 'a'));
+  Result<Fd> fd = fs().Open("/ow", OpenFlags::ReadWrite());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs().Pwrite(*fd, "ZZZ", 3, kPageSize - 1).ok());
+  ASSERT_TRUE(fs().Close(*fd).ok());
+  std::string data = ReadAll("/ow");
+  EXPECT_EQ(data.substr(kPageSize - 1, 3), "ZZZ");
+  EXPECT_EQ(data[kPageSize - 2], 'a');
+  EXPECT_EQ(data[kPageSize + 2], 'a');
+}
+
+TEST_P(ConformanceTest, FsyncSucceedsOnOpenFd) {
+  Result<Fd> fd = fs().Open("/s", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(fs().Fsync(*fd).ok());
+  ASSERT_TRUE(fs().Close(*fd).ok());
+}
+
+TEST_P(ConformanceTest, ManyFilesChurn) {
+  ASSERT_TRUE(fs().Mkdir("/churn").ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      WriteFile("/churn/f" + std::to_string(i), std::to_string(round * 100 + i));
+    }
+    for (int i = 0; i < 60; i += 2) {
+      ASSERT_TRUE(fs().Unlink("/churn/f" + std::to_string(i)).ok());
+    }
+    for (int i = 1; i < 60; i += 2) {
+      EXPECT_EQ(ReadAll("/churn/f" + std::to_string(i)),
+                std::to_string(round * 100 + i));
+      ASSERT_TRUE(fs().Unlink("/churn/f" + std::to_string(i)).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFileSystems, ConformanceTest,
+                         ::testing::ValuesIn(AllPosixFsNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,304 @@
+// Crash-consistency tests (§4.4): metadata operations must be synchronous and atomic,
+// data operations synchronous. The NvmPool's fence recorder enumerates every persistence
+// point; each one is materialized into a fresh pool, remounted, recovered (journal undo +
+// write-map verification), and checked — a Chipmunk-style sweep over all crash points.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+
+namespace trio {
+namespace {
+
+constexpr size_t kPoolPages = 2048;
+
+struct RemountedFs {
+  std::unique_ptr<NvmPool> pool;
+  std::unique_ptr<KernelController> kernel;
+  std::unique_ptr<ArckFs> fs;
+};
+
+// Boots a file system from a raw pool image, running full crash recovery.
+RemountedFs RemountFromImage(const std::vector<char>& image,
+                             const std::vector<PageNumber>& journal_pages) {
+  RemountedFs out;
+  out.pool = std::make_unique<NvmPool>(kPoolPages, NvmMode::kFast);
+  out.pool->LoadImage(image.data());
+  out.kernel = std::make_unique<KernelController>(*out.pool);
+  TRIO_CHECK_OK(out.kernel->Mount());
+  ArckFsConfig config;
+  config.recover_journal_pages = journal_pages;
+  out.fs = std::make_unique<ArckFs>(*out.kernel, config);
+  if (out.kernel->NeedsRecovery()) {
+    TRIO_CHECK_OK(out.kernel->RunRecovery());
+  }
+  return out;
+}
+
+class CrashTest : public ::testing::Test {
+ protected:
+  CrashTest() : pool_(kPoolPages, NvmMode::kTracking) {
+    FormatOptions options;
+    options.max_inodes = 1024;
+    TRIO_CHECK_OK(Format(pool_, options));
+    kernel_ = std::make_unique<KernelController>(pool_);
+    TRIO_CHECK_OK(kernel_->Mount());
+    fs_ = std::make_unique<ArckFs>(*kernel_);
+  }
+
+  void WriteFile(const std::string& path, const std::string& data) {
+    Result<Fd> fd = fs_->Open(path, OpenFlags::CreateTrunc());
+    TRIO_CHECK(fd.ok()) << fd.status().ToString();
+    TRIO_CHECK(fs_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+    TRIO_CHECK_OK(fs_->Close(*fd));
+  }
+
+  // Runs `mutation`, then re-validates the persisted image at every fence point with
+  // `check(fs, fence_index)`.
+  void SweepCrashPoints(const std::function<void()>& mutation,
+                        const std::function<void(ArckFs&, size_t)>& check,
+                        size_t stride = 1) {
+    pool_.StartFenceRecording();
+    mutation();
+    pool_.StopFenceRecording();
+    const size_t fences = pool_.RecordedFenceCount();
+    ASSERT_GT(fences, 0u);
+    const std::vector<PageNumber> journal_pages = fs_->JournalPages();
+    std::vector<char> image(kPoolPages * kPageSize);
+    for (size_t k = 0; k <= fences; k += stride) {
+      pool_.MaterializeAt(k, image.data());
+      RemountedFs booted = RemountFromImage(image, journal_pages);
+      check(*booted.fs, k);
+    }
+  }
+
+  NvmPool pool_;
+  std::unique_ptr<KernelController> kernel_;
+  std::unique_ptr<ArckFs> fs_;
+};
+
+TEST_F(CrashTest, CreateIsAtomicAtEveryFencePoint) {
+  SweepCrashPoints(
+      [&] { WriteFile("/f", "hello"); },
+      [&](ArckFs& fs, size_t k) {
+        Result<StatInfo> info = fs.Stat("/f");
+        if (!info.ok()) {
+          EXPECT_TRUE(info.status().Is(ErrorCode::kNotFound)) << "fence " << k;
+          return;
+        }
+        // Never a half-created dirent: the name and type are always intact.
+        EXPECT_TRUE(info->IsRegular()) << "fence " << k;
+        EXPECT_TRUE(info->size == 0 || info->size == 5) << "fence " << k;
+        if (info->size == 5) {
+          Result<Fd> fd = fs.Open("/f", OpenFlags::ReadOnly());
+          ASSERT_TRUE(fd.ok());
+          char buf[5];
+          ASSERT_TRUE(fs.Pread(*fd, buf, 5, 0).ok());
+          EXPECT_EQ(std::string(buf, 5), "hello") << "fence " << k;
+          ASSERT_TRUE(fs.Close(*fd).ok());
+        }
+      });
+}
+
+TEST_F(CrashTest, MkdirIsAtomicAtEveryFencePoint) {
+  SweepCrashPoints(
+      [&] { TRIO_CHECK_OK(fs_->Mkdir("/d")); },
+      [&](ArckFs& fs, size_t k) {
+        Result<StatInfo> info = fs.Stat("/d");
+        if (info.ok()) {
+          EXPECT_TRUE(info->IsDirectory()) << "fence " << k;
+          Result<std::vector<DirEntryInfo>> entries = fs.ReadDir("/d");
+          ASSERT_TRUE(entries.ok()) << "fence " << k;
+          EXPECT_TRUE(entries->empty());
+        } else {
+          EXPECT_TRUE(info.status().Is(ErrorCode::kNotFound)) << "fence " << k;
+        }
+      });
+}
+
+TEST_F(CrashTest, UnlinkIsAtomicAtEveryFencePoint) {
+  WriteFile("/gone", "bye");
+  SweepCrashPoints(
+      [&] { TRIO_CHECK_OK(fs_->Unlink("/gone")); },
+      [&](ArckFs& fs, size_t k) {
+        Result<StatInfo> info = fs.Stat("/gone");
+        if (info.ok()) {
+          // Still fully there.
+          EXPECT_EQ(info->size, 3u) << "fence " << k;
+        } else {
+          EXPECT_TRUE(info.status().Is(ErrorCode::kNotFound)) << "fence " << k;
+        }
+      });
+}
+
+TEST_F(CrashTest, AppendNeverExposesGarbageSize) {
+  WriteFile("/log", "0123");
+  SweepCrashPoints(
+      [&] {
+        Result<Fd> fd = fs_->Open("/log", OpenFlags::ReadWrite());
+        TRIO_CHECK(fd.ok());
+        TRIO_CHECK(fs_->Pwrite(*fd, "4567", 4, 4).ok());
+        TRIO_CHECK_OK(fs_->Close(*fd));
+      },
+      [&](ArckFs& fs, size_t k) {
+        Result<StatInfo> info = fs.Stat("/log");
+        ASSERT_TRUE(info.ok()) << "fence " << k;
+        ASSERT_TRUE(info->size == 4 || info->size == 8) << "fence " << k;
+        Result<Fd> fd = fs.Open("/log", OpenFlags::ReadOnly());
+        ASSERT_TRUE(fd.ok());
+        char buf[8];
+        Result<size_t> n = fs.Pread(*fd, buf, 8, 0);
+        ASSERT_TRUE(n.ok());
+        EXPECT_EQ(*n, info->size);
+        // The size commit happens after the data is durable: visible bytes are real.
+        EXPECT_EQ(std::string(buf, *n), std::string("01234567").substr(0, *n))
+            << "fence " << k;
+        ASSERT_TRUE(fs.Close(*fd).ok());
+      });
+}
+
+TEST_F(CrashTest, RenameExactlyOneNameAtEveryFencePoint) {
+  WriteFile("/a", "payload");
+  SweepCrashPoints(
+      [&] { TRIO_CHECK_OK(fs_->Rename("/a", "/b")); },
+      [&](ArckFs& fs, size_t k) {
+        const bool a = fs.Stat("/a").ok();
+        const bool b = fs.Stat("/b").ok();
+        EXPECT_TRUE(a != b) << "fence " << k << ": a=" << a << " b=" << b;
+        const std::string alive = a ? "/a" : "/b";
+        Result<Fd> fd = fs.Open(alive, OpenFlags::ReadOnly());
+        ASSERT_TRUE(fd.ok());
+        char buf[7];
+        ASSERT_TRUE(fs.Pread(*fd, buf, 7, 0).ok());
+        EXPECT_EQ(std::string(buf, 7), "payload") << "fence " << k;
+        ASSERT_TRUE(fs.Close(*fd).ok());
+      });
+}
+
+TEST_F(CrashTest, RenameOverwriteKeepsExactlyOneTarget) {
+  WriteFile("/src", "SRC");
+  WriteFile("/dst", "DST");
+  SweepCrashPoints(
+      [&] { TRIO_CHECK_OK(fs_->Rename("/src", "/dst")); },
+      [&](ArckFs& fs, size_t k) {
+        Result<StatInfo> dst = fs.Stat("/dst");
+        ASSERT_TRUE(dst.ok()) << "fence " << k;  // The target name never disappears.
+        Result<Fd> fd = fs.Open("/dst", OpenFlags::ReadOnly());
+        ASSERT_TRUE(fd.ok());
+        char buf[3];
+        ASSERT_TRUE(fs.Pread(*fd, buf, 3, 0).ok());
+        const std::string content(buf, 3);
+        EXPECT_TRUE(content == "SRC" || content == "DST") << "fence " << k;
+        const bool src_exists = fs.Stat("/src").ok();
+        if (content == "DST") {
+          EXPECT_TRUE(src_exists) << "fence " << k;  // Not yet moved => src intact.
+        } else {
+          EXPECT_FALSE(src_exists) << "fence " << k;  // Moved => src gone.
+        }
+        ASSERT_TRUE(fs.Close(*fd).ok());
+      });
+}
+
+TEST_F(CrashTest, TruncateShrinkAtomicSize) {
+  WriteFile("/t", std::string(2 * kPageSize, 'x'));
+  SweepCrashPoints(
+      [&] { TRIO_CHECK_OK(fs_->Truncate("/t", 100)); },
+      [&](ArckFs& fs, size_t k) {
+        Result<StatInfo> info = fs.Stat("/t");
+        ASSERT_TRUE(info.ok());
+        EXPECT_TRUE(info->size == 100 || info->size == 2 * kPageSize) << "fence " << k;
+      },
+      /*stride=*/2);
+}
+
+TEST_F(CrashTest, RandomWorkloadAlwaysRemountsClean) {
+  // Property: after a crash at any fence point of a mixed workload, the file system
+  // mounts, recovers, and the whole tree walks without error.
+  Rng rng(2026);
+  SweepCrashPoints(
+      [&] {
+        TRIO_CHECK_OK(fs_->Mkdir("/w"));
+        for (int i = 0; i < 12; ++i) {
+          const std::string path = "/w/f" + std::to_string(rng.Below(6));
+          switch (rng.Below(4)) {
+            case 0:
+              WriteFile(path, std::string(rng.Range(1, 3000), 'r'));
+              break;
+            case 1:
+              (void)fs_->Unlink(path);
+              break;
+            case 2:
+              (void)fs_->Rename(path, "/w/f" + std::to_string(rng.Below(6)));
+              break;
+            default: {
+              (void)fs_->Truncate(path, rng.Below(2000));
+              break;
+            }
+          }
+        }
+      },
+      [&](ArckFs& fs, size_t k) {
+        Result<std::vector<DirEntryInfo>> root = fs.ReadDir("/");
+        ASSERT_TRUE(root.ok()) << "fence " << k;
+        Result<std::vector<DirEntryInfo>> entries = fs.ReadDir("/w");
+        if (!entries.ok()) {
+          EXPECT_TRUE(entries.status().Is(ErrorCode::kNotFound)) << "fence " << k;
+          return;
+        }
+        for (const auto& entry : *entries) {
+          Result<StatInfo> info = fs.Stat("/w/" + entry.name);
+          ASSERT_TRUE(info.ok()) << "fence " << k << " " << entry.name;
+          Result<Fd> fd = fs.Open("/w/" + entry.name, OpenFlags::ReadOnly());
+          ASSERT_TRUE(fd.ok()) << "fence " << k;
+          std::string buf(info->size, '\0');
+          EXPECT_TRUE(fs.Pread(*fd, buf.data(), buf.size(), 0).ok()) << "fence " << k;
+          ASSERT_TRUE(fs.Close(*fd).ok());
+        }
+      },
+      /*stride=*/5);
+}
+
+TEST_F(CrashTest, CacheEvictionCannotBreakCommitOrdering) {
+  // Spontaneous eviction may persist any *written* line early, but ArckFS only writes a
+  // commit word after fencing its dependencies — so any eviction pattern yields a valid
+  // state. Exercise many random eviction outcomes.
+  WriteFile("/base", "stable");
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    // Fresh mutation batch on the live fs.
+    const std::string path = "/evict" + std::to_string(seed);
+    WriteFile(path, "abcdefgh");
+    (void)fs_->Rename(path, path + "x");
+
+    std::vector<char> image(kPoolPages * kPageSize);
+    // Crash now, with a random subset of unflushed lines surviving.
+    Rng rng(seed);
+    NvmPool scratch(kPoolPages, NvmMode::kFast);
+    {
+      // SimulateCrash mutates the tracking pool; work on a copy of both images via the
+      // recorder-free path: persist what's persisted, evict randomly.
+      pool_.SimulateCrash(&rng, 0.5);
+      std::memcpy(image.data(), pool_.base(), image.size());
+    }
+    RemountedFs booted = RemountFromImage(image, fs_->JournalPages());
+    EXPECT_TRUE(booted.fs->Stat("/base").ok()) << "seed " << seed;
+    Result<std::vector<DirEntryInfo>> root = booted.fs->ReadDir("/");
+    ASSERT_TRUE(root.ok()) << "seed " << seed;
+
+    // The live fs lost its volatile view; rebuild it for the next iteration.
+    fs_.reset();
+    kernel_ = std::make_unique<KernelController>(pool_);
+    TRIO_CHECK_OK(kernel_->Mount());
+    TRIO_CHECK_OK(kernel_->RunRecovery());
+    fs_ = std::make_unique<ArckFs>(*kernel_);
+  }
+}
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,201 @@
+// Tests for the customized LibFSes (§5): KVFS (small-file get/set) and FPFS (full-path
+// indexing) — including the Trio property that customization needs no privilege and does
+// not affect other applications sharing the same core state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/fpfs/fpfs.h"
+#include "src/kernel/controller.h"
+#include "src/kvfs/kvfs.h"
+
+namespace trio {
+namespace {
+
+class CustomFsTest : public ::testing::Test {
+ protected:
+  CustomFsTest() : pool_(8192) {
+    FormatOptions options;
+    options.max_inodes = 4096;
+    TRIO_CHECK_OK(Format(pool_, options));
+    kernel_ = std::make_unique<KernelController>(pool_);
+    TRIO_CHECK_OK(kernel_->Mount());
+  }
+
+  NvmPool pool_;
+  std::unique_ptr<KernelController> kernel_;
+};
+
+TEST_F(CustomFsTest, KvfsSetGetRoundTrip) {
+  KvFs kv(*kernel_);
+  ASSERT_TRUE(kv.Set("alpha", "value-1", 7).ok());
+  char buf[32] = {};
+  Result<size_t> n = kv.Get("alpha", buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, *n), "value-1");
+}
+
+TEST_F(CustomFsTest, KvfsOverwriteShrinksAndGrows) {
+  KvFs kv(*kernel_);
+  ASSERT_TRUE(kv.Set("k", std::string(5000, 'a').data(), 5000).ok());
+  ASSERT_TRUE(kv.Set("k", "tiny", 4).ok());
+  char buf[16];
+  Result<size_t> n = kv.Get("k", buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(std::string(buf, 4), "tiny");
+  EXPECT_EQ(*kv.SizeOf("k"), 4u);
+}
+
+TEST_F(CustomFsTest, KvfsMaxValueEnforced) {
+  KvFs kv(*kernel_);
+  std::string big(KvFs::kMaxValueSize, 'b');
+  EXPECT_TRUE(kv.Set("max", big.data(), big.size()).ok());
+  std::string too_big(KvFs::kMaxValueSize + 1, 'b');
+  EXPECT_TRUE(kv.Set("max", too_big.data(), too_big.size()).Is(ErrorCode::kTooLarge));
+  std::string out(KvFs::kMaxValueSize, '\0');
+  Result<size_t> n = kv.Get("max", out.data(), out.size());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, KvFs::kMaxValueSize);
+  EXPECT_EQ(out, big);
+}
+
+TEST_F(CustomFsTest, KvfsMissingKey) {
+  KvFs kv(*kernel_);
+  char buf[8];
+  EXPECT_TRUE(kv.Get("ghost", buf, sizeof(buf)).status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(CustomFsTest, KvfsDelete) {
+  KvFs kv(*kernel_);
+  ASSERT_TRUE(kv.Set("d", "x", 1).ok());
+  ASSERT_TRUE(kv.Delete("d").ok());
+  char buf[4];
+  EXPECT_TRUE(kv.Get("d", buf, 4).status().Is(ErrorCode::kNotFound));
+  EXPECT_TRUE(kv.Delete("d").Is(ErrorCode::kNotFound));
+}
+
+TEST_F(CustomFsTest, KvfsManySmallKeys) {
+  KvFs kv(*kernel_);
+  for (int i = 0; i < 500; ++i) {
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(kv.Set("key" + std::to_string(i), value.data(), value.size()).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    char buf[16];
+    Result<size_t> n = kv.Get("key" + std::to_string(i), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(std::string(buf, *n), "v" + std::to_string(i));
+  }
+}
+
+TEST_F(CustomFsTest, KvfsRejectsInvalidKeys) {
+  KvFs kv(*kernel_);
+  EXPECT_TRUE(kv.Set("a/b", "x", 1).Is(ErrorCode::kInvalidArgument));
+  EXPECT_TRUE(kv.Set("", "x", 1).Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(CustomFsTest, KvfsFilesVisibleToPlainArckFs) {
+  // The customization changed only auxiliary state: a generic ArckFS LibFS reads the same
+  // files through the shared core state (§5 / §3.2 file sharing).
+  {
+    KvFs kv(*kernel_);
+    ASSERT_TRUE(kv.Set("shared", "interop!", 8).ok());
+  }  // KvFs unregisters; its write grants verify and reconcile.
+
+  ArckFs plain(*kernel_);
+  Result<Fd> fd = plain.Open("/kv/shared", OpenFlags::ReadOnly());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  char buf[8];
+  ASSERT_TRUE(plain.Pread(*fd, buf, 8, 0).ok());
+  EXPECT_EQ(std::string(buf, 8), "interop!");
+  ASSERT_TRUE(plain.Close(*fd).ok());
+}
+
+TEST_F(CustomFsTest, ArckFsFilesVisibleToKvfs) {
+  {
+    ArckFs plain(*kernel_);
+    ASSERT_TRUE(plain.Mkdir("/kv").ok());
+    Result<Fd> fd = plain.Open("/kv/pre", OpenFlags::CreateRw());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(plain.Pwrite(*fd, "older", 5, 0).ok());
+    ASSERT_TRUE(plain.Close(*fd).ok());
+  }
+  KvFs kv(*kernel_);
+  char buf[8];
+  Result<size_t> n = kv.Get("pre", buf, sizeof(buf));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(std::string(buf, *n), "older");
+}
+
+TEST_F(CustomFsTest, FpfsResolvesDeepPathsViaCache) {
+  FpFs fs(*kernel_);
+  std::string path;
+  for (int depth = 0; depth < 20; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(fs.Mkdir(path).ok());
+  }
+  const std::string file = path + "/leaf";
+  Result<Fd> fd = fs.Open(file, OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs.Pwrite(*fd, "deep", 4, 0).ok());
+  ASSERT_TRUE(fs.Close(*fd).ok());
+
+  const uint64_t hits_before = fs.path_cache_hits();
+  for (int i = 0; i < 10; ++i) {
+    Result<StatInfo> info = fs.Stat(file);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->size, 4u);
+  }
+  EXPECT_GE(fs.path_cache_hits(), hits_before + 10);
+  EXPECT_GT(fs.PathCacheSize(), 0u);
+}
+
+TEST_F(CustomFsTest, FpfsRenameInvalidatesCache) {
+  FpFs fs(*kernel_);
+  ASSERT_TRUE(fs.Mkdir("/a").ok());
+  Result<Fd> fd = fs.Open("/a/f", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs.Close(*fd).ok());
+  ASSERT_TRUE(fs.Stat("/a/f").ok());
+  EXPECT_GT(fs.PathCacheSize(), 0u);
+  ASSERT_TRUE(fs.Rename("/a/f", "/a/g").ok());
+  EXPECT_EQ(fs.PathCacheSize(), 0u);
+  EXPECT_TRUE(fs.Stat("/a/g").ok());
+  EXPECT_TRUE(fs.Stat("/a/f").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(CustomFsTest, FpfsBehavesAsPosixFs) {
+  // Everything outside resolution is inherited: run a generic workload.
+  FpFs fs(*kernel_);
+  ASSERT_TRUE(fs.Mkdir("/x").ok());
+  Result<Fd> fd = fs.Open("/x/data", OpenFlags::CreateTrunc());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs.Pwrite(*fd, "abc", 3, 0).ok());
+  ASSERT_TRUE(fs.Close(*fd).ok());
+  EXPECT_EQ(fs.Stat("/x/data")->size, 3u);
+  ASSERT_TRUE(fs.Unlink("/x/data").ok());
+  ASSERT_TRUE(fs.Rmdir("/x").ok());
+}
+
+TEST_F(CustomFsTest, CustomAndGenericLibFsesCoexist) {
+  // Three differently customized LibFSes over one kernel: no special privilege was needed
+  // for any of them, and none affected the others (per-application customization, §5).
+  KvFs kv(*kernel_);
+  FpFs fp(*kernel_);
+  ArckFs plain(*kernel_);
+
+  ASSERT_TRUE(kv.Set("k", "kvfs", 4).ok());
+  ASSERT_TRUE(fp.Mkdir("/deep").ok());
+  Result<Fd> fd = plain.Open("/plain.txt", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(plain.Close(*fd).ok());
+
+  EXPECT_TRUE(plain.Stat("/deep").ok());
+  EXPECT_TRUE(fp.Stat("/plain.txt").ok());
+}
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,207 @@
+// Tests for the extension features: trust groups (§3.2), the relaxed-data consistency
+// mode (§4.4's "other consistency modes"), file-backed NVM pools, and lease bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+#include "src/libfs/trust_group.h"
+
+namespace trio {
+namespace {
+
+struct Stack {
+  Stack(size_t pages = 4096, NvmMode mode = NvmMode::kFast, Clock* clock = nullptr) {
+    pool = std::make_unique<NvmPool>(pages, mode);
+    FormatOptions options;
+    options.max_inodes = 1024;
+    TRIO_CHECK_OK(Format(*pool, options));
+    kernel = std::make_unique<KernelController>(
+        *pool, KernelConfig{}, clock != nullptr ? clock : SystemClock::Instance());
+    TRIO_CHECK_OK(kernel->Mount());
+  }
+  std::unique_ptr<NvmPool> pool;
+  std::unique_ptr<KernelController> kernel;
+};
+
+TEST(TrustGroupTest, MembersShareWithoutVerification) {
+  Stack stack;
+  TrustGroup group(*stack.kernel);
+  auto alice = group.Join();
+  auto bob = group.Join();
+  EXPECT_EQ(group.member_count(), 2u);
+
+  Result<Fd> fd = alice.fs().Open("/doc", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(alice.fs().Pwrite(*fd, "hello", 5, 0).ok());
+  ASSERT_TRUE(alice.fs().Close(*fd).ok());
+
+  const uint64_t verifications = stack.kernel->stats().verifications.load();
+  // Bob writes the same file: same LibFS, same trust group — no handoff protocol.
+  Result<Fd> bob_fd = bob.fs().Open("/doc", OpenFlags::ReadWrite());
+  ASSERT_TRUE(bob_fd.ok());
+  ASSERT_TRUE(bob.fs().Pwrite(*bob_fd, "world", 5, 0).ok());
+  ASSERT_TRUE(bob.fs().Close(*bob_fd).ok());
+  EXPECT_EQ(stack.kernel->stats().verifications.load(), verifications);
+}
+
+TEST(TrustGroupTest, CrossGroupSharingStillVerifies) {
+  Stack stack;
+  TrustGroup group_a(*stack.kernel);
+  TrustGroup group_b(*stack.kernel);
+  auto member_a = group_a.Join();
+  auto member_b = group_b.Join();
+
+  Result<Fd> fd = member_a.fs().Open("/shared", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(member_a.fs().Pwrite(*fd, "x", 1, 0).ok());
+  ASSERT_TRUE(member_a.fs().Close(*fd).ok());
+
+  const uint64_t verifications = stack.kernel->stats().verifications.load();
+  Result<Fd> other = member_b.fs().Open("/shared", OpenFlags::ReadOnly());
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(member_b.fs().Close(*other).ok());
+  EXPECT_GT(stack.kernel->stats().verifications.load(), verifications);
+}
+
+TEST(RelaxedDataModeTest, DataLostWithoutFsyncButFsIsConsistent) {
+  Stack stack(4096, NvmMode::kTracking);
+  ArckFsConfig config;
+  config.sync_data = false;
+  auto fs = std::make_unique<ArckFs>(*stack.kernel, config);
+
+  Result<Fd> fd = fs->Open("/f", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs->Pwrite(*fd, "precious", 8, 0).ok());
+  // Crash without fsync: the data flushes never happened.
+  stack.pool->SimulateCrash();
+
+  fs.reset();
+  stack.kernel = std::make_unique<KernelController>(*stack.pool);
+  ASSERT_TRUE(stack.kernel->Mount().ok());
+  ASSERT_TRUE(stack.kernel->RunRecovery().ok());
+  ArckFs recovered(*stack.kernel);
+  Result<StatInfo> info = recovered.Stat("/f");
+  if (info.ok()) {
+    // Structure intact; content may be zeros (holes) — but never garbage from elsewhere.
+    Result<Fd> rfd = recovered.Open("/f", OpenFlags::ReadOnly());
+    ASSERT_TRUE(rfd.ok());
+    char buf[8] = {};
+    Result<size_t> n = recovered.Pread(*rfd, buf, 8, 0);
+    ASSERT_TRUE(n.ok());
+    for (size_t i = 0; i < *n; ++i) {
+      EXPECT_TRUE(buf[i] == 0 || std::string("precious")[i] == buf[i]);
+    }
+    ASSERT_TRUE(recovered.Close(*rfd).ok());
+  }
+}
+
+TEST(RelaxedDataModeTest, FsyncMakesDataDurable) {
+  Stack stack(4096, NvmMode::kTracking);
+  ArckFsConfig config;
+  config.sync_data = false;
+  auto fs = std::make_unique<ArckFs>(*stack.kernel, config);
+
+  Result<Fd> fd = fs->Open("/f", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs->Pwrite(*fd, "precious", 8, 0).ok());
+  ASSERT_TRUE(fs->Fsync(*fd).ok());
+  stack.pool->SimulateCrash();
+
+  fs.reset();
+  stack.kernel = std::make_unique<KernelController>(*stack.pool);
+  ASSERT_TRUE(stack.kernel->Mount().ok());
+  ASSERT_TRUE(stack.kernel->RunRecovery().ok());
+  ArckFs recovered(*stack.kernel);
+  Result<Fd> rfd = recovered.Open("/f", OpenFlags::ReadOnly());
+  ASSERT_TRUE(rfd.ok());
+  char buf[9] = {};
+  ASSERT_TRUE(recovered.Pread(*rfd, buf, 8, 0).ok());
+  EXPECT_STREQ(buf, "precious");
+  ASSERT_TRUE(recovered.Close(*rfd).ok());
+}
+
+TEST(RelaxedDataModeTest, HandoffFlushesBeforeVerification) {
+  Stack stack;
+  ArckFsConfig config;
+  config.sync_data = false;
+  ArckFs writer(*stack.kernel, config);
+  ArckFs reader(*stack.kernel);
+
+  Result<Fd> fd = writer.Open("/h", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(writer.Pwrite(*fd, "shared!", 7, 0).ok());
+  ASSERT_TRUE(writer.Close(*fd).ok());
+
+  // The reader's map triggers revocation; the relaxed writer must flush on that path.
+  Result<Fd> rfd = reader.Open("/h", OpenFlags::ReadOnly());
+  ASSERT_TRUE(rfd.ok());
+  char buf[7];
+  ASSERT_TRUE(reader.Pread(*rfd, buf, 7, 0).ok());
+  EXPECT_EQ(std::string(buf, 7), "shared!");
+  ASSERT_TRUE(reader.Close(*rfd).ok());
+}
+
+TEST(FileBackedPoolTest, ContentsSurviveReopen) {
+  const std::string path = "/tmp/trio_pool_test.img";
+  std::remove(path.c_str());
+  {
+    NvmPool pool(path, 1024);
+    ASSERT_TRUE(pool.file_backed());
+    FormatOptions options;
+    options.max_inodes = 256;
+    TRIO_CHECK_OK(Format(pool, options));
+    KernelController kernel(pool);
+    TRIO_CHECK_OK(kernel.Mount());
+    {
+      ArckFs fs(kernel);
+      Result<Fd> fd = fs.Open("/persist.txt", OpenFlags::CreateRw());
+      ASSERT_TRUE(fd.ok());
+      ASSERT_TRUE(fs.Pwrite(*fd, "across processes", 16, 0).ok());
+      ASSERT_TRUE(fs.Close(*fd).ok());
+    }
+    TRIO_CHECK_OK(kernel.Unmount());
+    pool.SyncBackingFile();
+  }  // munmap + msync.
+  {
+    NvmPool pool(path, 1024);
+    KernelController kernel(pool);
+    ASSERT_TRUE(kernel.Mount().ok());
+    EXPECT_FALSE(kernel.NeedsRecovery());
+    ArckFs fs(kernel);
+    Result<Fd> fd = fs.Open("/persist.txt", OpenFlags::ReadOnly());
+    ASSERT_TRUE(fd.ok());
+    char buf[17] = {};
+    ASSERT_TRUE(fs.Pread(*fd, buf, 16, 0).ok());
+    EXPECT_STREQ(buf, "across processes");
+    ASSERT_TRUE(fs.Close(*fd).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LeaseTest, WriteGrantCarriesDeadlineAndRenews) {
+  FakeClock clock;
+  Stack stack(4096, NvmMode::kFast, &clock);
+  LibFsOptions options;
+  LibFsId id = stack.kernel->RegisterLibFs(options);
+
+  Result<MapInfo> grant = stack.kernel->MapRoot(id, /*write=*/true);
+  ASSERT_TRUE(grant.ok());
+  const uint64_t lease_ns = stack.kernel->config().lease_ms * 1000000ull;
+  EXPECT_EQ(grant->lease_deadline_ns, clock.NowNs() + lease_ns);
+
+  clock.AdvanceMs(50);
+  Result<MapInfo> renewed = stack.kernel->MapRoot(id, true);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(renewed->lease_deadline_ns, clock.NowNs() + lease_ns);
+  EXPECT_GT(renewed->lease_deadline_ns, grant->lease_deadline_ns);
+  stack.kernel->UnregisterLibFs(id);
+}
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,264 @@
+// Unit tests for the kernel controller: registration, leasing, MMU grants, the
+// concurrent-read/exclusive-write policy, revocation, checkpoints, ownership tables, the
+// write-map log, permission enforcement, and trust-boundary bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/core_state.h"
+#include "src/kernel/controller.h"
+
+namespace trio {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() : pool_(2048) {
+    FormatOptions options;
+    options.max_inodes = 1024;
+    TRIO_CHECK_OK(Format(pool_, options));
+    kernel_ = std::make_unique<KernelController>(pool_);
+    TRIO_CHECK_OK(kernel_->Mount());
+  }
+
+  LibFsId Register(uint32_t uid = 0) {
+    LibFsOptions options;
+    options.uid = uid;
+    options.gid = uid;
+    return kernel_->RegisterLibFs(options);
+  }
+
+  NvmPool pool_;
+  std::unique_ptr<KernelController> kernel_;
+};
+
+TEST_F(KernelTest, MountRejectsUnformattedPool) {
+  NvmPool raw(64);
+  KernelController kernel(raw);
+  EXPECT_TRUE(kernel.Mount().Is(ErrorCode::kCorrupted));
+}
+
+TEST_F(KernelTest, RegisterGrantsSuperblockRead) {
+  LibFsId id = Register();
+  EXPECT_TRUE(kernel_->mmu().Check(id, 0, /*write=*/false));
+  EXPECT_FALSE(kernel_->mmu().Check(id, 0, /*write=*/true));
+  kernel_->UnregisterLibFs(id);
+  EXPECT_FALSE(kernel_->mmu().Check(id, 0, false));
+}
+
+TEST_F(KernelTest, AllocPagesLeasesZeroedWritablePages) {
+  LibFsId id = Register();
+  std::vector<PageNumber> pages;
+  ASSERT_TRUE(kernel_->AllocPages(id, 4, 0, &pages).ok());
+  ASSERT_EQ(pages.size(), 4u);
+  for (PageNumber p : pages) {
+    EXPECT_TRUE(kernel_->mmu().Check(id, p, true));
+    PageState state = kernel_->StateOfPage(p);
+    EXPECT_EQ(state.state, ResourceState::kLeased);
+    EXPECT_EQ(state.lessee, id);
+    for (size_t i = 0; i < kPageSize; ++i) {
+      ASSERT_EQ(pool_.PageAddress(p)[i], 0);
+    }
+  }
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, FreePagesReturnsLeases) {
+  LibFsId id = Register();
+  const size_t free_before = kernel_->FreePageCount();
+  std::vector<PageNumber> pages;
+  ASSERT_TRUE(kernel_->AllocPages(id, 8, 0, &pages).ok());
+  EXPECT_EQ(kernel_->FreePageCount(), free_before - 8);
+  ASSERT_TRUE(kernel_->FreePages(id, pages).ok());
+  EXPECT_EQ(kernel_->FreePageCount(), free_before);
+  EXPECT_FALSE(kernel_->mmu().Check(id, pages[0], false));
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, FreeingForeignPageRejected) {
+  LibFsId a = Register();
+  LibFsId b = Register();
+  std::vector<PageNumber> pages;
+  ASSERT_TRUE(kernel_->AllocPages(a, 1, 0, &pages).ok());
+  EXPECT_TRUE(kernel_->FreePages(b, pages).Is(ErrorCode::kPermission));
+  kernel_->UnregisterLibFs(a);
+  kernel_->UnregisterLibFs(b);
+}
+
+TEST_F(KernelTest, InoAllocationUniqueAndRecycled) {
+  LibFsId id = Register();
+  std::vector<Ino> inos;
+  ASSERT_TRUE(kernel_->AllocInos(id, 16, &inos).ok());
+  std::set<Ino> unique(inos.begin(), inos.end());
+  EXPECT_EQ(unique.size(), 16u);
+  for (Ino ino : inos) {
+    EXPECT_NE(ino, kRootIno);
+    EXPECT_EQ(kernel_->StateOfIno(ino).state, ResourceState::kLeased);
+  }
+  ASSERT_TRUE(kernel_->FreeIno(id, inos[0]).ok());
+  EXPECT_EQ(kernel_->StateOfIno(inos[0]).state, ResourceState::kFree);
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, UnregisterReturnsAllLeases) {
+  const size_t free_before = kernel_->FreePageCount();
+  LibFsId id = Register();
+  std::vector<PageNumber> pages;
+  ASSERT_TRUE(kernel_->AllocPages(id, 16, 0, &pages).ok());
+  kernel_->UnregisterLibFs(id);
+  EXPECT_EQ(kernel_->FreePageCount(), free_before);
+}
+
+TEST_F(KernelTest, MapRootGrantsPagesAndEnforcesPolicy) {
+  LibFsId a = Register();
+  LibFsId b = Register();
+
+  Result<MapInfo> read_a = kernel_->MapRoot(a, /*write=*/false);
+  ASSERT_TRUE(read_a.ok());
+  EXPECT_FALSE(read_a->writable);
+  // Root's preallocated index page is now readable for A.
+  const PageNumber root_index = SuperblockOf(pool_)->root.first_index_page;
+  EXPECT_TRUE(kernel_->mmu().Check(a, root_index, false));
+  EXPECT_FALSE(kernel_->mmu().Check(a, root_index, true));
+
+  // Concurrent readers are fine.
+  ASSERT_TRUE(kernel_->MapRoot(b, false).ok());
+
+  // A writer revokes both readers (no revoke callbacks registered: forced release).
+  Result<MapInfo> write_b = kernel_->MapFile(b, kInvalidIno, kRootIno, true);
+  ASSERT_TRUE(write_b.ok());
+  EXPECT_TRUE(write_b->writable);
+  EXPECT_TRUE(kernel_->IsWriteMapped(kRootIno));
+  EXPECT_TRUE(kernel_->mmu().Check(b, root_index, true));
+
+  kernel_->UnregisterLibFs(a);
+  kernel_->UnregisterLibFs(b);
+  EXPECT_FALSE(kernel_->IsWriteMapped(kRootIno));
+}
+
+TEST_F(KernelTest, WriteConflictInvokesRevokeCallback) {
+  std::atomic<int> revokes{0};
+  LibFsOptions options;
+  KernelController* kernel = kernel_.get();
+  LibFsId holder = 0;
+  options.callbacks.revoke = [&](Ino ino) {
+    revokes.fetch_add(1);
+    TRIO_CHECK_OK(kernel->UnmapFile(holder, ino));
+  };
+  holder = kernel_->RegisterLibFs(options);
+  LibFsId requester = Register();
+
+  ASSERT_TRUE(kernel_->MapRoot(holder, true).ok());
+  ASSERT_TRUE(kernel_->MapRoot(requester, true).ok());
+  EXPECT_EQ(revokes.load(), 1);
+  EXPECT_GE(kernel_->stats().revocations.load(), 1u);
+
+  kernel_->UnregisterLibFs(holder);
+  kernel_->UnregisterLibFs(requester);
+}
+
+TEST_F(KernelTest, WriteMapLogPersistsGrants) {
+  LibFsId id = Register();
+  ASSERT_TRUE(kernel_->MapRoot(id, true).ok());
+  const Superblock* sb = SuperblockOf(pool_);
+  const auto* log = reinterpret_cast<const uint64_t*>(pool_.PageAddress(sb->wmap_log_page));
+  bool found = false;
+  for (size_t i = 0; i < kPageSize / 8; ++i) {
+    found |= log[i] == kRootIno;
+  }
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(kernel_->UnmapFile(id, kRootIno).ok());
+  found = false;
+  for (size_t i = 0; i < kPageSize / 8; ++i) {
+    found |= log[i] == kRootIno;
+  }
+  EXPECT_FALSE(found);
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, PermissionDeniedForUnrelatedUser) {
+  // Root directory is 0755 owned by uid 0: uid 7 may read, not write.
+  LibFsId mallory = Register(/*uid=*/7);
+  EXPECT_TRUE(kernel_->MapRoot(mallory, false).ok());
+  ASSERT_TRUE(kernel_->UnmapFile(mallory, kRootIno).ok());
+  EXPECT_TRUE(kernel_->MapRoot(mallory, true).status().Is(ErrorCode::kPermission));
+  kernel_->UnregisterLibFs(mallory);
+}
+
+TEST_F(KernelTest, ChmodRequiresOwnership) {
+  LibFsId mallory = Register(/*uid=*/7);
+  EXPECT_TRUE(kernel_->Chmod(mallory, kRootIno, 0777).Is(ErrorCode::kPermission));
+  LibFsId root = Register(/*uid=*/0);
+  EXPECT_TRUE(kernel_->Chmod(root, kRootIno, 0700).ok());
+  EXPECT_EQ(ShadowInodeOf(pool_, kRootIno)->mode & kModePermMask, 0700u);
+  // And the cached copy in the superblock dirent matches (I4 consistency).
+  EXPECT_EQ(SuperblockOf(pool_)->root.mode & kModePermMask, 0700u);
+  kernel_->UnregisterLibFs(mallory);
+  kernel_->UnregisterLibFs(root);
+}
+
+TEST_F(KernelTest, ChownRequiresRoot) {
+  LibFsId mallory = Register(/*uid=*/7);
+  EXPECT_TRUE(kernel_->Chown(mallory, kRootIno, 7, 7).Is(ErrorCode::kPermission));
+  LibFsId root = Register(/*uid=*/0);
+  EXPECT_TRUE(kernel_->Chown(root, kRootIno, 3, 4).ok());
+  EXPECT_EQ(ShadowInodeOf(pool_, kRootIno)->uid, 3u);
+  EXPECT_EQ(ShadowInodeOf(pool_, kRootIno)->gid, 4u);
+  kernel_->UnregisterLibFs(mallory);
+  kernel_->UnregisterLibFs(root);
+}
+
+TEST_F(KernelTest, MapUnknownInoFails) {
+  LibFsId id = Register();
+  EXPECT_TRUE(kernel_->MapFile(id, kRootIno, 999, false).status().Is(ErrorCode::kNotFound));
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, NoSpaceWhenPoolExhausted) {
+  LibFsId id = Register();
+  std::vector<PageNumber> pages;
+  Status status = kernel_->AllocPages(id, pool_.num_pages(), 0, &pages);
+  EXPECT_TRUE(status.Is(ErrorCode::kNoSpace));
+  EXPECT_TRUE(pages.empty());  // All-or-nothing.
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, SyscallsAreCounted) {
+  const uint64_t before = kernel_->stats().syscalls.load();
+  LibFsId id = Register();
+  std::vector<PageNumber> pages;
+  ASSERT_TRUE(kernel_->AllocPages(id, 1, 0, &pages).ok());
+  ASSERT_TRUE(kernel_->MapRoot(id, false).ok());
+  EXPECT_GE(kernel_->stats().syscalls.load(), before + 3);
+  kernel_->UnregisterLibFs(id);
+}
+
+TEST_F(KernelTest, UnmountBlockedWhileLibFsRegistered) {
+  LibFsId id = Register();
+  EXPECT_TRUE(kernel_->Unmount().Is(ErrorCode::kBusy));
+  kernel_->UnregisterLibFs(id);
+  EXPECT_TRUE(kernel_->Unmount().ok());
+}
+
+TEST_F(KernelTest, CleanRemountRequiresNoRecovery) {
+  TRIO_CHECK_OK(kernel_->Unmount());
+  KernelController fresh(pool_);
+  ASSERT_TRUE(fresh.Mount().ok());
+  EXPECT_FALSE(fresh.NeedsRecovery());
+  TRIO_CHECK_OK(fresh.Unmount());
+  kernel_ = std::make_unique<KernelController>(pool_);
+  TRIO_CHECK_OK(kernel_->Mount());
+}
+
+TEST_F(KernelTest, UncleanRemountFlagsRecovery) {
+  // No Unmount: simulate the crash by just building a second controller.
+  KernelController fresh(pool_);
+  ASSERT_TRUE(fresh.Mount().ok());
+  EXPECT_TRUE(fresh.NeedsRecovery());
+  EXPECT_TRUE(fresh.RunRecovery().ok());
+  EXPECT_FALSE(fresh.NeedsRecovery());
+}
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,208 @@
+// Tests for minildb: skiplist, bloom filter, SSTables, the LSM DB (flush, compaction,
+// WAL recovery) — run over ArckFS, plus an interop check over a baseline FS.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baselines/fs_factory.h"
+#include "src/minildb/bloom.h"
+#include "src/minildb/db.h"
+#include "src/minildb/db_bench.h"
+#include "src/minildb/skiplist.h"
+#include "src/minildb/sstable.h"
+
+namespace trio {
+namespace {
+
+TEST(SkipListTest, InsertLookupOverwrite) {
+  SkipList list;
+  EXPECT_GT(list.Insert("b", "2"), 0u);
+  EXPECT_GT(list.Insert("a", "1"), 0u);
+  EXPECT_EQ(list.Insert("a", "one"), 0u);  // Overwrite.
+  std::string value;
+  ASSERT_TRUE(list.Lookup("a", &value));
+  EXPECT_EQ(value, "one");
+  EXPECT_FALSE(list.Lookup("c", &value));
+  EXPECT_EQ(list.Size(), 2u);
+}
+
+TEST(SkipListTest, OrderedTraversal) {
+  SkipList list;
+  for (int i = 100; i > 0; --i) {
+    list.Insert("k" + std::to_string(1000 + i), std::to_string(i));
+  }
+  std::string last;
+  int visits = 0;
+  list.ForEach([&](const std::string& key, const std::string&) {
+    EXPECT_LT(last, key);
+    last = key;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 100);
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  const std::string filter = BloomFilter::Build(keys);
+  for (const std::string& key : keys) {
+    EXPECT_TRUE(BloomFilter::MayContain(filter, key));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("present" + std::to_string(i));
+  }
+  const std::string filter = BloomFilter::Build(keys);
+  int false_positives = 0;
+  for (int i = 0; i < 1000; ++i) {
+    false_positives += BloomFilter::MayContain(filter, "absent" + std::to_string(i));
+  }
+  EXPECT_LT(false_positives, 30);  // ~1% expected at 10 bits/key.
+}
+
+class MiniDbTest : public ::testing::Test {
+ protected:
+  MiniDbTest() : instance_(MakeFs("ArckFS")) {}
+  FsInterface& fs() { return *instance_.fs; }
+  FsInstance instance_;
+};
+
+TEST_F(MiniDbTest, SsTableRoundTrip) {
+  std::vector<TableEntry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    entries.push_back(TableEntry{key, "value" + std::to_string(i), i % 7 == 0});
+  }
+  ASSERT_TRUE(SsTableWriter::WriteTable(fs(), "/table", entries).ok());
+  Result<std::unique_ptr<SsTableReader>> reader = SsTableReader::Open(fs(), "/table");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->entry_count(), 1000u);
+  EXPECT_EQ((*reader)->smallest(), "k000000");
+  EXPECT_EQ((*reader)->largest(), "k000999");
+
+  for (int i = 0; i < 1000; i += 37) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    Result<TableEntry> entry = (*reader)->Get(key);
+    ASSERT_TRUE(entry.ok()) << key;
+    EXPECT_EQ(entry->deleted, i % 7 == 0);
+    if (!entry->deleted) {
+      EXPECT_EQ(entry->value, "value" + std::to_string(i));
+    }
+  }
+  EXPECT_TRUE((*reader)->Get("nope").status().Is(ErrorCode::kNotFound));
+
+  size_t streamed = 0;
+  ASSERT_TRUE((*reader)
+                  ->ForEach([&](const TableEntry&) -> Status {
+                    ++streamed;
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(streamed, 1000u);
+}
+
+TEST_F(MiniDbTest, PutGetDelete) {
+  MiniDbOptions options;
+  Result<std::unique_ptr<MiniDb>> db = MiniDb::Open(fs(), options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Put("apple", "red").ok());
+  ASSERT_TRUE((*db)->Put("banana", "yellow").ok());
+  EXPECT_EQ(*(*db)->Get("apple"), "red");
+  ASSERT_TRUE((*db)->Delete("apple").ok());
+  EXPECT_TRUE((*db)->Get("apple").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(*(*db)->Get("banana"), "yellow");
+}
+
+TEST_F(MiniDbTest, FlushAndReadFromTables) {
+  MiniDbOptions options;
+  options.memtable_bytes = 16 << 10;  // Flush often.
+  Result<std::unique_ptr<MiniDb>> db = MiniDb::Open(fs(), options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*db)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  EXPECT_GT((*db)->stats().flushes, 0u);
+  for (int i = 0; i < 2000; i += 53) {
+    Result<std::string> value = (*db)->Get("key" + std::to_string(i));
+    ASSERT_TRUE(value.ok()) << i << ": " << value.status().ToString();
+    EXPECT_EQ(*value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(MiniDbTest, CompactionKeepsNewestAndDropsTombstones) {
+  MiniDbOptions options;
+  options.memtable_bytes = 8 << 10;
+  options.l0_compaction_trigger = 3;
+  Result<std::unique_ptr<MiniDb>> db = MiniDb::Open(fs(), options);
+  ASSERT_TRUE(db.ok());
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          (*db)->Put("key" + std::to_string(i), "round" + std::to_string(round)).ok());
+    }
+    for (int i = 0; i < 200; i += 10) {
+      ASSERT_TRUE((*db)->Delete("key" + std::to_string(i)).ok());
+    }
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_GT((*db)->stats().compactions, 0u);
+  for (int i = 1; i < 200; i += 7) {
+    if (i % 10 == 0) {
+      continue;
+    }
+    Result<std::string> value = (*db)->Get("key" + std::to_string(i));
+    ASSERT_TRUE(value.ok()) << i;
+    EXPECT_EQ(*value, "round5");
+  }
+  EXPECT_TRUE((*db)->Get("key0").status().Is(ErrorCode::kNotFound));
+  EXPECT_TRUE((*db)->Get("key10").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(MiniDbTest, WalRecoveryAfterReopen) {
+  {
+    Result<std::unique_ptr<MiniDb>> db = MiniDb::Open(fs(), MiniDbOptions{});
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("durable", "yes").ok());
+    ASSERT_TRUE((*db)->Put("other", "data").ok());
+    ASSERT_TRUE((*db)->Delete("other").ok());
+    // No flush: everything lives in the WAL. Drop the DB object ("crash").
+  }
+  Result<std::unique_ptr<MiniDb>> reopened = MiniDb::Open(fs(), MiniDbOptions{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(*(*reopened)->Get("durable"), "yes");
+  EXPECT_TRUE((*reopened)->Get("other").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(MiniDbTest, DbBenchWorkloadsRun) {
+  for (DbBenchWorkload workload :
+       {DbBenchWorkload::kFillSeq, DbBenchWorkload::kFillRandom,
+        DbBenchWorkload::kReadRandom, DbBenchWorkload::kDeleteRandom}) {
+    FsInstance fresh = MakeFs("ArckFS");
+    Result<DbBenchResult> result = RunDbBench(*fresh.fs, workload, 500);
+    ASSERT_TRUE(result.ok()) << DbBenchName(workload) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->ops, 500u);
+  }
+}
+
+TEST(MiniDbInterop, RunsOverBaselineFs) {
+  FsInstance instance = MakeFs("NOVA");
+  Result<std::unique_ptr<MiniDb>> db = MiniDb::Open(*instance.fs, MiniDbOptions{});
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE((*db)->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_EQ(*(*db)->Get("k7"), "v7");
+}
+
+}  // namespace
+}  // namespace trio

@@ -1,0 +1,200 @@
+// Unit tests for the emulated NVM pool: addressing, NUMA striping, persistence tracking
+// and crash simulation, and the delegation pool built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "src/common/random.h"
+#include "src/kernel/delegation.h"
+#include "src/nvm/nvm.h"
+
+namespace trio {
+namespace {
+
+TEST(NvmPoolTest, PageAddressing) {
+  NvmPool pool(64);
+  EXPECT_EQ(pool.num_pages(), 64u);
+  char* p5 = pool.PageAddress(5);
+  EXPECT_EQ(pool.PageOf(p5), 5u);
+  EXPECT_EQ(pool.PageOf(p5 + kPageSize - 1), 5u);
+  EXPECT_EQ(pool.PageOf(p5 + kPageSize), 6u);
+  EXPECT_TRUE(pool.Contains(p5));
+  EXPECT_FALSE(pool.Contains(&pool));
+}
+
+TEST(NvmPoolTest, ZeroInitialized) {
+  NvmPool pool(16);
+  for (size_t i = 0; i < 16 * kPageSize; ++i) {
+    ASSERT_EQ(pool.base()[i], 0);
+  }
+}
+
+TEST(NvmPoolTest, NumaStriping) {
+  NumaTopology topo;
+  topo.num_nodes = 4;
+  NvmPool pool(64, NvmMode::kFast, topo);
+  EXPECT_EQ(pool.NodeOfPage(0), 0);
+  EXPECT_EQ(pool.NodeOfPage(15), 0);
+  EXPECT_EQ(pool.NodeOfPage(16), 1);
+  EXPECT_EQ(pool.NodeOfPage(63), 3);
+  EXPECT_EQ(pool.NodeFirstPage(1), 16u);
+  EXPECT_EQ(pool.NodeLastPage(3), 64u);
+}
+
+TEST(NvmPoolTest, StatsCountWrites) {
+  NvmPool pool(16);
+  char buf[100] = {};
+  pool.Write(pool.PageAddress(1), buf, sizeof(buf));
+  EXPECT_EQ(pool.stats().bytes_written.load(), 100u);
+  pool.Read(buf, pool.PageAddress(1), 50);
+  EXPECT_EQ(pool.stats().bytes_read.load(), 50u);
+  pool.PersistNow(pool.PageAddress(1), 100);
+  EXPECT_GE(pool.stats().lines_flushed.load(), 2u);
+  EXPECT_EQ(pool.stats().fences.load(), 1u);
+}
+
+TEST(CrashSimTest, UnpersistedStoreIsLost) {
+  NvmPool pool(16, NvmMode::kTracking);
+  const char data[] = "hello";
+  pool.Write(pool.PageAddress(2), data, sizeof(data));
+  EXPECT_GT(pool.UnpersistedLineCount(), 0u);
+  pool.SimulateCrash();
+  EXPECT_EQ(std::memcmp(pool.PageAddress(2), "\0\0\0\0\0\0", 6), 0);
+}
+
+TEST(CrashSimTest, PersistedStoreSurvives) {
+  NvmPool pool(16, NvmMode::kTracking);
+  const char data[] = "hello";
+  pool.Write(pool.PageAddress(2), data, sizeof(data));
+  pool.PersistNow(pool.PageAddress(2), sizeof(data));
+  EXPECT_EQ(pool.UnpersistedLineCount(), 0u);
+  pool.SimulateCrash();
+  EXPECT_EQ(std::memcmp(pool.PageAddress(2), "hello", 6), 0);
+}
+
+TEST(CrashSimTest, ClwbWithoutFenceIsNotDurable) {
+  NvmPool pool(16, NvmMode::kTracking);
+  const char data[] = "abc";
+  pool.Write(pool.PageAddress(1), data, sizeof(data));
+  pool.Persist(pool.PageAddress(1), sizeof(data));  // clwb issued, no fence.
+  pool.SimulateCrash();
+  EXPECT_EQ(pool.PageAddress(1)[0], 0);
+}
+
+TEST(CrashSimTest, RedirtyAfterClwbRequiresNewFlush) {
+  NvmPool pool(16, NvmMode::kTracking);
+  char* addr = pool.PageAddress(1);
+  pool.Write(addr, "AAAA", 4);
+  pool.Persist(addr, 4);
+  pool.Fence();  // "AAAA" durable.
+  pool.Write(addr, "BBBB", 4);  // Re-dirtied, not flushed.
+  pool.SimulateCrash();
+  EXPECT_EQ(std::memcmp(addr, "AAAA", 4), 0);
+}
+
+TEST(CrashSimTest, CommitStore64IsAtomicDurable) {
+  NvmPool pool(16, NvmMode::kTracking);
+  auto* slot = reinterpret_cast<uint64_t*>(pool.PageAddress(3));
+  pool.CommitStore64(slot, 0xdeadbeefull);
+  pool.SimulateCrash();
+  EXPECT_EQ(pool.Load64(slot), 0xdeadbeefull);
+}
+
+TEST(CrashSimTest, EvictionMayPersistUnflushedLines) {
+  // With evict probability 1.0 every dirty line survives the crash.
+  NvmPool pool(16, NvmMode::kTracking);
+  Rng rng(1);
+  pool.Write(pool.PageAddress(2), "xyz", 3);
+  pool.SimulateCrash(&rng, /*evict_probability=*/1.0);
+  EXPECT_EQ(std::memcmp(pool.PageAddress(2), "xyz", 3), 0);
+}
+
+TEST(CrashSimTest, CacheLineGranularity) {
+  // Persisting one line must not persist its neighbour.
+  NvmPool pool(16, NvmMode::kTracking);
+  char* base = pool.PageAddress(4);
+  pool.Write(base, "A", 1);
+  pool.Write(base + kCacheLineSize, "B", 1);
+  pool.PersistNow(base, 1);  // Only the first line.
+  pool.SimulateCrash();
+  EXPECT_EQ(base[0], 'A');
+  EXPECT_EQ(base[kCacheLineSize], 0);
+}
+
+TEST(DelegationTest, DelegatedWriteLandsAndPersists) {
+  NumaTopology topo;
+  topo.num_nodes = 2;
+  topo.delegation_threads_per_node = 1;
+  NvmPool pool(32, NvmMode::kFast, topo);
+  DelegationPool delegation(pool, topo.delegation_threads_per_node);
+
+  char buf[256];
+  std::memset(buf, 0x5a, sizeof(buf));
+  std::atomic<uint32_t> pending{1};
+  DelegationRequest req;
+  req.op = DelegationRequest::Op::kWrite;
+  req.nvm = pool.PageAddress(20);  // Node 1.
+  req.dram = buf;
+  req.len = sizeof(buf);
+  req.pending = &pending;
+  delegation.Submit(req);
+  DelegationPool::WaitFor(pending);
+  EXPECT_EQ(std::memcmp(pool.PageAddress(20), buf, sizeof(buf)), 0);
+  EXPECT_EQ(delegation.submitted(), 1u);
+}
+
+TEST(DelegationTest, DelegatedReadRoundTrip) {
+  NumaTopology topo;
+  topo.num_nodes = 1;
+  NvmPool pool(16, NvmMode::kFast, topo);
+  DelegationPool delegation(pool, 2);
+
+  const char payload[] = "delegated read payload";
+  std::memcpy(pool.PageAddress(3), payload, sizeof(payload));
+  char out[sizeof(payload)] = {};
+  std::atomic<uint32_t> pending{1};
+  DelegationRequest req;
+  req.op = DelegationRequest::Op::kRead;
+  req.nvm = pool.PageAddress(3);
+  req.dram = out;
+  req.len = sizeof(payload);
+  req.pending = &pending;
+  delegation.Submit(req);
+  DelegationPool::WaitFor(pending);
+  EXPECT_STREQ(out, payload);
+}
+
+TEST(DelegationTest, ManyConcurrentRequests) {
+  NumaTopology topo;
+  topo.num_nodes = 2;
+  NvmPool pool(64, NvmMode::kFast, topo);
+  DelegationPool delegation(pool, 2);
+
+  constexpr int kRequests = 200;
+  std::vector<std::array<char, 64>> bufs(kRequests);
+  std::atomic<uint32_t> pending{kRequests};
+  for (int i = 0; i < kRequests; ++i) {
+    bufs[i].fill(static_cast<char>(i));
+    DelegationRequest req;
+    req.op = DelegationRequest::Op::kWrite;
+    req.nvm = pool.PageAddress(8 + (i % 50)) + (i / 50) * 64;
+    req.dram = bufs[i].data();
+    req.len = 64;
+    req.pending = &pending;
+    delegation.Submit(req);
+  }
+  DelegationPool::WaitFor(pending);
+  EXPECT_EQ(delegation.submitted(), static_cast<uint64_t>(kRequests));
+}
+
+TEST(DelegationTest, StopIsIdempotent) {
+  NvmPool pool(16);
+  DelegationPool delegation(pool, 1);
+  delegation.Stop();
+  delegation.Stop();
+}
+
+}  // namespace
+}  // namespace trio

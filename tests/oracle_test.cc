@@ -1,0 +1,227 @@
+// Model-based property test: a long random operation sequence runs simultaneously
+// against each file system and against a trivially correct in-memory reference model;
+// after every operation the outcomes (status class, data read, directory contents, stat)
+// must agree. This catches semantic divergence that targeted unit tests miss — and runs
+// over every evaluated system, so all ten implementations must agree with POSIX-ish
+// semantics and with each other.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/baselines/fs_factory.h"
+#include "src/common/random.h"
+
+namespace trio {
+namespace {
+
+// The reference model: paths -> contents, directories as a set.
+class ModelFs {
+ public:
+  ModelFs() { dirs_.insert("/"); }
+
+  static std::string ParentOf(const std::string& path) {
+    const size_t slash = path.rfind('/');
+    return slash == 0 ? "/" : path.substr(0, slash);
+  }
+
+  bool IsDir(const std::string& path) const { return dirs_.count(path) != 0; }
+  bool IsFile(const std::string& path) const { return files_.count(path) != 0; }
+  bool Exists(const std::string& path) const { return IsDir(path) || IsFile(path); }
+
+  bool HasChildren(const std::string& dir) const {
+    const std::string prefix = dir == "/" ? "/" : dir + "/";
+    for (const auto& [path, _] : files_) {
+      if (path.rfind(prefix, 0) == 0 &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        return true;
+      }
+    }
+    for (const std::string& path : dirs_) {
+      if (path != dir && path.rfind(prefix, 0) == 0 &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t ChildCount(const std::string& dir) const {
+    const std::string prefix = dir == "/" ? "/" : dir + "/";
+    size_t count = 0;
+    for (const auto& [path, _] : files_) {
+      count += path.rfind(prefix, 0) == 0 &&
+                       path.find('/', prefix.size()) == std::string::npos
+                   ? 1
+                   : 0;
+    }
+    for (const std::string& path : dirs_) {
+      count += path != dir && path.rfind(prefix, 0) == 0 &&
+                       path.find('/', prefix.size()) == std::string::npos
+                   ? 1
+                   : 0;
+    }
+    return count;
+  }
+
+  std::set<std::string> dirs_;
+  std::map<std::string, std::string> files_;
+};
+
+class OracleTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  OracleTest() : instance_(MakeFs(GetParam())) {}
+
+  FsInterface& fs() { return *instance_.fs; }
+
+  FsInstance instance_;
+  ModelFs model_;
+};
+
+TEST_P(OracleTest, RandomOpsAgreeWithModel) {
+  Rng rng(GetParam().size() * 1000 + 77);  // Different per system, deterministic.
+  std::vector<std::string> dir_pool = {"/"};
+  auto random_name = [&] { return "n" + std::to_string(rng.Below(30)); };
+  auto random_dir = [&] { return dir_pool[rng.Below(dir_pool.size())]; };
+  auto join = [](const std::string& dir, const std::string& leaf) {
+    return dir == "/" ? "/" + leaf : dir + "/" + leaf;
+  };
+
+  for (int step = 0; step < 800; ++step) {
+    const int op = rng.Below(8);
+    const std::string dir = random_dir();
+    const std::string path = join(dir, random_name());
+    switch (op) {
+      case 0: {  // Create/overwrite a file with random content.
+        if (model_.IsDir(path)) {
+          break;  // Avoid open-a-directory divergence; covered by unit tests.
+        }
+        const std::string content(rng.Below(3 * kPageSize), 'a' + rng.Below(26));
+        Result<Fd> fd = fs().Open(path, OpenFlags::CreateTrunc());
+        ASSERT_TRUE(fd.ok()) << path << ": " << fd.status().ToString();
+        if (!content.empty()) {
+          ASSERT_TRUE(fs().Pwrite(*fd, content.data(), content.size(), 0).ok());
+        }
+        ASSERT_TRUE(fs().Close(*fd).ok());
+        model_.files_[path] = content;
+        break;
+      }
+      case 1: {  // Append to an existing file.
+        if (!model_.IsFile(path)) {
+          break;
+        }
+        const std::string extra(rng.Below(2000), 'z');
+        Result<Fd> fd = fs().Open(path, OpenFlags::ReadWrite());
+        ASSERT_TRUE(fd.ok());
+        ASSERT_TRUE(
+            fs().Pwrite(*fd, extra.data(), extra.size(), model_.files_[path].size())
+                .ok());
+        ASSERT_TRUE(fs().Close(*fd).ok());
+        model_.files_[path] += extra;
+        break;
+      }
+      case 2: {  // Read back and compare.
+        if (model_.IsDir(path)) {
+          break;  // open(dir, O_RDONLY) is legal; nothing to compare.
+        }
+        Result<Fd> fd = fs().Open(path, OpenFlags::ReadOnly());
+        if (!model_.IsFile(path)) {
+          EXPECT_TRUE(fd.status().Is(ErrorCode::kNotFound)) << path;
+          break;
+        }
+        ASSERT_TRUE(fd.ok()) << path << ": " << fd.status().ToString();
+        const std::string& expected = model_.files_[path];
+        std::string got(expected.size() + 64, '\0');
+        Result<size_t> n = fs().Pread(*fd, got.data(), got.size(), 0);
+        ASSERT_TRUE(n.ok());
+        got.resize(*n);
+        EXPECT_EQ(got, expected) << path << " step " << step;
+        ASSERT_TRUE(fs().Close(*fd).ok());
+        break;
+      }
+      case 3: {  // Mkdir.
+        Status status = fs().Mkdir(path);
+        if (model_.Exists(path)) {
+          EXPECT_TRUE(status.Is(ErrorCode::kExists)) << path << ": " << status.ToString();
+        } else {
+          ASSERT_TRUE(status.ok()) << path << ": " << status.ToString();
+          model_.dirs_.insert(path);
+          dir_pool.push_back(path);
+        }
+        break;
+      }
+      case 4: {  // Unlink.
+        Status status = fs().Unlink(path);
+        if (model_.IsFile(path)) {
+          EXPECT_TRUE(status.ok()) << path << ": " << status.ToString();
+          model_.files_.erase(path);
+        } else if (model_.IsDir(path)) {
+          EXPECT_TRUE(status.Is(ErrorCode::kIsDir)) << path;
+        } else {
+          EXPECT_TRUE(status.Is(ErrorCode::kNotFound)) << path;
+        }
+        break;
+      }
+      case 5: {  // Truncate.
+        if (!model_.IsFile(path)) {
+          break;
+        }
+        const uint64_t new_size = rng.Below(2 * kPageSize);
+        ASSERT_TRUE(fs().Truncate(path, new_size).ok()) << path;
+        std::string& content = model_.files_[path];
+        if (new_size <= content.size()) {
+          content.resize(new_size);
+        } else {
+          content.resize(new_size, '\0');
+        }
+        break;
+      }
+      case 6: {  // Rename a file within / across directories.
+        const std::string to = join(random_dir(), random_name());
+        if (!model_.IsFile(path) || model_.IsDir(to) || path == to) {
+          break;
+        }
+        Status status = fs().Rename(path, to);
+        ASSERT_TRUE(status.ok()) << path << " -> " << to << ": " << status.ToString();
+        model_.files_[to] = model_.files_[path];
+        model_.files_.erase(path);
+        break;
+      }
+      default: {  // Stat + ReadDir consistency.
+        Result<StatInfo> info = fs().Stat(path);
+        if (model_.IsFile(path)) {
+          ASSERT_TRUE(info.ok()) << path;
+          EXPECT_EQ(info->size, model_.files_[path].size()) << path;
+          EXPECT_TRUE(info->IsRegular());
+        } else if (model_.IsDir(path)) {
+          ASSERT_TRUE(info.ok()) << path;
+          EXPECT_TRUE(info->IsDirectory());
+        } else {
+          EXPECT_TRUE(info.status().Is(ErrorCode::kNotFound)) << path;
+        }
+        Result<std::vector<DirEntryInfo>> entries = fs().ReadDir(dir);
+        ASSERT_TRUE(entries.ok()) << dir;
+        EXPECT_EQ(entries->size(), model_.ChildCount(dir)) << dir << " step " << step;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFileSystems, OracleTest,
+                         ::testing::ValuesIn(AllPosixFsNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace trio

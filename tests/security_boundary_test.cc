@@ -1,0 +1,136 @@
+// Security-boundary tests at the ArckFS level: per-user access control through the
+// shadow inode table (I4 ground truth), chmod/chown flows, delegation-enabled end-to-end
+// operation, and KVFS's enumeration API.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kernel/controller.h"
+#include "src/kvfs/kvfs.h"
+#include "src/libfs/arckfs.h"
+
+namespace trio {
+namespace {
+
+class SecurityBoundaryTest : public ::testing::Test {
+ protected:
+  SecurityBoundaryTest() : pool_(8192) {
+    FormatOptions options;
+    options.max_inodes = 2048;
+    TRIO_CHECK_OK(Format(pool_, options));
+    kernel_ = std::make_unique<KernelController>(pool_);
+    TRIO_CHECK_OK(kernel_->Mount());
+  }
+
+  std::unique_ptr<ArckFs> FsForUser(uint32_t uid, uint32_t gid = 0) {
+    ArckFsConfig config;
+    config.uid = uid;
+    config.gid = gid;
+    return std::make_unique<ArckFs>(*kernel_, config);
+  }
+
+  NvmPool pool_;
+  std::unique_ptr<KernelController> kernel_;
+};
+
+TEST_F(SecurityBoundaryTest, OtherUserCannotWritePrivateFile) {
+  auto alice = FsForUser(100);
+  auto mallory = FsForUser(200);
+
+  // Root dir is 0755 owned by uid 0; creating there needs root write permission...
+  // which 0755 denies to non-owners. Open up a world-writable area first as root.
+  auto admin = FsForUser(0);
+  ASSERT_TRUE(admin->Mkdir("/home", 0777).ok());
+
+  Result<Fd> fd = alice->Open("/home/diary", OpenFlags::CreateRw(), 0600);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  ASSERT_TRUE(alice->Pwrite(*fd, "secret", 6, 0).ok());
+  ASSERT_TRUE(alice->Close(*fd).ok());
+  ASSERT_TRUE(alice->ReleaseFile("/home/diary").ok());
+
+  // Mallory's LibFS runs with uid 200: the kernel's shadow inode (0600, uid 100)
+  // refuses both read and write grants.
+  EXPECT_TRUE(mallory->Open("/home/diary", OpenFlags::ReadOnly())
+                  .status()
+                  .Is(ErrorCode::kPermission));
+  EXPECT_TRUE(mallory->Open("/home/diary", OpenFlags::ReadWrite())
+                  .status()
+                  .Is(ErrorCode::kPermission));
+}
+
+TEST_F(SecurityBoundaryTest, ChmodOpensAccess) {
+  auto admin = FsForUser(0);
+  auto alice = FsForUser(100);
+  auto bob = FsForUser(200);
+  ASSERT_TRUE(admin->Mkdir("/pub", 0777).ok());
+  Result<Fd> fd = alice->Open("/pub/note", OpenFlags::CreateRw(), 0600);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(alice->Pwrite(*fd, "hi", 2, 0).ok());
+  ASSERT_TRUE(alice->Close(*fd).ok());
+  ASSERT_TRUE(alice->ReleaseFile("/pub/note").ok());
+
+  EXPECT_TRUE(bob->Open("/pub/note", OpenFlags::ReadOnly())
+                  .status()
+                  .Is(ErrorCode::kPermission));
+  // Owner relaxes the mode (flows through the kernel: shadow inode is ground truth).
+  ASSERT_TRUE(alice->Chmod("/pub/note", 0644).ok());
+  Result<Fd> bob_fd = bob->Open("/pub/note", OpenFlags::ReadOnly());
+  ASSERT_TRUE(bob_fd.ok()) << bob_fd.status().ToString();
+  ASSERT_TRUE(bob->Close(*bob_fd).ok());
+  // Still no write for bob.
+  EXPECT_TRUE(bob->Open("/pub/note", OpenFlags::ReadWrite())
+                  .status()
+                  .Is(ErrorCode::kPermission));
+}
+
+TEST_F(SecurityBoundaryTest, NonOwnerChmodRejected) {
+  auto admin = FsForUser(0);
+  auto alice = FsForUser(100);
+  auto mallory = FsForUser(200);
+  ASSERT_TRUE(admin->Mkdir("/pub", 0777).ok());
+  Result<Fd> fd = alice->Open("/pub/f", OpenFlags::CreateRw(), 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(alice->Close(*fd).ok());
+  ASSERT_TRUE(alice->ReleaseFile("/pub/f").ok());
+  EXPECT_TRUE(mallory->Chmod("/pub/f", 0777).Is(ErrorCode::kPermission));
+}
+
+TEST_F(SecurityBoundaryTest, DelegationEnabledEndToEnd) {
+  kernel_->StartDelegation();
+  ArckFsConfig config;
+  config.use_delegation = true;
+  ArckFs fs(*kernel_, config);
+
+  // Large writes/reads cross the delegation ring; everything must still round-trip.
+  Result<Fd> fd = fs.Open("/bulk", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  std::string data(256 * 1024, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>('a' + i % 23);
+  }
+  ASSERT_TRUE(fs.Pwrite(*fd, data.data(), data.size(), 0).ok());
+  std::string out(data.size(), '\0');
+  Result<size_t> n = fs.Pread(*fd, out.data(), out.size(), 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(fs.Close(*fd).ok());
+  EXPECT_GT(kernel_->delegation()->submitted(), 0u);
+}
+
+TEST_F(SecurityBoundaryTest, KvfsKeysAndContains) {
+  KvFs kv(*kernel_);
+  for (int i = 0; i < 20; ++i) {
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(kv.Set("key" + std::to_string(i), value.data(), value.size()).ok());
+  }
+  ASSERT_TRUE(kv.Delete("key7").ok());
+  Result<std::vector<std::string>> keys = kv.Keys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 19u);
+  EXPECT_TRUE(kv.Contains("key3"));
+  EXPECT_FALSE(kv.Contains("key7"));
+}
+
+}  // namespace
+}  // namespace trio

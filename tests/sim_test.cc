@@ -1,0 +1,192 @@
+// Tests of the analytic performance model: the machine curves, the solver's caps, and —
+// most importantly — the qualitative relationships the paper reports, which the benches
+// rely on (who wins, where scaling saturates, where Optane collapses).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+#include "src/sim/model.h"
+#include "src/sim/profiles.h"
+
+namespace trio {
+namespace sim {
+namespace {
+
+MachineModel Machine() { return MachineModel{}; }
+
+double Tput(const std::string& fs, const OpProfile& op, int threads, int machine_nodes) {
+  SolveInput input;
+  input.op = op;
+  input.threads = threads;
+  input.nodes = NodesUsed(fs, machine_nodes);
+  return Solve(Machine(), input).ops_per_sec;
+}
+
+double DataGiBps(const std::string& fs, double bytes, bool read, int threads, int nodes) {
+  SolveInput input;
+  input.op = DataOp(fs, bytes, read);
+  input.threads = threads;
+  input.nodes = NodesUsed(fs, nodes);
+  return Solve(Machine(), input).data_gib_per_sec;
+}
+
+TEST(MachineModelTest, ReadBandwidthRampsAndHolds) {
+  MachineModel m;
+  EXPECT_LT(m.NodeReadBw(1), m.NodeReadBw(8));
+  EXPECT_GT(m.NodeReadBw(8), 25.0);
+  // Reads degrade gently, not collapse.
+  EXPECT_GT(m.NodeReadBw(56), 0.6 * m.NodeReadBw(8));
+}
+
+TEST(MachineModelTest, WriteBandwidthCollapses) {
+  MachineModel m;
+  const double peak = m.NodeWriteBw(6);
+  EXPECT_GT(peak, 9.0);
+  // §4.5: excessive concurrent access degrades Optane writes badly.
+  EXPECT_LT(m.NodeWriteBw(28), 0.5 * peak);
+  EXPECT_LT(m.NodeWriteBw(100), 0.35 * peak);
+}
+
+TEST(SolverTest, LatencyBoundScalesWithThreads) {
+  OpProfile op;
+  op.cpu_us = 1.0;
+  SolveInput input{op, 1, 1};
+  const double t1 = Solve(Machine(), input).ops_per_sec;
+  input.threads = 8;
+  const double t8 = Solve(Machine(), input).ops_per_sec;
+  EXPECT_NEAR(t8 / t1, 8.0, 0.01);
+}
+
+TEST(SolverTest, GlobalSerialCapsThroughput) {
+  OpProfile op;
+  op.cpu_us = 1.0;
+  op.global_serial_us = 2.0;
+  SolveInput input{op, 100, 1};
+  const double t = Solve(Machine(), input).ops_per_sec;
+  EXPECT_NEAR(t, 5e5, 1);  // 1 / 2us.
+  EXPECT_STREQ(Solve(Machine(), input).bound, "global-serial");
+}
+
+TEST(SolverTest, SelfCapApplies) {
+  OpProfile op;
+  op.cpu_us = 0.1;
+  op.self_cap_ops_per_us = 4.0;
+  SolveInput input{op, 224, 8};
+  EXPECT_NEAR(Solve(Machine(), input).ops_per_sec, 4e6, 1);
+}
+
+// ---- Paper-shape assertions ----
+
+TEST(PaperShapeTest, Fig5SingleThreadCreateRatios) {
+  // "for open, create, delete ArckFS outperforms others by 1.6x-5.6x, 3.3x-5.3x, and
+  // 7.4x-9.4x" (§6.2).
+  const double arck = Tput("ArckFS", MetaOp("ArckFS", MetaKind::kCreate, false), 1, 1);
+  for (const char* other : {"ext4", "NOVA", "Strata"}) {
+    const double t = Tput(other, MetaOp(other, MetaKind::kCreate, false), 1, 1);
+    EXPECT_GT(arck / t, 2.8) << other;
+    EXPECT_LT(arck / t, 7.0) << other;
+  }
+  const double arck_del = Tput("ArckFS", MetaOp("ArckFS", MetaKind::kUnlink, false), 1, 1);
+  for (const char* other : {"NOVA", "Strata"}) {
+    const double t = Tput(other, MetaOp(other, MetaKind::kUnlink, false), 1, 1);
+    EXPECT_GT(arck_del / t, 6.0) << other;
+    EXPECT_LT(arck_del / t, 11.0) << other;
+  }
+}
+
+TEST(PaperShapeTest, Fig5SmallDataDirectAccessWins) {
+  // 4KB: direct-access systems beat NOVA by ~9-31%; delegated ArckFS is slightly slower
+  // than ArckFS-nd but still above NOVA (§6.2).
+  const double nova = DataGiBps("NOVA", 4096, false, 1, 1);
+  const double arck_nd = DataGiBps("ArckFS-nd", 4096, false, 1, 1);
+  const double arck = DataGiBps("ArckFS", 4096, false, 1, 1);
+  const double splitfs = DataGiBps("SplitFS", 4096, false, 1, 1);
+  EXPECT_GT(arck_nd, nova * 1.05);
+  EXPECT_LT(arck_nd, nova * 1.45);
+  EXPECT_GT(splitfs, nova);
+  EXPECT_GT(arck, nova);
+  EXPECT_LT(arck, arck_nd);  // Delegation overhead on small ops.
+}
+
+TEST(PaperShapeTest, Fig5BulkDataParallelizationWins) {
+  // 2MB: ArckFS/OdinFS parallelize across nodes; 3.1x-25x over the rest (§6.2).
+  const double nova = DataGiBps("NOVA", 2 << 20, true, 1, 8);
+  const double arck = DataGiBps("ArckFS", 2 << 20, true, 1, 8);
+  const double odin = DataGiBps("OdinFS", 2 << 20, true, 1, 8);
+  EXPECT_GT(arck / nova, 3.0);
+  EXPECT_GT(odin / nova, 2.0);
+  EXPECT_GE(arck, odin);
+}
+
+TEST(PaperShapeTest, Fig6WriteCollapseWithoutDelegation) {
+  // Single node, 4KB writes: throughput peaks at a few threads then drops (Fig. 6b).
+  const double at4 = DataGiBps("NOVA", 4096, false, 4, 1);
+  const double at8 = DataGiBps("NOVA", 4096, false, 8, 1);
+  const double at28 = DataGiBps("NOVA", 4096, false, 28, 1);
+  EXPECT_GT(at8, at4 * 0.8);
+  EXPECT_LT(at28, std::max(at8, at4));
+}
+
+TEST(PaperShapeTest, Fig6DelegationPreservesScaling) {
+  // Eight nodes, 224 threads: ArckFS sustains; others collapse (up to 22x, §6.3).
+  const double arck = DataGiBps("ArckFS", 4096, false, 224, 8);
+  const double nova = DataGiBps("NOVA", 4096, false, 224, 8);
+  const double odin = DataGiBps("OdinFS", 4096, false, 224, 8);
+  EXPECT_GT(arck / nova, 8.0);
+  EXPECT_GE(arck, odin * 0.99);
+  EXPECT_LT(arck, odin * 1.6);  // "outperforms OdinFS by up to 1.3x".
+}
+
+TEST(PaperShapeTest, Fig6BulkReadsSaturateAggregateBandwidth) {
+  const double arck224 = DataGiBps("ArckFS", 2 << 20, true, 224, 8);
+  EXPECT_GT(arck224, 120.0);  // Fig. 6g tops out ~200 GiB/s.
+  EXPECT_LT(arck224, 280.0);
+  const double nova224 = DataGiBps("NOVA", 2 << 20, true, 224, 8);
+  EXPECT_GT(arck224 / nova224, 5.0);
+}
+
+TEST(PaperShapeTest, Fig7PrivateOpensScaleForEveryone_SharedOnlyForArckFs) {
+  // "most other file systems can only scale MRPL and MRDL" (§6.4).
+  const double nova_private =
+      Tput("NOVA", MetaOp("NOVA", MetaKind::kOpen, false), 224, 8);
+  const double nova_1 = Tput("NOVA", MetaOp("NOVA", MetaKind::kOpen, false), 1, 8);
+  EXPECT_GT(nova_private / nova_1, 50.0);  // Scales.
+
+  const double nova_shared = Tput("NOVA", MetaOp("NOVA", MetaKind::kOpen, true), 224, 8);
+  const double arck_shared =
+      Tput("ArckFS", MetaOp("ArckFS", MetaKind::kOpen, true), 224, 8);
+  EXPECT_GT(arck_shared / nova_shared, 5.0);  // "5.4x to 334x" for opens at 224.
+}
+
+TEST(PaperShapeTest, Fig7CreateSaturatesForArckFsAndSerializesForOthers) {
+  const double arck1 = Tput("ArckFS", MetaOp("ArckFS", MetaKind::kCreate, false), 1, 8);
+  const double arck224 =
+      Tput("ArckFS", MetaOp("ArckFS", MetaKind::kCreate, false), 224, 8);
+  EXPECT_GT(arck224, arck1);               // Grows...
+  EXPECT_LT(arck224, 4.5e6);               // ...but saturates ~4 ops/us (Fig. 7 MWCL).
+  const double ext4_224 = Tput("ext4", MetaOp("ext4", MetaKind::kCreate, false), 224, 8);
+  EXPECT_GT(arck224 / ext4_224, 2.0);      // "2.3x to 21.2x" for creates at 224.
+  EXPECT_LT(arck224 / ext4_224, 25.0);
+}
+
+TEST(PaperShapeTest, Fig7TruncateScalesLinearly) {
+  const double arck1 = Tput("ArckFS", MetaOp("ArckFS", MetaKind::kTruncate, false), 1, 8);
+  const double arck224 =
+      Tput("ArckFS", MetaOp("ArckFS", MetaKind::kTruncate, false), 224, 8);
+  EXPECT_GT(arck224 / arck1, 150.0);  // DWTL: linear to 224 (Fig. 7).
+}
+
+TEST(PaperShapeTest, CustomizationsBeatArckFsOnTheirWorkloads) {
+  // KVFS on small-file access and FPFS on deep paths outperform ArckFS (~1.2-1.3x, §6.6).
+  const double arck_open = Tput("ArckFS", MetaOp("ArckFS", MetaKind::kOpen, false), 8, 8);
+  const double fpfs_open = Tput("FPFS", MetaOp("FPFS", MetaKind::kOpen, false), 8, 8);
+  EXPECT_GT(fpfs_open / arck_open, 1.15);
+
+  const double arck_small = Tput("ArckFS", DataOp("ArckFS", 4096, true), 8, 8);
+  const double kvfs_small = Tput("KVFS", DataOp("KVFS", 4096, true), 8, 8);
+  EXPECT_GT(kvfs_small / arck_small, 1.05);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace trio

@@ -1,0 +1,112 @@
+// Tests for the workload generators: each must prepare and run on ArckFS and on a
+// representative baseline, and exercise the operations it claims to.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/fs_factory.h"
+#include "src/workloads/workloads.h"
+
+namespace trio {
+namespace {
+
+class WorkloadsTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  WorkloadsTest() : instance_(MakeFs(GetParam())) {}
+  FsInterface& fs() { return *instance_.fs; }
+  FsInstance instance_;
+};
+
+TEST_P(WorkloadsTest, FioReadAndWrite) {
+  for (bool is_read : {true, false}) {
+    FioConfig config;
+    config.file_size = 1 << 20;
+    config.block_size = 4096;
+    config.is_read = is_read;
+    config.random = true;
+    FioWorkload fio(fs(), config);
+    ASSERT_TRUE(fio.Prepare(2).ok());
+    for (int t = 0; t < 2; ++t) {
+      Result<WorkloadStats> stats = fio.Run(t, 100);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(stats->ops, 100u);
+      EXPECT_EQ(is_read ? stats->bytes_read : stats->bytes_written, 100u * 4096);
+    }
+  }
+}
+
+TEST_P(WorkloadsTest, FxMarkAllBenchmarksRun) {
+  for (FxMarkBench bench :
+       {FxMarkBench::kDWTL, FxMarkBench::kMRPL, FxMarkBench::kMRPM, FxMarkBench::kMRPH,
+        FxMarkBench::kMRDL, FxMarkBench::kMRDM, FxMarkBench::kMWCL, FxMarkBench::kMWCM,
+        FxMarkBench::kMWUL, FxMarkBench::kMWUM, FxMarkBench::kMWRL, FxMarkBench::kMWRM,
+        FxMarkBench::kDRBL, FxMarkBench::kDRBM}) {
+    FsInstance fresh = MakeFs(GetParam());
+    FxMarkWorkload workload(*fresh.fs, bench);
+    ASSERT_TRUE(workload.Prepare(2).ok()) << FxMarkBenchName(bench);
+    for (int t = 0; t < 2; ++t) {
+      for (uint64_t i = 0; i < 20; ++i) {
+        Status status = workload.Op(t, i);
+        ASSERT_TRUE(status.ok())
+            << FxMarkBenchName(bench) << " t" << t << " i" << i << ": "
+            << status.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(WorkloadsTest, FilebenchPersonalitiesRun) {
+  for (FilebenchPersonality personality :
+       {FilebenchPersonality::kFileserver, FilebenchPersonality::kWebserver,
+        FilebenchPersonality::kWebproxy, FilebenchPersonality::kVarmail}) {
+    FsInstance fresh = MakeFs(GetParam());
+    FilebenchConfig config;
+    config.personality = personality;
+    config.scale = 0.002;
+    FilebenchWorkload workload(*fresh.fs, config);
+    ASSERT_TRUE(workload.Prepare(2).ok()) << FilebenchName(personality);
+    for (int t = 0; t < 2; ++t) {
+      for (uint64_t i = 0; i < 5; ++i) {
+        Result<WorkloadStats> stats = workload.Op(t, i);
+        ASSERT_TRUE(stats.ok())
+            << FilebenchName(personality) << ": " << stats.status().ToString();
+        EXPECT_GT(stats->ops, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(WorkloadsTest, VarmailDeepDirectoryVariant) {
+  FilebenchConfig config;
+  config.personality = FilebenchPersonality::kVarmail;
+  config.scale = 0.001;
+  config.dir_depth = 20;  // The FPFS experiment (§6.6).
+  FilebenchWorkload workload(fs(), config);
+  ASSERT_TRUE(workload.Prepare(1).ok());
+  Result<WorkloadStats> stats = workload.Op(0, 0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, WorkloadsTest,
+                         ::testing::Values("ArckFS", "NOVA", "FPFS"));
+
+TEST(FxMarkMeta, NamesAndSharedness) {
+  EXPECT_STREQ(FxMarkBenchName(FxMarkBench::kMWCM), "MWCM");
+  EXPECT_TRUE(FxMarkShared(FxMarkBench::kMWCM));
+  EXPECT_FALSE(FxMarkShared(FxMarkBench::kMWCL));
+  EXPECT_TRUE(FxMarkShared(FxMarkBench::kMRPH));
+  EXPECT_FALSE(FxMarkShared(FxMarkBench::kDWTL));
+}
+
+TEST(FilebenchConfigTest, Table4Parameters) {
+  FilebenchConfig config;
+  config.scale = 1.0;
+  config.personality = FilebenchPersonality::kFileserver;
+  EXPECT_EQ(config.FileCount(), 10000);
+  EXPECT_EQ(config.WriteIoSize(), 512u << 10);
+  config.personality = FilebenchPersonality::kVarmail;
+  EXPECT_EQ(config.FileCount(), 100000);
+  EXPECT_EQ(config.AvgFileSize(), 16u << 10);
+}
+
+}  // namespace
+}  // namespace trio
