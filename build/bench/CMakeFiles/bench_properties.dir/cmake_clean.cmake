@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_properties.dir/bench_properties.cc.o"
+  "CMakeFiles/bench_properties.dir/bench_properties.cc.o.d"
+  "bench_properties"
+  "bench_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

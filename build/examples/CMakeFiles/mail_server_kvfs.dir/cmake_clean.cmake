@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_server_kvfs.dir/mail_server_kvfs.cpp.o"
+  "CMakeFiles/mail_server_kvfs.dir/mail_server_kvfs.cpp.o.d"
+  "mail_server_kvfs"
+  "mail_server_kvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_server_kvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_security.dir/multi_tenant_security.cpp.o"
+  "CMakeFiles/multi_tenant_security.dir/multi_tenant_security.cpp.o.d"
+  "multi_tenant_security"
+  "multi_tenant_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

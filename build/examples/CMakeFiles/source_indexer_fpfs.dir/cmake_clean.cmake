@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_indexer_fpfs.dir/source_indexer_fpfs.cpp.o"
+  "CMakeFiles/source_indexer_fpfs.dir/source_indexer_fpfs.cpp.o.d"
+  "source_indexer_fpfs"
+  "source_indexer_fpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_indexer_fpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for source_indexer_fpfs.
+# This may be replaced when dependencies are built.

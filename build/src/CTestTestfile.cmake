@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nvm")
+subdirs("core")
+subdirs("verifier")
+subdirs("kernel")
+subdirs("libfs")
+subdirs("attacks")
+subdirs("kvfs")
+subdirs("fpfs")
+subdirs("baselines")
+subdirs("sim")
+subdirs("workloads")
+subdirs("minildb")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_attacks.dir/attacks.cc.o"
+  "CMakeFiles/trio_attacks.dir/attacks.cc.o.d"
+  "libtrio_attacks.a"
+  "libtrio_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_baselines.dir/baselines.cc.o"
+  "CMakeFiles/trio_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/trio_baselines.dir/fs_factory.cc.o"
+  "CMakeFiles/trio_baselines.dir/fs_factory.cc.o.d"
+  "CMakeFiles/trio_baselines.dir/simple_kernel_fs.cc.o"
+  "CMakeFiles/trio_baselines.dir/simple_kernel_fs.cc.o.d"
+  "libtrio_baselines.a"
+  "libtrio_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_common.dir/logging.cc.o"
+  "CMakeFiles/trio_common.dir/logging.cc.o.d"
+  "CMakeFiles/trio_common.dir/status.cc.o"
+  "CMakeFiles/trio_common.dir/status.cc.o.d"
+  "libtrio_common.a"
+  "libtrio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

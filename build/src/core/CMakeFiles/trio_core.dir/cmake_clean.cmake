@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_core.dir/core_state.cc.o"
+  "CMakeFiles/trio_core.dir/core_state.cc.o.d"
+  "libtrio_core.a"
+  "libtrio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_fpfs.dir/fpfs.cc.o"
+  "CMakeFiles/trio_fpfs.dir/fpfs.cc.o.d"
+  "libtrio_fpfs.a"
+  "libtrio_fpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_fpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

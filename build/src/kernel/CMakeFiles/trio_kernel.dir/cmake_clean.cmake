@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_kernel.dir/controller.cc.o"
+  "CMakeFiles/trio_kernel.dir/controller.cc.o.d"
+  "libtrio_kernel.a"
+  "libtrio_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_kvfs.dir/kvfs.cc.o"
+  "CMakeFiles/trio_kvfs.dir/kvfs.cc.o.d"
+  "libtrio_kvfs.a"
+  "libtrio_kvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_kvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrio_kvfs.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_libfs.dir/arckfs.cc.o"
+  "CMakeFiles/trio_libfs.dir/arckfs.cc.o.d"
+  "CMakeFiles/trio_libfs.dir/fs_interface.cc.o"
+  "CMakeFiles/trio_libfs.dir/fs_interface.cc.o.d"
+  "libtrio_libfs.a"
+  "libtrio_libfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_libfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_minildb.dir/db.cc.o"
+  "CMakeFiles/trio_minildb.dir/db.cc.o.d"
+  "CMakeFiles/trio_minildb.dir/db_bench.cc.o"
+  "CMakeFiles/trio_minildb.dir/db_bench.cc.o.d"
+  "CMakeFiles/trio_minildb.dir/sstable.cc.o"
+  "CMakeFiles/trio_minildb.dir/sstable.cc.o.d"
+  "libtrio_minildb.a"
+  "libtrio_minildb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_minildb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

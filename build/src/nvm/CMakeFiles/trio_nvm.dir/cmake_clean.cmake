@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_nvm.dir/nvm.cc.o"
+  "CMakeFiles/trio_nvm.dir/nvm.cc.o.d"
+  "libtrio_nvm.a"
+  "libtrio_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_sim.dir/model.cc.o"
+  "CMakeFiles/trio_sim.dir/model.cc.o.d"
+  "CMakeFiles/trio_sim.dir/profiles.cc.o"
+  "CMakeFiles/trio_sim.dir/profiles.cc.o.d"
+  "libtrio_sim.a"
+  "libtrio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_verifier.dir/fsck.cc.o"
+  "CMakeFiles/trio_verifier.dir/fsck.cc.o.d"
+  "CMakeFiles/trio_verifier.dir/verifier.cc.o"
+  "CMakeFiles/trio_verifier.dir/verifier.cc.o.d"
+  "libtrio_verifier.a"
+  "libtrio_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trio_workloads.dir/workloads.cc.o"
+  "CMakeFiles/trio_workloads.dir/workloads.cc.o.d"
+  "libtrio_workloads.a"
+  "libtrio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

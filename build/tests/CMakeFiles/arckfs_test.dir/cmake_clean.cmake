@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arckfs_test.dir/arckfs_test.cc.o"
+  "CMakeFiles/arckfs_test.dir/arckfs_test.cc.o.d"
+  "arckfs_test"
+  "arckfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arckfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

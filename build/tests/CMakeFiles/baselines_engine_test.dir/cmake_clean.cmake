@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_engine_test.dir/baselines_engine_test.cc.o"
+  "CMakeFiles/baselines_engine_test.dir/baselines_engine_test.cc.o.d"
+  "baselines_engine_test"
+  "baselines_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fs_test.dir/custom_fs_test.cc.o"
+  "CMakeFiles/custom_fs_test.dir/custom_fs_test.cc.o.d"
+  "custom_fs_test"
+  "custom_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

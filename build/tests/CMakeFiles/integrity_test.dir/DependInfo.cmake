@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integrity_test.cc" "tests/CMakeFiles/integrity_test.dir/integrity_test.cc.o" "gcc" "tests/CMakeFiles/integrity_test.dir/integrity_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/trio_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/libfs/CMakeFiles/trio_libfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/trio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/trio_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/trio_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libfs_structures_test.dir/libfs_structures_test.cc.o"
+  "CMakeFiles/libfs_structures_test.dir/libfs_structures_test.cc.o.d"
+  "libfs_structures_test"
+  "libfs_structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libfs_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minildb_test.dir/minildb_test.cc.o"
+  "CMakeFiles/minildb_test.dir/minildb_test.cc.o.d"
+  "minildb_test"
+  "minildb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minildb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
