@@ -197,6 +197,32 @@ void BM_DelegationThreshold(benchmark::State& state) {
 BENCHMARK(BM_DelegationThreshold)
     ->ArgsProduct({{256, 4096, 65536, 1 << 20}, {0, 1}});
 
+// Sweep the write-delegation threshold itself (now a DelegationConfig field plumbed
+// through the factory): a fixed 16 KiB write flips between the direct and delegated
+// paths as the threshold moves past it.
+void BM_DelegationWriteThresholdSweep(benchmark::State& state) {
+  const size_t threshold = state.range(0);
+  FsFactoryOptions options;
+  options.pool_pages = 1 << 16;
+  options.arckfs_delegation = true;
+  options.delegate_write_threshold = threshold;
+  FsInstance instance = MakeFs("ArckFS", options);
+  Result<Fd> fd = instance.fs->Open("/sweep", OpenFlags::CreateRw());
+  TRIO_CHECK(fd.ok());
+  std::string block(16 * 1024, 's');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance.fs->Pwrite(*fd, block.data(), block.size(), 0));
+  }
+  TRIO_CHECK_OK(instance.fs->Close(*fd));
+  state.SetBytesProcessed(state.iterations() * block.size());
+}
+BENCHMARK(BM_DelegationWriteThresholdSweep)
+    ->ArgName("write_threshold")
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20);
+
 }  // namespace
 }  // namespace trio
 

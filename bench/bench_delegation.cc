@@ -1,0 +1,174 @@
+// Delegation v2 microbenchmarks: copy size × application-thread count, comparing the
+// batched data path (one ring push and one fence per batch per node) against the
+// pre-batch per-chunk path (one Submit + one fence per 4 KiB chunk) and against direct
+// inline copies. Run with --benchmark_out=BENCH_delegation.json
+// --benchmark_out_format=json to track the trajectory across PRs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/delegation.h"
+#include "src/nvm/nvm.h"
+
+namespace trio {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr size_t kPoolPages = 1 << 13;  // 32 MiB: room for 8 threads × 1 MiB per node.
+
+struct Harness {
+  Harness() {
+    NumaTopology topo;
+    topo.num_nodes = kNodes;
+    topo.delegation_threads_per_node = 2;
+    pool = std::make_unique<NvmPool>(kPoolPages, NvmMode::kFast, topo);
+    delegation = std::make_unique<DelegationPool>(*pool);
+  }
+  std::unique_ptr<NvmPool> pool;
+  std::unique_ptr<DelegationPool> delegation;
+};
+
+Harness& SharedHarness() {
+  static Harness harness;
+  return harness;
+}
+
+// Each benchmark thread owns a disjoint span of every node's stripe, so threads never
+// overlap and every copy is split across all four nodes like a striped file would be.
+char* ThreadRegion(NvmPool& pool, int node, int thread_index, size_t bytes_per_node) {
+  return pool.base() + static_cast<size_t>(node) * pool.NodeStripeBytes() +
+         static_cast<size_t>(thread_index) * bytes_per_node;
+}
+
+// ---- Batched: one DelegationBatch per operation, one fence per node ----
+
+void BM_DelegatedWriteBatched(benchmark::State& state) {
+  Harness& harness = SharedHarness();
+  const size_t bytes = state.range(0);
+  const size_t per_node = bytes / kNodes;
+  std::vector<char> src(bytes, 'b');
+  for (auto _ : state) {
+    DelegationBatch batch(*harness.delegation);
+    for (int node = 0; node < kNodes; ++node) {
+      batch.AddWrite(
+          ThreadRegion(*harness.pool, node, state.thread_index(), per_node),
+          src.data() + node * per_node, per_node, /*persist=*/true);
+    }
+    batch.Submit();
+    batch.Wait();
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_DelegatedWriteBatched)
+    ->ArgNames({"bytes"})
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---- Per-chunk: the seed data path — every 4 KiB chunk is its own self-fencing Submit ----
+
+void BM_DelegatedWritePerChunk(benchmark::State& state) {
+  Harness& harness = SharedHarness();
+  const size_t bytes = state.range(0);
+  const size_t per_node = bytes / kNodes;
+  std::vector<char> src(bytes, 'c');
+  for (auto _ : state) {
+    std::atomic<uint32_t> pending{static_cast<uint32_t>(bytes / kPageSize)};
+    for (int node = 0; node < kNodes; ++node) {
+      char* dst = ThreadRegion(*harness.pool, node, state.thread_index(), per_node);
+      for (size_t off = 0; off < per_node; off += kPageSize) {
+        DelegationRequest req;
+        req.op = DelegationRequest::Op::kWrite;
+        req.nvm = dst + off;
+        req.dram = src.data() + node * per_node + off;
+        req.len = kPageSize;
+        req.pending = &pending;
+        harness.delegation->Submit(req);
+      }
+    }
+    harness.delegation->Wait(pending);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_DelegatedWritePerChunk)
+    ->ArgNames({"bytes"})
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---- Direct: the application thread copies and fences itself (no delegation) ----
+
+void BM_DirectWrite(benchmark::State& state) {
+  Harness& harness = SharedHarness();
+  const size_t bytes = state.range(0);
+  const size_t per_node = bytes / kNodes;
+  std::vector<char> src(bytes, 'd');
+  for (auto _ : state) {
+    for (int node = 0; node < kNodes; ++node) {
+      char* dst = ThreadRegion(*harness.pool, node, state.thread_index(), per_node);
+      harness.pool->Write(dst, src.data() + node * per_node, per_node);
+      harness.pool->Persist(dst, per_node);
+    }
+    harness.pool->Fence();
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_DirectWrite)
+    ->ArgNames({"bytes"})
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// ---- Batched delegated reads ----
+
+void BM_DelegatedReadBatched(benchmark::State& state) {
+  Harness& harness = SharedHarness();
+  const size_t bytes = state.range(0);
+  const size_t per_node = bytes / kNodes;
+  std::vector<char> dst(bytes);
+  for (auto _ : state) {
+    DelegationBatch batch(*harness.delegation);
+    for (int node = 0; node < kNodes; ++node) {
+      batch.AddRead(dst.data() + node * per_node,
+                    ThreadRegion(*harness.pool, node, state.thread_index(), per_node),
+                    per_node);
+    }
+    batch.Submit();
+    batch.Wait();
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_DelegatedReadBatched)
+    ->ArgNames({"bytes"})
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace trio
+
+BENCHMARK_MAIN();

@@ -24,6 +24,12 @@ FsInstance MakeTrio(const std::string& name, const FsFactoryOptions& options) {
   format.num_nodes = options.numa_nodes;
   TRIO_CHECK_OK(Format(*out.pool, format));
   KernelConfig config;
+  if (options.delegate_read_threshold != 0) {
+    config.delegation.read_threshold = options.delegate_read_threshold;
+  }
+  if (options.delegate_write_threshold != 0) {
+    config.delegation.write_threshold = options.delegate_write_threshold;
+  }
   out.kernel = std::make_unique<KernelController>(*out.pool, config);
   TRIO_CHECK_OK(out.kernel->Mount());
 

@@ -29,6 +29,9 @@ struct FsFactoryOptions {
   int numa_nodes = 1;
   int delegation_threads_per_node = 2;
   bool arckfs_delegation = false;  // "ArckFS" vs "ArckFS-nd" configurations.
+  // 0 = DelegationConfig defaults (§4.5). Nonzero values let benches sweep thresholds.
+  size_t delegate_read_threshold = 0;
+  size_t delegate_write_threshold = 0;
   uint64_t vfs_trap_cost_ns = 0;   // Modeled syscall cost for kernel baselines.
 };
 

@@ -83,6 +83,39 @@ class MpmcRing {
     }
   }
 
+  // ---- Producer/consumer batch + wait hooks (delegation v2). ----
+
+  // Pushes as many of items[0..count) as fit, in order; returns the number pushed.
+  // Amortizes the per-call overhead when a submitter enqueues a whole batch.
+  size_t TryPushBatch(const T* items, size_t count) {
+    size_t pushed = 0;
+    while (pushed < count && TryPush(items[pushed])) {
+      ++pushed;
+    }
+    return pushed;
+  }
+
+  // Pops up to `max` items into out[0..); returns the number popped. Lets consumers
+  // drain a burst per wakeup instead of round-tripping once per item.
+  size_t TryPopBatch(T* out, size_t max) {
+    size_t popped = 0;
+    while (popped < max && TryPop(out[popped])) {
+      ++popped;
+    }
+    return popped;
+  }
+
+  // Racy occupancy snapshot: consumers use it to decide whether to spin, steal, or park,
+  // and producers use it to decide whether a burst warrants waking extra consumers.
+  // Never use it as a substitute for TryPop's return value.
+  size_t ApproxSize() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head > tail ? head - tail : 0;
+  }
+
+  bool ApproxEmpty() const { return ApproxSize() == 0; }
+
   size_t capacity() const { return capacity_; }
 
  private:

@@ -41,8 +41,7 @@ KernelController::~KernelController() { delegation_.reset(); }
 
 void KernelController::StartDelegation() {
   if (delegation_ == nullptr) {
-    delegation_ = std::make_unique<DelegationPool>(
-        pool_, pool_.topology().delegation_threads_per_node, config_.delegation_ring_capacity);
+    delegation_ = std::make_unique<DelegationPool>(pool_, config_.delegation);
   }
 }
 

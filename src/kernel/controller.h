@@ -37,7 +37,9 @@ struct KernelConfig {
   uint64_t lease_ms = 100;        // §6.5: "ArckFS's 100ms lease time".
   uint64_t fix_timeout_ms = 10;   // Deadline for a LibFS to fix its own corruption.
   bool start_delegation = false;  // Spin up delegation threads at construction.
-  size_t delegation_ring_capacity = 1024;
+  // Thresholds, ring sizing, spin/park and stealing knobs for the delegation pool
+  // (§4.5); benchmarks sweep these through here.
+  DelegationConfig delegation;
 };
 
 // Callbacks a LibFS registers with the kernel controller.

@@ -1,17 +1,32 @@
-// Opportunistic delegation (§4.5), following OdinFS: per-NUMA-node pools of background
+// Opportunistic delegation v2 (§4.5), following OdinFS: per-NUMA-node pools of background
 // "kernel" threads perform NVM copies on behalf of application threads, so that (a) the
 // number of threads touching each NVM node stays fixed (Optane collapses under excessive
-// concurrency) and (b) accesses are always node-local. Application threads submit requests
-// through a bounded MPMC ring and wait on a completion counter. ArckFS does not delegate
-// small accesses (reads < 32 KiB, writes < 256 B) because the communication overhead
-// dominates.
+// concurrency) and (b) accesses are always node-local.
+//
+// v2 rebuilds the data path end to end:
+//  * Batched submission: DelegationBatch splits a whole read/write at node-stripe
+//    boundaries once, enqueues per-node request vectors through the ring's batch hooks,
+//    and issues ONE fence per batch per node — workers Persist each chunk, and the last
+//    completer of a node's share of the batch fences (amortizing sfence as OdinFS does).
+//  * Spin-then-park: workers spin briefly on an empty ring, then park on a per-node
+//    condition variable and are woken by submitters; waiters adaptively spin (CpuRelax)
+//    and fall back to parking on a pool-level condition variable. An idle pool consumes
+//    ~0 CPU.
+//  * Per-node sharded stats (submitted/completed/batches/wakeups/parks/steals) replace
+//    the old global counter, and idle workers steal from sibling-node rings so a skewed
+//    workload does not strand capacity.
+//  * DelegationConfig carries the size thresholds (reads < 32 KiB and writes < 256 B are
+//    not delegated by default — the communication overhead dominates) so benchmarks can
+//    sweep them.
 
 #ifndef SRC_KERNEL_DELEGATION_H_
 #define SRC_KERNEL_DELEGATION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -20,112 +35,195 @@
 
 namespace trio {
 
-// Delegation thresholds (§4.5).
+// Default delegation thresholds (§4.5). The live values are DelegationConfig fields.
 inline constexpr size_t kDelegateReadThreshold = 32 * 1024;
 inline constexpr size_t kDelegateWriteThreshold = 256;
 
-struct DelegationRequest {
-  enum class Op : uint8_t { kRead, kWrite, kStop } op = Op::kStop;
-  char* nvm = nullptr;          // NVM-side address.
-  char* dram = nullptr;         // Application buffer.
-  uint32_t len = 0;
-  bool persist = true;          // Writes: flush + fence after the copy.
-  std::atomic<uint32_t>* pending = nullptr;  // Decremented on completion.
+struct DelegationConfig {
+  size_t read_threshold = kDelegateReadThreshold;
+  size_t write_threshold = kDelegateWriteThreshold;
+  size_t ring_capacity = 1024;
+  // 0 = use NumaTopology::delegation_threads_per_node.
+  int threads_per_node = 0;
+  // TryPop/steal rounds an idle worker spins before parking.
+  uint32_t worker_spin = 2048;
+  // Completion polls a waiter spins before parking.
+  uint32_t waiter_spin = 4096;
+  // Idle workers steal from sibling-node rings (trades node locality for utilization).
+  bool steal = true;
+  // A single submission of at least this many requests to one ring wakes one parked
+  // worker on every other node so they can steal into the burst.
+  size_t steal_wake_threshold = 64;
 };
+
+// Per-batch, per-node completion group. The LAST worker to finish a node's share of a
+// batch issues the node's single fence; every earlier chunk only Persists.
+struct BatchNodeState {
+  std::atomic<uint32_t> remaining{0};
+  bool fence = false;
+};
+
+struct DelegationRequest {
+  enum class Op : uint8_t { kRead, kWrite } op = Op::kRead;
+  char* nvm = nullptr;   // NVM-side address; must not cross a node-stripe boundary.
+  char* dram = nullptr;  // Application buffer.
+  uint32_t len = 0;
+  bool persist = true;  // Writes: flush after the copy (fence per group, see below).
+  // Batched requests share a group; standalone requests (null) fence themselves.
+  BatchNodeState* group = nullptr;
+  std::atomic<uint32_t>* pending = nullptr;  // Decremented on completion (after fence).
+};
+
+// Sharded per-node counters; one cacheline each so nodes never bounce a counter.
+struct alignas(64) DelegationNodeStats {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> wakeups{0};  // Times a parked worker was actually woken.
+  std::atomic<uint64_t> parks{0};    // Times a worker went to sleep.
+  std::atomic<uint64_t> steals{0};   // Requests this node's workers stole from siblings.
+};
+
+class DelegationBatch;
 
 class DelegationPool {
  public:
+  DelegationPool(NvmPool& pool, DelegationConfig config = {});
+  // Legacy shape (threads, ring capacity) kept for the OdinFS baseline and older tests.
   DelegationPool(NvmPool& pool, int threads_per_node, size_t ring_capacity = 1024)
-      : pool_(pool), num_nodes_(pool.topology().num_nodes) {
-    rings_.reserve(num_nodes_);
-    for (int n = 0; n < num_nodes_; ++n) {
-      rings_.push_back(std::make_unique<MpmcRing<DelegationRequest>>(ring_capacity));
-    }
-    for (int n = 0; n < num_nodes_; ++n) {
-      for (int t = 0; t < threads_per_node; ++t) {
-        workers_.emplace_back([this, n] { WorkerLoop(n); });
-      }
-    }
-  }
+      : DelegationPool(pool, MakeLegacyConfig(threads_per_node, ring_capacity)) {}
 
-  ~DelegationPool() { Stop(); }
+  ~DelegationPool();
   DelegationPool(const DelegationPool&) = delete;
   DelegationPool& operator=(const DelegationPool&) = delete;
 
-  void Stop() {
-    if (stopped_.exchange(true)) {
-      return;
-    }
-    for (auto& worker : workers_) {
-      (void)worker;
-    }
-    // Wake every worker with a stop request per thread.
-    const size_t per_node = workers_.size() / static_cast<size_t>(num_nodes_);
-    for (int n = 0; n < num_nodes_; ++n) {
-      for (size_t t = 0; t < per_node; ++t) {
-        DelegationRequest stop;
-        stop.op = DelegationRequest::Op::kStop;
-        rings_[n]->Push(stop);
-      }
-    }
-    for (auto& worker : workers_) {
-      worker.join();
-    }
-    workers_.clear();
-  }
+  // Idempotent. Wakes and joins all workers, then drains every ring inline so a Submit
+  // racing with Stop can never strand a waiter: anything enqueued before the drain is
+  // executed here, and Submit itself executes inline once it observes stopped.
+  void Stop();
 
-  // Submits one copy targeting NVM address `nvm` (entirely within one node's stripe —
-  // callers split requests at node boundaries) and bumps nothing: callers pre-set
-  // `pending` to the number of submissions and wait with WaitFor().
-  void Submit(const DelegationRequest& request) {
-    const int node = pool_.NodeOfPage(pool_.PageOf(request.nvm));
-    rings_[node]->Push(request);
-    submitted_.fetch_add(1, std::memory_order_relaxed);
-  }
+  // Submits one standalone copy targeting NVM address `nvm` (entirely within one node's
+  // stripe — callers split at node boundaries, or use DelegationBatch which does). The
+  // caller pre-sets `pending` and waits with Wait(). Standalone persisting writes fence
+  // themselves; use DelegationBatch to amortize fences.
+  void Submit(const DelegationRequest& request);
 
+  // Adaptive wait: spins with CpuRelax, then parks until workers drive `pending` to 0.
+  void Wait(std::atomic<uint32_t>& pending);
+
+  // Legacy pure-spin wait (no pool => no parking). Prefer the member Wait().
   static void WaitFor(std::atomic<uint32_t>& pending) {
     while (pending.load(std::memory_order_acquire) != 0) {
-      std::this_thread::yield();
+      CpuRelax();
     }
   }
 
-  uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  const DelegationConfig& config() const { return config_; }
+  int num_nodes() const { return num_nodes_; }
+  int threads_per_node() const { return threads_per_node_; }
+
+  // ---- Stats ----
+  const DelegationNodeStats& node_stats(int node) const { return nodes_[node]->stats; }
+  uint64_t submitted() const { return Sum(&DelegationNodeStats::submitted); }
+  uint64_t completed() const { return Sum(&DelegationNodeStats::completed); }
+  uint64_t batches() const { return Sum(&DelegationNodeStats::batches); }
+  uint64_t wakeups() const { return Sum(&DelegationNodeStats::wakeups); }
+  uint64_t parks() const { return Sum(&DelegationNodeStats::parks); }
+  uint64_t steals() const { return Sum(&DelegationNodeStats::steals); }
+  // Number of workers currently parked (an idle pool reports all of them).
+  uint32_t parked_workers() const;
 
  private:
-  void WorkerLoop(int node) {
-    MpmcRing<DelegationRequest>& ring = *rings_[node];
-    while (true) {
-      DelegationRequest request;
-      if (!ring.TryPop(request)) {
-        std::this_thread::yield();
-        continue;
-      }
-      switch (request.op) {
-        case DelegationRequest::Op::kStop:
-          return;
-        case DelegationRequest::Op::kRead:
-          pool_.Read(request.dram, request.nvm, request.len);
-          break;
-        case DelegationRequest::Op::kWrite:
-          pool_.Write(request.nvm, request.dram, request.len);
-          if (request.persist) {
-            pool_.Persist(request.nvm, request.len);
-            pool_.Fence();
-          }
-          break;
-      }
-      if (request.pending != nullptr) {
-        request.pending->fetch_sub(1, std::memory_order_release);
-      }
-    }
+  friend class DelegationBatch;
+
+  struct alignas(64) NodeState {
+    explicit NodeState(size_t ring_capacity) : ring(ring_capacity) {}
+    MpmcRing<DelegationRequest> ring;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<uint32_t> sleepers{0};
+    DelegationNodeStats stats;
+  };
+
+  static DelegationConfig MakeLegacyConfig(int threads_per_node, size_t ring_capacity) {
+    DelegationConfig config;
+    config.threads_per_node = threads_per_node;
+    config.ring_capacity = ring_capacity;
+    return config;
   }
 
+  uint64_t Sum(std::atomic<uint64_t> DelegationNodeStats::* field) const {
+    uint64_t total = 0;
+    for (const auto& node : nodes_) {
+      total += (node->stats.*field).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Enqueues `count` requests (all targeting `node`) and wakes workers. Used by both
+  // Submit (count == 1) and DelegationBatch::Submit (whole per-node vectors).
+  void SubmitSpan(int node, const DelegationRequest* requests, size_t count);
+  // Runs one request to completion on the calling thread, attributing stats to
+  // `executing_node` (== home node for workers, submitter's target for inline drains).
+  void Execute(const DelegationRequest& request, int executing_node);
+  void WorkerLoop(int node);
+  bool TrySteal(int home);
+  // Executes everything left in `node`'s ring inline (stop path).
+  void DrainInline(int node);
+  void WakeNode(NodeState& node, bool wake_all);
+  void WakeWaiters();
+
   NvmPool& pool_;
+  const DelegationConfig config_;
   const int num_nodes_;
-  std::vector<std::unique_ptr<MpmcRing<DelegationRequest>>> rings_;
+  int threads_per_node_ = 0;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
-  std::atomic<uint64_t> submitted_{0};
+
+  // Parked application threads waiting on batch completions (see Wait()).
+  std::mutex waiter_mutex_;
+  std::condition_variable waiter_cv_;
+  std::atomic<uint32_t> waiters_parked_{0};
+};
+
+// Accumulates one logical read/write as per-node request vectors and submits them in one
+// shot: the ring is touched once per node (batch push), parked workers are woken once,
+// and each node fences exactly once per batch instead of once per 4 KiB chunk.
+//
+// Usage: AddWrite/AddRead any number of times, then Submit() once, then Wait(). The batch
+// must outlive Wait() (requests point into it); the destructor waits if the caller forgot.
+class DelegationBatch {
+ public:
+  explicit DelegationBatch(DelegationPool& pool);
+  ~DelegationBatch();
+  DelegationBatch(const DelegationBatch&) = delete;
+  DelegationBatch& operator=(const DelegationBatch&) = delete;
+
+  // Queues a copy of [src, src+len) into NVM at `nvm` (resp. out of NVM for AddRead).
+  // Ranges may span node-stripe boundaries; they are split here, once, so every enqueued
+  // request is node-contained.
+  void AddWrite(char* nvm, const char* dram, size_t len, bool persist);
+  void AddRead(char* dram, const char* nvm, size_t len);
+
+  // Enqueues all accumulated requests. Call at most once.
+  void Submit();
+  // Blocks (adaptive spin, then park) until every submitted request completed — at which
+  // point each touched node has issued its single batch fence.
+  void Wait();
+
+  size_t requests() const { return total_requests_; }
+  int nodes_touched() const;
+
+ private:
+  void Add(DelegationRequest::Op op, char* nvm, char* dram, size_t len, bool persist);
+
+  DelegationPool& pool_;
+  std::vector<std::vector<DelegationRequest>> per_node_;
+  std::vector<std::unique_ptr<BatchNodeState>> groups_;  // Stable addresses, per node.
+  std::atomic<uint32_t> pending_{0};
+  size_t total_requests_ = 0;
+  bool submitted_ = false;
 };
 
 }  // namespace trio

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 namespace trio {
@@ -469,18 +470,28 @@ Status ArckFs::RemoveEntry(FileNode* dir, std::string_view name, bool must_be_di
 // Regular-file data path
 // ---------------------------------------------------------------------------
 
-void ArckFs::CopyToNvm(char* dst, const char* src, size_t len, bool delegate,
-                       bool persist, std::atomic<uint32_t>* pending) {
-  if (delegate) {
-    DelegationRequest request;
-    request.op = DelegationRequest::Op::kWrite;
-    request.nvm = dst;
-    request.dram = const_cast<char*>(src);
-    request.len = static_cast<uint32_t>(len);
-    request.persist = persist;
-    request.pending = pending;
-    pending->fetch_add(1, std::memory_order_relaxed);
-    kernel_.delegation()->Submit(request);
+size_t ArckFs::ReadDelegateThreshold() const {
+  if (config_.delegate_read_threshold != 0) {
+    return config_.delegate_read_threshold;
+  }
+  const DelegationPool* delegation = kernel_.delegation();
+  return delegation != nullptr ? delegation->config().read_threshold
+                               : kDelegateReadThreshold;
+}
+
+size_t ArckFs::WriteDelegateThreshold() const {
+  if (config_.delegate_write_threshold != 0) {
+    return config_.delegate_write_threshold;
+  }
+  const DelegationPool* delegation = kernel_.delegation();
+  return delegation != nullptr ? delegation->config().write_threshold
+                               : kDelegateWriteThreshold;
+}
+
+void ArckFs::CopyToNvm(char* dst, const char* src, size_t len, DelegationBatch* batch,
+                       bool persist) {
+  if (batch != nullptr) {
+    batch->AddWrite(dst, src, len, persist);
     return;
   }
   pool_.Write(dst, src, len);
@@ -504,17 +515,9 @@ void ArckFs::FlushDirtyData(FileNode* node) {
   pool_.Fence();
 }
 
-void ArckFs::CopyFromNvm(char* dst, const char* src, size_t len, bool delegate,
-                         std::atomic<uint32_t>* pending) {
-  if (delegate) {
-    DelegationRequest request;
-    request.op = DelegationRequest::Op::kRead;
-    request.nvm = const_cast<char*>(src);
-    request.dram = dst;
-    request.len = static_cast<uint32_t>(len);
-    request.pending = pending;
-    pending->fetch_add(1, std::memory_order_relaxed);
-    kernel_.delegation()->Submit(request);
+void ArckFs::CopyFromNvm(char* dst, const char* src, size_t len, DelegationBatch* batch) {
+  if (batch != nullptr) {
+    batch->AddRead(dst, src, len);
     return;
   }
   pool_.Read(dst, src, len);
@@ -606,8 +609,13 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
   }
 
   const bool delegate = config_.use_delegation && kernel_.delegation() != nullptr &&
-                        count >= kDelegateWriteThreshold;
-  std::atomic<uint32_t> pending{0};
+                        count >= WriteDelegateThreshold();
+  // All chunks of this write accumulate into one batch: one ring push and one fence per
+  // touched node, instead of one of each per 4 KiB chunk.
+  std::optional<DelegationBatch> batch;
+  if (delegate) {
+    batch.emplace(*kernel_.delegation());
+  }
 
   Status status = OkStatus();
   std::vector<std::pair<uint64_t, PageNumber>> to_link;
@@ -634,8 +642,8 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
         // Make it visible to this op's later iterations (not yet linked in core state).
         node->radix.Insert(page_index, page);
       }
-      CopyToNvm(pool_.PageAddress(page) + in_page, src + (cursor - offset), chunk, delegate,
-                config_.sync_data, &pending);
+      CopyToNvm(pool_.PageAddress(page) + in_page, src + (cursor - offset), chunk,
+                delegate ? &*batch : nullptr, config_.sync_data);
       if (!config_.sync_data) {
         std::lock_guard<SpinLock> guard(node->dirty_lock);
         node->dirty_pages.insert(page);
@@ -644,10 +652,14 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
     }
   }
 
+  // Data durable before any index entry or size commit (§4.4). The delegated path fences
+  // once per touched node inside the batch; the direct path fences here.
   if (delegate) {
-    DelegationPool::WaitFor(pending);
+    batch->Submit();
+    batch->Wait();
+  } else {
+    pool_.Fence();
   }
-  pool_.Fence();  // Data durable before any index entry or size commit (§4.4).
 
   if (status.ok()) {
     for (const auto& [page_index, page] : to_link) {
@@ -688,8 +700,11 @@ Result<size_t> ArckFs::ReadLocked(FileNode* node, void* buf, size_t count, uint6
   RangeGuard range_guard(node->range_lock, offset, count, /*exclusive=*/false);
 
   const bool delegate = config_.use_delegation && kernel_.delegation() != nullptr &&
-                        count >= kDelegateReadThreshold;
-  std::atomic<uint32_t> pending{0};
+                        count >= ReadDelegateThreshold();
+  std::optional<DelegationBatch> batch;
+  if (delegate) {
+    batch.emplace(*kernel_.delegation());
+  }
 
   uint64_t cursor = offset;
   const uint64_t end = offset + count;
@@ -702,12 +717,13 @@ Result<size_t> ArckFs::ReadLocked(FileNode* node, void* buf, size_t count, uint6
       std::memset(dst + (cursor - offset), 0, chunk);  // Hole.
     } else {
       CopyFromNvm(dst + (cursor - offset), pool_.PageAddress(page) + in_page, chunk,
-                  delegate, &pending);
+                  delegate ? &*batch : nullptr);
     }
     cursor += chunk;
   }
   if (delegate) {
-    DelegationPool::WaitFor(pending);
+    batch->Submit();
+    batch->Wait();
   }
   return count;
 }

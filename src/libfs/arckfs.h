@@ -54,6 +54,10 @@ struct ArckFsConfig {
   // per-write flush and become durable at fsync/release; metadata stays synchronous and
   // atomic.
   bool sync_data = true;
+  // Per-LibFS overrides of the delegation size thresholds (§4.5). 0 = inherit the
+  // kernel delegation pool's DelegationConfig values.
+  size_t delegate_read_threshold = 0;
+  size_t delegate_write_threshold = 0;
   // Journal pages from a previous incarnation to undo during crash recovery (§4.4). The
   // application persists these page numbers across restarts (in a real deployment the
   // LibFS would stash them in a well-known private file).
@@ -201,14 +205,18 @@ class ArckFs : public FsInterface {
   Status LinkDataPage(FileNode* node, uint64_t page_index, PageNumber page);
   Status AppendDirDataPage(FileNode* dir);
 
-  // Copies with optional delegation. `persist` = flush the written lines now (the
+  // Copies with optional delegation: a non-null `batch` queues the chunk into the
+  // current operation's DelegationBatch (submitted + fenced once per node at the end of
+  // the op); null copies inline. `persist` = flush the written lines now (the
   // synchronous-data mode); relaxed mode records dirty pages instead.
-  void CopyToNvm(char* dst, const char* src, size_t len, bool delegate, bool persist,
-                 std::atomic<uint32_t>* pending);
+  void CopyToNvm(char* dst, const char* src, size_t len, DelegationBatch* batch,
+                 bool persist);
   // Relaxed-data mode: persist everything this node dirtied since the last flush.
   void FlushDirtyData(FileNode* node);
-  void CopyFromNvm(char* dst, const char* src, size_t len, bool delegate,
-                   std::atomic<uint32_t>* pending);
+  void CopyFromNvm(char* dst, const char* src, size_t len, DelegationBatch* batch);
+  // Effective delegation thresholds: config overrides, else the pool's DelegationConfig.
+  size_t ReadDelegateThreshold() const;
+  size_t WriteDelegateThreshold() const;
 
   UndoJournal& JournalShard();
   void ReplayJournals();

@@ -117,11 +117,14 @@ class NvmPool {
   int NodeOfPage(PageNumber page) const {
     return static_cast<int>(page / pages_per_node_);
   }
+  int NodeOfAddress(const void* ptr) const { return NodeOfPage(PageOf(ptr)); }
   // [first, last) page range owned by a node.
   PageNumber NodeFirstPage(int node) const { return node * pages_per_node_; }
   PageNumber NodeLastPage(int node) const {
     return (node == topology_.num_nodes - 1) ? num_pages_ : (node + 1) * pages_per_node_;
   }
+  // Bytes in one node's contiguous stripe (the unit delegation batches split at).
+  size_t NodeStripeBytes() const { return pages_per_node_ * kPageSize; }
 
   // ---- Store / load primitives. All NVM mutation in the repo goes through these. ----
 

@@ -1,5 +1,6 @@
 // Unit tests for the emulated NVM pool: addressing, NUMA striping, persistence tracking
-// and crash simulation, and the delegation pool built on top of it.
+// and crash simulation. The delegation pool built on top of it is covered by
+// tests/delegation_test.cc.
 
 #include <gtest/gtest.h>
 
@@ -7,7 +8,6 @@
 #include <thread>
 
 #include "src/common/random.h"
-#include "src/kernel/delegation.h"
 #include "src/nvm/nvm.h"
 
 namespace trio {
@@ -121,79 +121,6 @@ TEST(CrashSimTest, CacheLineGranularity) {
   pool.SimulateCrash();
   EXPECT_EQ(base[0], 'A');
   EXPECT_EQ(base[kCacheLineSize], 0);
-}
-
-TEST(DelegationTest, DelegatedWriteLandsAndPersists) {
-  NumaTopology topo;
-  topo.num_nodes = 2;
-  topo.delegation_threads_per_node = 1;
-  NvmPool pool(32, NvmMode::kFast, topo);
-  DelegationPool delegation(pool, topo.delegation_threads_per_node);
-
-  char buf[256];
-  std::memset(buf, 0x5a, sizeof(buf));
-  std::atomic<uint32_t> pending{1};
-  DelegationRequest req;
-  req.op = DelegationRequest::Op::kWrite;
-  req.nvm = pool.PageAddress(20);  // Node 1.
-  req.dram = buf;
-  req.len = sizeof(buf);
-  req.pending = &pending;
-  delegation.Submit(req);
-  DelegationPool::WaitFor(pending);
-  EXPECT_EQ(std::memcmp(pool.PageAddress(20), buf, sizeof(buf)), 0);
-  EXPECT_EQ(delegation.submitted(), 1u);
-}
-
-TEST(DelegationTest, DelegatedReadRoundTrip) {
-  NumaTopology topo;
-  topo.num_nodes = 1;
-  NvmPool pool(16, NvmMode::kFast, topo);
-  DelegationPool delegation(pool, 2);
-
-  const char payload[] = "delegated read payload";
-  std::memcpy(pool.PageAddress(3), payload, sizeof(payload));
-  char out[sizeof(payload)] = {};
-  std::atomic<uint32_t> pending{1};
-  DelegationRequest req;
-  req.op = DelegationRequest::Op::kRead;
-  req.nvm = pool.PageAddress(3);
-  req.dram = out;
-  req.len = sizeof(payload);
-  req.pending = &pending;
-  delegation.Submit(req);
-  DelegationPool::WaitFor(pending);
-  EXPECT_STREQ(out, payload);
-}
-
-TEST(DelegationTest, ManyConcurrentRequests) {
-  NumaTopology topo;
-  topo.num_nodes = 2;
-  NvmPool pool(64, NvmMode::kFast, topo);
-  DelegationPool delegation(pool, 2);
-
-  constexpr int kRequests = 200;
-  std::vector<std::array<char, 64>> bufs(kRequests);
-  std::atomic<uint32_t> pending{kRequests};
-  for (int i = 0; i < kRequests; ++i) {
-    bufs[i].fill(static_cast<char>(i));
-    DelegationRequest req;
-    req.op = DelegationRequest::Op::kWrite;
-    req.nvm = pool.PageAddress(8 + (i % 50)) + (i / 50) * 64;
-    req.dram = bufs[i].data();
-    req.len = 64;
-    req.pending = &pending;
-    delegation.Submit(req);
-  }
-  DelegationPool::WaitFor(pending);
-  EXPECT_EQ(delegation.submitted(), static_cast<uint64_t>(kRequests));
-}
-
-TEST(DelegationTest, StopIsIdempotent) {
-  NvmPool pool(16);
-  DelegationPool delegation(pool, 1);
-  delegation.Stop();
-  delegation.Stop();
 }
 
 }  // namespace
