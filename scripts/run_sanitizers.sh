@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the concurrency-heavy test binaries (delegation pool, callback watchdog, crash
+# explorer) under ThreadSanitizer and AddressSanitizer and runs a smoke subset of each.
+# Usage: scripts/run_sanitizers.sh [thread|address]   (default: both, thread first)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("${1:-thread}")
+if [[ $# -eq 0 ]]; then
+  sanitizers=(thread address)
+fi
+
+# Smoke subsets: the full suites pass too, but these filters keep a two-sanitizer sweep
+# under a few minutes on one CPU while still exercising every thread-crossing path
+# (parking/wakeup/stealing, worker-fault retry, watchdog abandonment, explorer reboots).
+delegation_filter='DelegationFaultTest.*:DelegationTest.ConcurrentStandaloneSubmitsFromManyThreads:DelegationTest.*Park*:DelegationTest.*Steal*:DelegationTest.*Batch*'
+explorer_filter='FaultSimKernelTest.*:CrashExplorerTest.AppendHeavyWorkloadCleanAtEveryFence'
+
+for san in "${sanitizers[@]}"; do
+  build="$repo/build-$san"
+  echo "== TRIO_SANITIZE=$san: configuring $build =="
+  cmake -B "$build" -S "$repo" -DTRIO_SANITIZE="$san" >/dev/null
+  cmake --build "$build" -j2 --target delegation_test crash_explorer_test
+
+  echo "== TRIO_SANITIZE=$san: delegation_test =="
+  "$build/tests/delegation_test" --gtest_filter="$delegation_filter" --gtest_brief=1
+
+  echo "== TRIO_SANITIZE=$san: crash_explorer_test =="
+  "$build/tests/crash_explorer_test" --gtest_filter="$explorer_filter" --gtest_brief=1
+done
+
+echo "== sanitizer sweep passed: ${sanitizers[*]} =="

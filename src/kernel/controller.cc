@@ -190,30 +190,49 @@ Status KernelController::RunRecovery() {
       }
     }
   }
+  bool program_timed_out = false;
   for (auto& program : programs) {
-    program();
+    if (config_.guard_callbacks) {
+      // Recovery programs are arbitrary user code; one that never returns must not wedge
+      // recovery for everyone. On timeout the program's journal state is unknown, so
+      // coverage escalates below to verifying every file, not just the logged ones.
+      if (!callback_guard_.Run(config_.recovery_timeout_ms, program)) {
+        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+        program_timed_out = true;
+        TRIO_LOG(kWarn) << "recovery: a LibFS recovery program overran "
+                        << config_.recovery_timeout_ms
+                        << "ms and was abandoned; escalating to full-tree verification";
+      }
+    } else {
+      program();
+    }
   }
 
   // Phase 2: the recovery programs may have moved dirents around; rebuild the tables.
   TRIO_RETURN_IF_ERROR(Mount());
 
   // Phase 3: verify every file that was write-mapped when the crash happened (§4.4).
-  // If the write-map log overflowed before the crash, coverage is unknown: verify the
-  // whole tree instead (an online fsck over every record).
+  // If the write-map log overflowed before the crash (or a recovery program hung),
+  // coverage is unknown: verify the whole tree instead (an online fsck over every record).
+  //
+  // Idempotence: the log slots and the overflow flag are cleared only AFTER every
+  // verification (and any resulting removal) has been persisted. A crash anywhere during
+  // recovery leaves the obligations on media, so a second RunRecovery redoes them and
+  // converges — verification is read-only and removal of an already-removed file is a
+  // no-op.
   std::unique_lock<std::recursive_mutex> lock(mutex_);
   Superblock* sb = SuperblockOf(pool_);
   std::vector<Ino> to_verify;
   auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(sb->wmap_log_page));
-  if (pool_.Load64(&sb->wmap_log_overflow) != 0) {
+  const bool overflow = pool_.Load64(&sb->wmap_log_overflow) != 0;
+  if (overflow || program_timed_out) {
     for (const auto& [ino, record] : records_) {
       to_verify.push_back(ino);
     }
-    pool_.CommitStore64(&sb->wmap_log_overflow, 0);
   }
   for (size_t i = 0; i < WmapSlots(pool_); ++i) {
     if (log[i] != kInvalidIno) {
       to_verify.push_back(log[i]);
-      pool_.CommitStore64(&log[i], kInvalidIno);
     }
   }
   std::sort(to_verify.begin(), to_verify.end());
@@ -231,16 +250,44 @@ Status KernelController::RunRecovery() {
     request.writer_uid = shadow != nullptr ? shadow->uid : 0;
     request.writer_gid = shadow != nullptr ? shadow->gid : 0;
     Result<VerifyReport> report = verifier_->Verify(request);
+    stats_.verifications.fetch_add(1, std::memory_order_relaxed);
     if (!report.ok()) {
       TRIO_LOG(kWarn) << "recovery: ino " << ino
                       << " failed verification: " << report.status().ToString()
-                      << "; removing";
+                      << (ino != kRootIno ? "; removing"
+                                          : "; root cannot be removed — left for fsck");
       if (ino != kRootIno) {
         DirentBlock* dirent = DirentOfLocked(*record);
         pool_.CommitStore64(&dirent->ino, kInvalidIno);
         ReclaimFileLocked(record);
       }
     }
+  }
+
+  // Phase 4: scrub orphaned shadow inodes. A crash between invalidating a dirent and
+  // clearing its shadow inode (removal is two persists) leaves a live shadow no tree
+  // entry references — exactly fsck's G6 orphan. Any live shadow without a record is one.
+  for (Ino ino = kRootIno + 1; ino < sb->max_inodes; ++ino) {
+    if (records_.count(ino) != 0) {
+      continue;
+    }
+    ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+    if (shadow != nullptr && shadow->Exists()) {
+      ShadowInode cleared{};
+      pool_.Write(shadow, &cleared, sizeof(cleared));
+      pool_.PersistNow(shadow, sizeof(cleared));
+      TRIO_LOG(kInfo) << "recovery: cleared orphaned shadow inode " << ino;
+    }
+  }
+
+  // All obligations discharged: retire the log.
+  for (size_t i = 0; i < WmapSlots(pool_); ++i) {
+    if (log[i] != kInvalidIno) {
+      pool_.CommitStore64(&log[i], kInvalidIno);
+    }
+  }
+  if (overflow) {
+    pool_.CommitStore64(&sb->wmap_log_overflow, 0);
   }
   needs_recovery_ = false;
   return OkStatus();
@@ -629,9 +676,30 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
       }
       stats_.revocations.fetch_add(1, std::memory_order_relaxed);
       auto revoke = holder_it->second->callbacks.revoke;
+      if (!config_.guard_callbacks) {
+        lock.unlock();
+        revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
+        lock.lock();
+        continue;  // Re-evaluate from scratch; records may have been reclaimed.
+      }
+      // Lease enforcement: the holder is trusted to cooperate only until its lease
+      // expires. Wait for the revoke callback at most until the lease deadline (plus
+      // grace), then reclaim the mapping by force — an unresponsive holder cannot stall
+      // a conflicting mapper beyond its lease.
+      const uint64_t now = NowNs();
+      const uint64_t lease_end = record->lease_deadline_ns;
+      const uint64_t remaining_ms =
+          lease_end > now ? (lease_end - now + 999999ull) / 1000000ull : 0;
+      const uint64_t budget_ms = remaining_ms + config_.revoke_grace_ms;
       lock.unlock();
-      revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
+      const bool completed = callback_guard_.Run(budget_ms, [revoke, ino] { revoke(ino); });
       lock.lock();
+      if (!completed) {
+        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+        TRIO_LOG(kWarn) << "revoke of ino " << ino << " from LibFS " << conflict
+                        << " overran the lease deadline; forcing release";
+        ForceReleaseLocked(lock, ino, conflict);
+      }
       continue;  // Re-evaluate from scratch; records may have been reclaimed.
     }
 
@@ -662,6 +730,41 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
     stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
     return info;
   }
+}
+
+void KernelController::ForceReleaseLocked(std::unique_lock<std::recursive_mutex>& lock,
+                                          Ino ino, LibFsId holder) {
+  FileRecord* record = RecordOf(ino);
+  if (record == nullptr) {
+    return;
+  }
+  auto holder_it = libfses_.find(holder);
+  if (record->writer == holder) {
+    // Same teardown as a cooperative unmap: the holder's work is verified (and rolled
+    // back if corrupt) before the lease is handed on. The holder itself gets no say.
+    (void)VerifyAndReconcileLocked(lock, record);
+    record = RecordOf(ino);
+    if (record != nullptr) {
+      record->writer = kNoLibFs;
+      record->checkpoint.reset();
+      if (holder_it != libfses_.end()) {
+        RevokeFilePagesLocked(holder, *record);
+      }
+    }
+    WmapLogRemove(ino);
+    if (holder_it != libfses_.end()) {
+      holder_it->second->write_mapped.erase(ino);
+      if (holder_it->second->write_mapped.empty()) {
+        ResolveOrphansLocked(holder_it->second.get());
+      }
+    }
+  } else if (record->readers.erase(holder) > 0) {
+    if (holder_it != libfses_.end()) {
+      holder_it->second->read_mapped.erase(ino);
+    }
+    RevokeFilePagesLocked(holder, *record);
+  }
+  stats_.forced_releases.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status KernelController::UnmapFile(LibFsId libfs, Ino ino) {
@@ -776,8 +879,26 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
   auto fix = me->callbacks.fix_corruption;
   if (fix) {
     const uint64_t deadline = NowNs() + config_.fix_timeout_ms * 1000000ull;
+    bool claims_fixed = false;
     lock.unlock();
-    const bool claims_fixed = fix(ino, failure);
+    if (config_.guard_callbacks) {
+      // fix_timeout_ms is a real deadline, not an honor-system check: the callback runs
+      // on a watchdog thread and a hang is abandoned, escalating to rollback below. The
+      // result lives in a shared_ptr because an abandoned callback may write it late.
+      auto claimed = std::make_shared<std::atomic<bool>>(false);
+      const bool completed =
+          callback_guard_.Run(config_.fix_timeout_ms, [fix, ino, failure, claimed] {
+            claimed->store(fix(ino, failure), std::memory_order_release);
+          });
+      if (!completed) {
+        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+        TRIO_LOG(kWarn) << "fix_corruption for ino " << ino
+                        << " hung past fix_timeout_ms; rolling back to checkpoint";
+      }
+      claims_fixed = completed && claimed->load(std::memory_order_acquire);
+    } else {
+      claims_fixed = fix(ino, failure);
+    }
     lock.lock();
     record = RecordOf(ino);
     if (record == nullptr) {

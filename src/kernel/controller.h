@@ -29,6 +29,7 @@
 #include "src/core/ownership.h"
 #include "src/kernel/delegation.h"
 #include "src/kernel/mmu_sim.h"
+#include "src/kernel/watchdog.h"
 #include "src/verifier/verifier.h"
 
 namespace trio {
@@ -36,6 +37,17 @@ namespace trio {
 struct KernelConfig {
   uint64_t lease_ms = 100;        // §6.5: "ArckFS's 100ms lease time".
   uint64_t fix_timeout_ms = 10;   // Deadline for a LibFS to fix its own corruption.
+  // Run untrusted LibFS callbacks (fix_corruption, recovery, revoke) under a deadline
+  // watchdog (CallbackGuard). A callback that overruns is abandoned and the kernel
+  // escalates: failed fix -> quarantine + checkpoint rollback; hung recovery program ->
+  // verify every file (its journal state is unknown); hung revoke past the lease
+  // deadline -> forced release. Off = trust every callback to return (the pre-FaultSim
+  // behavior, with no helper-thread hop on the revoke path).
+  bool guard_callbacks = true;
+  uint64_t recovery_timeout_ms = 1000;  // Deadline for one LibFS recovery program.
+  // Extra wall-clock grace past the lease deadline before an unresponsive holder's
+  // mapping is reclaimed by force.
+  uint64_t revoke_grace_ms = 50;
   bool start_delegation = false;  // Spin up delegation threads at construction.
   // Thresholds, ring sizing, spin/park and stealing knobs for the delegation pool
   // (§4.5); benchmarks sweep these through here.
@@ -78,6 +90,9 @@ struct KernelStats {
   std::atomic<uint64_t> corruptions_fixed_by_libfs{0};
   std::atomic<uint64_t> corruptions_rolled_back{0};
   std::atomic<uint64_t> revocations{0};
+  // LibFS callbacks abandoned by the deadline watchdog (hung fix/recovery/revoke).
+  std::atomic<uint64_t> callback_timeouts{0};
+  std::atomic<uint64_t> forced_releases{0};  // Leases reclaimed from unresponsive holders.
   std::atomic<uint64_t> pages_allocated{0};
   std::atomic<uint64_t> pages_freed{0};
   // Sharing-cost breakdown (Fig 8): cumulative nanoseconds per phase.
@@ -89,6 +104,7 @@ struct KernelStats {
   void Reset() {
     syscalls = maps = unmaps = verifications = verify_failures = 0;
     corruptions_fixed_by_libfs = corruptions_rolled_back = revocations = 0;
+    callback_timeouts = forced_releases = 0;
     pages_allocated = pages_freed = 0;
     map_ns = unmap_ns = verify_ns = checkpoint_ns = 0;
   }
@@ -219,6 +235,10 @@ class KernelController : public OwnershipView, public VerifyEnv {
   void QuarantineLocked(FileRecord* record);
   void ResolveOrphansLocked(LibFsRecord* libfs);
   void ReclaimFileLocked(FileRecord* record);  // Frees pages + ino + shadow, drops record.
+  // Reclaims `holder`'s mapping of `ino` after its revoke callback overran the lease
+  // deadline: verify-and-reconcile (writers), revoke MMU grants, drop the lease.
+  void ForceReleaseLocked(std::unique_lock<std::recursive_mutex>& lock, Ino ino,
+                          LibFsId holder);
   Status ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_page, size_t dirent_slot,
                         const DirentBlock& dirent, std::unordered_set<PageNumber>* seen_pages,
                         std::unordered_set<Ino>* seen_inos);
@@ -233,6 +253,7 @@ class KernelController : public OwnershipView, public VerifyEnv {
   KernelStats stats_;
   std::unique_ptr<IntegrityVerifier> verifier_;
   std::unique_ptr<DelegationPool> delegation_;
+  CallbackGuard callback_guard_;  // Deadline watchdog for untrusted LibFS callbacks.
 
   // Recursive: the verifier calls back into OwnershipView/VerifyEnv methods on the same
   // thread while the kernel drives it under this lock.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/fault_injector.h"
+
 namespace trio {
 
 namespace {
@@ -130,6 +132,36 @@ void DelegationPool::WakeNode(NodeState& node, bool wake_all) {
 }
 
 void DelegationPool::Execute(const DelegationRequest& request, int executing_node) {
+  FaultInjector* injector = pool_.fault_injector();
+  if (injector != nullptr && injector->ShouldFire(kFaultDelegationWorker)) {
+    DelegationNodeStats& stats = nodes_[executing_node]->stats;
+    stats.faults.fetch_add(1, std::memory_order_relaxed);
+    if (request.attempts < config_.fault_max_retries &&
+        !stopped_.load(std::memory_order_acquire)) {
+      DelegationRequest retry = request;
+      ++retry.attempts;
+      // Exponential backoff before the chunk re-enters the ring.
+      const uint32_t spins = config_.fault_backoff_spins << retry.attempts;
+      for (uint32_t i = 0; i < spins; ++i) {
+        CpuRelax();
+      }
+      if (nodes_[executing_node]->ring.TryPush(retry)) {
+        stats.fault_retries.fetch_add(1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (stopped_.load(std::memory_order_seq_cst)) {
+          // Stop raced with the re-queue; its final drain may already have run.
+          DrainInline(executing_node);
+        } else {
+          WakeNode(*nodes_[executing_node], /*wake_all=*/false);
+        }
+        return;  // The retried copy completes (and decrements pending) later.
+      }
+      // Ring full: fall through and complete inline right now.
+    }
+    stats.inline_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    // Fall through: retries exhausted (or no room to retry) — the faulting thread
+    // completes the chunk inline below, with no further injection on this execution.
+  }
   switch (request.op) {
     case DelegationRequest::Op::kRead:
       pool_.Read(request.dram, request.nvm, request.len);

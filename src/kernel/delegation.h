@@ -54,6 +54,11 @@ struct DelegationConfig {
   // A single submission of at least this many requests to one ring wakes one parked
   // worker on every other node so they can steal into the burst.
   size_t steal_wake_threshold = 64;
+  // FaultSim (kFaultDelegationWorker): a chunk that faults on a worker is re-queued up to
+  // this many times, with exponential spin backoff, before being completed inline on the
+  // faulting thread (which bypasses further injection, so completion is guaranteed).
+  uint32_t fault_max_retries = 3;
+  uint32_t fault_backoff_spins = 32;
 };
 
 // Per-batch, per-node completion group. The LAST worker to finish a node's share of a
@@ -72,6 +77,7 @@ struct DelegationRequest {
   // Batched requests share a group; standalone requests (null) fence themselves.
   BatchNodeState* group = nullptr;
   std::atomic<uint32_t>* pending = nullptr;  // Decremented on completion (after fence).
+  uint16_t attempts = 0;  // Times this chunk already faulted and was re-queued (FaultSim).
 };
 
 // Sharded per-node counters; one cacheline each so nodes never bounce a counter.
@@ -82,6 +88,11 @@ struct alignas(64) DelegationNodeStats {
   std::atomic<uint64_t> wakeups{0};  // Times a parked worker was actually woken.
   std::atomic<uint64_t> parks{0};    // Times a worker went to sleep.
   std::atomic<uint64_t> steals{0};   // Requests this node's workers stole from siblings.
+  // FaultSim outcomes: injected chunk failures, retries re-queued after backoff, and
+  // chunks completed inline after exhausting retries (or when the ring was full).
+  std::atomic<uint64_t> faults{0};
+  std::atomic<uint64_t> fault_retries{0};
+  std::atomic<uint64_t> inline_fallbacks{0};
 };
 
 class DelegationBatch;
@@ -130,6 +141,9 @@ class DelegationPool {
   uint64_t wakeups() const { return Sum(&DelegationNodeStats::wakeups); }
   uint64_t parks() const { return Sum(&DelegationNodeStats::parks); }
   uint64_t steals() const { return Sum(&DelegationNodeStats::steals); }
+  uint64_t faults() const { return Sum(&DelegationNodeStats::faults); }
+  uint64_t fault_retries() const { return Sum(&DelegationNodeStats::fault_retries); }
+  uint64_t inline_fallbacks() const { return Sum(&DelegationNodeStats::inline_fallbacks); }
   // Number of workers currently parked (an idle pool reports all of them).
   uint32_t parked_workers() const;
 

@@ -1,0 +1,139 @@
+// Deadline watchdog for untrusted LibFS callbacks (§4.3's fix-with-timeout, generalized
+// to every callback the kernel runs: fix_corruption, recovery programs, revoke).
+//
+// A LibFS callback is arbitrary user code: it may hang forever, and the kernel must not
+// hang with it. Run() executes the callback on a pooled helper thread and waits at most
+// `timeout_ms` of wall-clock time. If the callback returns in time, the helper parks back
+// into the pool (so steady-state cost is one condition-variable round trip, not a thread
+// spawn) and Run() returns true. On timeout Run() returns false and the helper is
+// abandoned: it stays detached inside the hung callback until that eventually returns,
+// then exits without ever touching the pool again.
+//
+// Contract for callers: a task handed to Run() may outlive the call, so it must own its
+// state — capture by value / shared_ptr, and report results through memory the task keeps
+// alive. The kernel escalates on timeout (forced release, checkpoint rollback, full
+// re-verification); a late-returning callback finds its session already torn down and its
+// kernel entry points fail closed.
+
+#ifndef SRC_KERNEL_WATCHDOG_H_
+#define SRC_KERNEL_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace trio {
+
+class CallbackGuard {
+ public:
+  CallbackGuard() = default;
+  CallbackGuard(const CallbackGuard&) = delete;
+  CallbackGuard& operator=(const CallbackGuard&) = delete;
+
+  ~CallbackGuard() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto& worker : idle_) {
+      {
+        std::lock_guard<std::mutex> wg(worker->mutex);
+        worker->exit = true;
+      }
+      worker->cv.notify_one();
+    }
+    idle_.clear();  // Abandoned workers were never returned here; they exit on their own.
+  }
+
+  // Runs `fn` under a wall-clock deadline. True iff it completed within `timeout_ms`.
+  bool Run(uint64_t timeout_ms, std::function<void()> fn) {
+    std::shared_ptr<Worker> worker = Acquire();
+    {
+      std::lock_guard<std::mutex> wg(worker->mutex);
+      worker->task = std::move(fn);
+      worker->has_task = true;
+      worker->done = false;
+    }
+    worker->cv.notify_one();
+    std::unique_lock<std::mutex> wl(worker->mutex);
+    const bool completed = worker->done_cv.wait_for(
+        wl, std::chrono::milliseconds(timeout_ms), [&] { return worker->done; });
+    if (completed) {
+      wl.unlock();
+      Release(std::move(worker));
+      return true;
+    }
+    // Still holding worker->mutex: the helper is stuck inside the task (it re-takes the
+    // mutex only after the task returns), so this flag is race-free. It tells the helper
+    // to exit instead of parking when the task finally finishes.
+    worker->abandoned = true;
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  uint64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;       // Helper waits here for a task (or exit).
+    std::condition_variable done_cv;  // Caller waits here for completion.
+    std::function<void()> task;
+    bool has_task = false;
+    bool done = false;
+    bool exit = false;
+    bool abandoned = false;
+  };
+
+  std::shared_ptr<Worker> Acquire() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (!idle_.empty()) {
+        std::shared_ptr<Worker> worker = std::move(idle_.back());
+        idle_.pop_back();
+        return worker;
+      }
+    }
+    auto worker = std::make_shared<Worker>();
+    // Detached: joining is impossible in the abandoned case, and the shared_ptr keeps the
+    // Worker alive for whichever side (caller or helper) finishes last.
+    std::thread([worker] {
+      std::unique_lock<std::mutex> wl(worker->mutex);
+      while (true) {
+        worker->cv.wait(wl, [&] { return worker->has_task || worker->exit; });
+        if (worker->exit) {
+          return;
+        }
+        std::function<void()> task = std::move(worker->task);
+        worker->task = nullptr;
+        worker->has_task = false;
+        wl.unlock();
+        task();
+        wl.lock();
+        worker->done = true;
+        worker->done_cv.notify_all();
+        if (worker->abandoned || worker->exit) {
+          return;
+        }
+      }
+    }).detach();
+    return worker;
+  }
+
+  void Release(std::shared_ptr<Worker> worker) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    idle_.push_back(std::move(worker));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Worker>> idle_;
+  std::atomic<uint64_t> timeouts_{0};
+};
+
+}  // namespace trio
+
+#endif  // SRC_KERNEL_WATCHDOG_H_

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "src/sim/fault_injector.h"
+
 namespace trio {
 
 void NvmPool::Init() {
@@ -75,11 +77,25 @@ void NvmPool::Persist(const void* dst, size_t len) {
   if (mode_ != NvmMode::kTracking) {
     return;
   }
+  // Torn persist: the flush loses a non-empty subset of its cachelines. Dropped lines stay
+  // dirty (the store is still in cache), so only a crash before a later flush loses them —
+  // exactly the window real hardware exposes when a clwb is omitted.
+  const bool torn = fault_injector_ != nullptr && last > first &&
+                    fault_injector_->ShouldFire(kFaultNvmTornPersist);
   std::lock_guard<std::mutex> guard(track_mutex_);
+  uint64_t dropped = 0;
   for (uint64_t line = first; line <= last; ++line) {
+    if (torn && ((line == last && dropped == 0) || fault_injector_->NextRandom(2) == 0)) {
+      ++dropped;
+      continue;
+    }
     if (dirty_lines_.erase(line) > 0) {
       pending_lines_.insert(line);
     }
+  }
+  if (dropped > 0) {
+    TRIO_LOG(kDebug) << "faultsim: torn persist dropped " << dropped << " of "
+                     << (last - first + 1) << " lines";
   }
 }
 
@@ -89,6 +105,18 @@ void NvmPool::Fence() {
     return;
   }
   std::lock_guard<std::mutex> guard(track_mutex_);
+  if (fault_injector_ != nullptr && !pending_lines_.empty() &&
+      fault_injector_->ShouldFire(kFaultNvmBitFlip)) {
+    // Media fault: one of the lines this fence commits takes a single-bit error. Flipping
+    // the live copy before the commit loop below puts the damage in the persisted image
+    // (and in any recorded fence delta) too.
+    auto it = pending_lines_.begin();
+    std::advance(it, fault_injector_->NextRandom(pending_lines_.size()));
+    char* line_addr = main_ + *it * kCacheLineSize;
+    const uint64_t bit = fault_injector_->NextRandom(kCacheLineSize * 8);
+    line_addr[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    TRIO_LOG(kWarn) << "faultsim: bit flip injected in line " << *it << " bit " << bit;
+  }
   FenceDelta delta;
   for (uint64_t line : pending_lines_) {
     std::memcpy(shadow_.get() + line * kCacheLineSize, main_ + line * kCacheLineSize,
@@ -165,6 +193,25 @@ void NvmPool::LoadImage(const char* image) {
   }
   dirty_lines_.clear();
   pending_lines_.clear();
+}
+
+size_t NvmPool::InjectBitFlip(void* addr, size_t len, Rng& rng) {
+  TRIO_CHECK(len > 0);
+  const uint64_t bit = rng.Below(len * 8);
+  char* target = static_cast<char*>(addr) + bit / 8;
+  const char mask = static_cast<char>(1u << (bit % 8));
+  *target ^= mask;
+  if (mode_ == NvmMode::kTracking) {
+    // Durable media corruption: the persisted image is damaged identically, so the flip
+    // survives SimulateCrash and remount.
+    std::lock_guard<std::mutex> guard(track_mutex_);
+    shadow_[target - main_] ^= mask;
+  }
+  if (fault_injector_ != nullptr) {
+    fault_injector_->RecordFire(kFaultNvmBitFlip);
+  }
+  TRIO_LOG(kWarn) << "faultsim: targeted bit flip at pool offset " << (target - main_);
+  return bit / 8;
 }
 
 size_t NvmPool::UnpersistedLineCount() {

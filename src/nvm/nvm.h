@@ -34,6 +34,8 @@
 
 namespace trio {
 
+class FaultInjector;  // src/sim/fault_injector.h
+
 inline constexpr size_t kPageSize = 4096;
 inline constexpr size_t kCacheLineSize = 64;
 inline constexpr uint64_t kInvalidPage = 0;  // Page 0 is the superblock; never handed out.
@@ -181,6 +183,22 @@ class NvmPool {
     PersistNow(dst, sizeof(uint64_t));
   }
 
+  // ---- Fault injection (FaultSim). ----
+
+  // Attaches an injector (not owned; null = off, one-branch overhead). Armable points:
+  // kFaultNvmTornPersist (a multi-line Persist silently drops a non-empty subset of its
+  // cachelines — they stay dirty, so only a crash before a later flush loses them) and
+  // kFaultNvmBitFlip (a Fence commits one of its lines with a single bit flipped).
+  // Components owning a pool reference (DelegationPool, KernelController) reach the
+  // injector through here as well.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // Targeted media corruption: flips one uniformly chosen bit of [addr, addr+len), in the
+  // live image and (kTracking) the persisted image — a durable media fault that survives
+  // crashes and recovery. Returns the byte offset of the flipped bit within the range.
+  size_t InjectBitFlip(void* addr, size_t len, Rng& rng);
+
   // ---- Crash simulation (kTracking only). ----
 
   // Reverts main memory to the persisted image. Each line that was written but not yet
@@ -222,6 +240,7 @@ class NvmPool {
   std::unique_ptr<char[]> heap_;     // Owns main_ when not file-backed.
   std::unique_ptr<char[]> shadow_;   // Persisted image (kTracking only).
   NvmStats stats_;
+  FaultInjector* fault_injector_ = nullptr;
 
   std::mutex track_mutex_;
   std::unordered_set<uint64_t> dirty_lines_;    // Stored, clwb not yet issued.

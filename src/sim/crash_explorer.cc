@@ -1,0 +1,301 @@
+#include "src/sim/crash_explorer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/core_state.h"
+#include "src/verifier/fsck.h"
+
+namespace trio {
+
+CrashExplorer::CrashExplorer(CrashExplorerOptions options)
+    : options_(std::move(options)), injector_(options_.seed) {}
+
+Status CrashExplorer::WalkTree(ArckFs& fs, const std::string& path, TreeSnapshot& out) {
+  Result<std::vector<DirEntryInfo>> entries = fs.ReadDir(path);
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  for (const DirEntryInfo& entry : *entries) {
+    const std::string child =
+        (path == "/") ? "/" + entry.name : path + "/" + entry.name;
+    if (entry.is_dir) {
+      out[child] = "D";
+      TRIO_RETURN_IF_ERROR(WalkTree(fs, child, out));
+      continue;
+    }
+    Result<StatInfo> info = fs.Stat(child);
+    if (!info.ok()) {
+      return info.status();
+    }
+    std::string data(info->size, '\0');
+    Result<Fd> fd = fs.Open(child, OpenFlags::ReadOnly());
+    if (!fd.ok()) {
+      return fd.status();
+    }
+    if (info->size > 0) {
+      Result<size_t> n = fs.Pread(*fd, data.data(), data.size(), 0);
+      if (!n.ok() || *n != data.size()) {
+        (void)fs.Close(*fd);
+        return n.ok() ? Internal("short oracle read of " + child) : n.status();
+      }
+    }
+    TRIO_RETURN_IF_ERROR(fs.Close(*fd));
+    out[child] = "F:" + data;
+  }
+  return OkStatus();
+}
+
+std::vector<size_t> CrashExplorer::SamplePoints(size_t count, size_t cap,
+                                                const char* what) {
+  std::vector<size_t> points;
+  if (count == 0) {
+    return points;
+  }
+  if (cap == 0 || count <= cap) {
+    points.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      points[i] = i;
+    }
+    return points;
+  }
+  if (cap == 1) {
+    points.push_back(count - 1);
+  } else {
+    for (size_t i = 0; i < cap; ++i) {
+      const size_t p = i * (count - 1) / (cap - 1);
+      if (points.empty() || points.back() != p) {
+        points.push_back(p);
+      }
+    }
+  }
+  const size_t skipped = count - points.size();
+  stats_.sampled_out.fetch_add(skipped, std::memory_order_relaxed);
+  TRIO_LOG(kWarn) << what << ": sampling " << points.size() << " of " << count
+                  << " crash points (" << skipped << " skipped — NOT exhaustive)";
+  return points;
+}
+
+void CrashExplorer::RecordFailure(CrashExplorerReport& report, size_t fence,
+                                  size_t recovery_fence, std::string what) {
+  stats_.failures.fetch_add(1, std::memory_order_relaxed);
+  CrashFailure failure;
+  failure.fence = fence;
+  failure.recovery_fence = recovery_fence;
+  failure.what = std::move(what);
+  TRIO_LOG(kWarn) << "crash point " << fence
+                  << (recovery_fence == SIZE_MAX
+                          ? std::string()
+                          : " (recovery fence " + std::to_string(recovery_fence) + ")")
+                  << " failed: " << failure.what;
+  report.failures.push_back(std::move(failure));
+}
+
+CrashExplorer::BootedFs CrashExplorer::Boot(const char* image, NvmMode mode,
+                                            const std::vector<PageNumber>& journals,
+                                            bool record_recovery) {
+  BootedFs out;
+  out.pool = std::make_unique<NvmPool>(options_.pool_pages, mode);
+  out.pool->LoadImage(image);
+  out.kernel = std::make_unique<KernelController>(*out.pool);
+  out.status = out.kernel->Mount();
+  if (!out.status.ok()) {
+    return out;
+  }
+  out.needed_recovery = out.kernel->NeedsRecovery();
+  // Record from before the ArckFs constructor so mid-recovery crash points cover the
+  // journal replay as well as the kernel's RunRecovery.
+  const bool record = record_recovery && out.needed_recovery;
+  if (record) {
+    out.pool->StartFenceRecording();
+  }
+  ArckFsConfig config;
+  config.recover_journal_pages = journals;
+  out.fs = std::make_unique<ArckFs>(*out.kernel, config);
+  if (out.needed_recovery) {
+    out.status = out.kernel->RunRecovery();
+    stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (record) {
+    out.pool->StopFenceRecording();
+  }
+  stats_.remounts.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void CrashExplorer::CheckPoint(size_t fence, NvmPool& primary,
+                               const std::vector<PageNumber>& journals,
+                               std::vector<char>& image, const Check& check,
+                               CrashExplorerReport& report) {
+  primary.MaterializeAt(fence, image.data());
+  stats_.crash_points_explored.fetch_add(1, std::memory_order_relaxed);
+
+  const NvmMode mode =
+      options_.explore_recovery ? NvmMode::kTracking : NvmMode::kFast;
+  BootedFs booted = Boot(image.data(), mode, journals, options_.explore_recovery);
+  if (!booted.status.ok()) {
+    RecordFailure(report, fence, SIZE_MAX,
+                  "boot/recovery failed: " + booted.status.ToString());
+    return;
+  }
+
+  Result<FsckReport> fsck = RunFsck(*booted.pool);
+  stats_.fsck_runs.fetch_add(1, std::memory_order_relaxed);
+  if (!fsck.ok()) {
+    RecordFailure(report, fence, SIZE_MAX, "fsck errored: " + fsck.status().ToString());
+    return;
+  }
+  if (!fsck->Clean()) {
+    stats_.fsck_problems.fetch_add(fsck->problems.size(), std::memory_order_relaxed);
+    const FsckProblem& p = fsck->problems.front();
+    RecordFailure(report, fence, SIZE_MAX,
+                  "fsck " + p.invariant + " (ino " + std::to_string(p.ino) +
+                      "): " + p.detail + " [+" +
+                      std::to_string(fsck->problems.size() - 1) + " more]");
+    return;
+  }
+
+  TreeSnapshot reference;
+  Status walk = WalkTree(*booted.fs, "/", reference);
+  stats_.oracle_checks.fetch_add(1, std::memory_order_relaxed);
+  if (!walk.ok()) {
+    RecordFailure(report, fence, SIZE_MAX, "oracle walk failed: " + walk.ToString());
+    return;
+  }
+  if (check) {
+    Status user = check(*booted.fs);
+    if (!user.ok()) {
+      RecordFailure(report, fence, SIZE_MAX, "workload check failed: " + user.ToString());
+      return;
+    }
+  }
+
+  if (!options_.explore_recovery || !booted.needed_recovery) {
+    return;
+  }
+
+  // Recovery idempotence: crash the recovery we just ran at each of ITS fences, recover
+  // again, and require convergence to the uncrashed result.
+  const size_t inner = booted.pool->RecordedFenceCount();
+  std::vector<size_t> inner_points = SamplePoints(
+      inner + 1, options_.max_recovery_points, "recovery exploration");
+  std::vector<char> inner_image(options_.pool_pages * kPageSize);
+  for (size_t j : inner_points) {
+    booted.pool->MaterializeAt(j, inner_image.data());
+    stats_.recovery_points_explored.fetch_add(1, std::memory_order_relaxed);
+    BootedFs second = Boot(inner_image.data(), NvmMode::kFast, journals, false);
+    if (!second.status.ok()) {
+      RecordFailure(report, fence, j,
+                    "second recovery failed: " + second.status.ToString());
+      continue;
+    }
+    Result<FsckReport> refsck = RunFsck(*second.pool);
+    stats_.fsck_runs.fetch_add(1, std::memory_order_relaxed);
+    if (!refsck.ok() || !refsck->Clean()) {
+      if (refsck.ok()) {
+        stats_.fsck_problems.fetch_add(refsck->problems.size(),
+                                       std::memory_order_relaxed);
+      }
+      RecordFailure(report, fence, j,
+                    refsck.ok() ? "fsck dirty after second recovery: " +
+                                      refsck->problems.front().invariant + " " +
+                                      refsck->problems.front().detail
+                                : "fsck errored after second recovery: " +
+                                      refsck.status().ToString());
+      continue;
+    }
+    TreeSnapshot snapshot;
+    Status rewalk = WalkTree(*second.fs, "/", snapshot);
+    stats_.oracle_checks.fetch_add(1, std::memory_order_relaxed);
+    if (!rewalk.ok()) {
+      RecordFailure(report, fence, j,
+                    "oracle walk failed after second recovery: " + rewalk.ToString());
+      continue;
+    }
+    if (snapshot != reference) {
+      RecordFailure(report, fence, j,
+                    "recovery not idempotent: tree after crashed+rerun recovery "
+                    "differs from the uncrashed recovery (" +
+                        std::to_string(snapshot.size()) + " vs " +
+                        std::to_string(reference.size()) + " entries)");
+    }
+  }
+}
+
+Result<CrashExplorerReport> CrashExplorer::Explore(const Workload& workload,
+                                                   const Check& check) {
+  NvmPool pool(options_.pool_pages, NvmMode::kTracking);
+  FormatOptions format;
+  format.max_inodes = options_.max_inodes;
+  TRIO_RETURN_IF_ERROR(Format(pool, format));
+  KernelController kernel(pool);
+  TRIO_RETURN_IF_ERROR(kernel.Mount());
+  ArckFs fs(kernel);
+
+  // Faults are live only while the workload runs; exploration then observes the durable
+  // damage rather than injecting fresh faults into every remount.
+  for (const ArmedFault& fault : options_.faults) {
+    injector_.Arm(fault.point, fault.policy);
+  }
+  pool.set_fault_injector(&injector_);
+  pool.StartFenceRecording();
+  workload(fs);
+  pool.StopFenceRecording();
+  pool.set_fault_injector(nullptr);
+  stats_.faults_injected.fetch_add(injector_.TotalFires(), std::memory_order_relaxed);
+
+  const std::vector<PageNumber> journals = fs.JournalPages();
+  const size_t fences = pool.RecordedFenceCount();
+  stats_.fences_recorded.store(fences, std::memory_order_relaxed);
+
+  CrashExplorerReport report;
+  report.fences = fences;
+  const std::vector<size_t> points =
+      SamplePoints(fences + 1, options_.max_crash_points, "crash exploration");
+  const bool sampled = points.size() < fences + 1;
+
+  std::vector<char> image(options_.pool_pages * kPageSize);
+  size_t last_pass = SIZE_MAX;  // Largest explored crash point that passed.
+  for (size_t k : points) {
+    const size_t before = report.failures.size();
+    CheckPoint(k, pool, journals, image, check, report);
+    ++report.explored;
+    if (report.failures.size() == before) {
+      last_pass = k;
+      continue;
+    }
+    if (report.minimal_failing_fence == SIZE_MAX) {
+      report.minimal_failing_fence = k;
+      if (sampled) {
+        // Shrink: the true minimal failing fence may hide in the unexplored gap before
+        // this sampled point. Scan it in order; the first failure is minimal.
+        const size_t gap_begin = last_pass == SIZE_MAX ? 0 : last_pass + 1;
+        for (size_t j = gap_begin; j < k; ++j) {
+          CrashExplorerReport probe;
+          CheckPoint(j, pool, journals, image, check, probe);
+          ++report.explored;
+          if (!probe.Clean()) {
+            report.minimal_failing_fence = j;
+            for (CrashFailure& failure : probe.failures) {
+              report.failures.push_back(std::move(failure));
+            }
+            break;
+          }
+        }
+      }
+      stats_.min_failing_fence.store(report.minimal_failing_fence,
+                                     std::memory_order_relaxed);
+      TRIO_LOG(kWarn) << "minimal failing crash point: fence "
+                      << report.minimal_failing_fence;
+    }
+    if (report.failures.size() >= options_.max_failures) {
+      TRIO_LOG(kWarn) << "stopping exploration after " << report.failures.size()
+                      << " failures (max_failures)";
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace trio

@@ -1,0 +1,103 @@
+#include "src/sim/fault_injector.h"
+
+#include "src/common/logging.h"
+
+namespace trio {
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::Arm(std::string_view point, FaultPolicy policy) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Point& p = points_[std::string(point)];
+  p.policy = policy;
+  p.armed = true;
+  p.hits = 0;
+  p.fires = 0;
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = points_.find(point);
+  if (it != points_.end()) {
+    it->second.armed = false;
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  points_.clear();
+}
+
+bool FaultInjector::ShouldFire(std::string_view point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) {
+    return false;
+  }
+  Point& p = it->second;
+  ++p.hits;
+  bool fire = false;
+  switch (p.policy.kind) {
+    case FaultPolicy::Kind::kOnce:
+      fire = p.hits == 1;
+      break;
+    case FaultPolicy::Kind::kNthHit:
+      fire = p.hits == p.policy.n;
+      break;
+    case FaultPolicy::Kind::kEveryN:
+      fire = p.policy.n != 0 && p.hits % p.policy.n == 0;
+      break;
+    case FaultPolicy::Kind::kProbability:
+      fire = rng_.NextDouble() < p.policy.probability;
+      break;
+    case FaultPolicy::Kind::kAlways:
+      fire = true;
+      break;
+  }
+  if (fire) {
+    ++p.fires;
+    TRIO_LOG(kDebug) << "faultsim: " << point << " fired (hit " << p.hits << ")";
+  }
+  return fire;
+}
+
+void FaultInjector::RecordFire(std::string_view point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Point& p = points_[std::string(point)];
+  ++p.hits;
+  ++p.fires;
+}
+
+uint64_t FaultInjector::NextRandom(uint64_t bound) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return rng_.Below(bound);
+}
+
+FaultPointStats FaultInjector::StatsFor(std::string_view point) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    return {};
+  }
+  return {it->second.hits, it->second.fires};
+}
+
+uint64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, p] : points_) {
+    total += p.fires;
+  }
+  return total;
+}
+
+uint64_t FaultInjector::TotalHits() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint64_t total = 0;
+  for (const auto& [name, p] : points_) {
+    total += p.hits;
+  }
+  return total;
+}
+
+}  // namespace trio

@@ -13,6 +13,7 @@
 #include "src/common/random.h"
 #include "src/kernel/controller.h"
 #include "src/libfs/arckfs.h"
+#include "tests/test_seed.h"
 
 namespace trio {
 namespace {
@@ -270,14 +271,16 @@ TEST_F(CrashTest, CacheEvictionCannotBreakCommitOrdering) {
   // commit word after fencing its dependencies — so any eviction pattern yields a valid
   // state. Exercise many random eviction outcomes.
   WriteFile("/base", "stable");
-  for (uint64_t seed = 0; seed < 12; ++seed) {
+  for (uint64_t iteration = 0; iteration < 12; ++iteration) {
     // Fresh mutation batch on the live fs.
-    const std::string path = "/evict" + std::to_string(seed);
+    const std::string path = "/evict" + std::to_string(iteration);
     WriteFile(path, "abcdefgh");
     (void)fs_->Rename(path, path + "x");
 
     std::vector<char> image(kPoolPages * kPageSize);
-    // Crash now, with a random subset of unflushed lines surviving.
+    // Crash now, with a random subset of unflushed lines surviving. Seeded from
+    // TestSeed() so a failing eviction pattern replays from the logged seed.
+    const uint64_t seed = TestSeed() + iteration;
     Rng rng(seed);
     NvmPool scratch(kPoolPages, NvmMode::kFast);
     {

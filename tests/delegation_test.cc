@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/nvm/nvm.h"
+#include "src/sim/fault_injector.h"
+#include "tests/test_seed.h"
 
 namespace trio {
 namespace {
@@ -357,6 +359,88 @@ TEST(DelegationTest, StopIsIdempotent) {
   DelegationPool delegation(pool, FastParkConfig());
   delegation.Stop();
   delegation.Stop();
+}
+
+TEST(DelegationFaultTest, WorkerFaultRetriesAndCompletes) {
+  NvmPool pool(32, NvmMode::kFast, Topo(2, 1));
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultDelegationWorker, FaultPolicy::Once());
+  pool.set_fault_injector(&injector);
+  DelegationPool delegation(pool);
+
+  char buf[256];
+  std::memset(buf, 0x3c, sizeof(buf));
+  std::atomic<uint32_t> pending{1};
+  DelegationRequest req;
+  req.op = DelegationRequest::Op::kWrite;
+  req.nvm = pool.PageAddress(4);
+  req.dram = buf;
+  req.len = sizeof(buf);
+  req.pending = &pending;
+  delegation.Submit(req);
+  delegation.Wait(pending);  // The faulted chunk must still complete (via retry).
+  EXPECT_EQ(std::memcmp(pool.PageAddress(4), buf, sizeof(buf)), 0);
+  EXPECT_EQ(delegation.faults(), 1u);
+  EXPECT_EQ(delegation.fault_retries(), 1u);
+  EXPECT_EQ(delegation.inline_fallbacks(), 0u);
+  EXPECT_EQ(delegation.completed(), 1u);
+}
+
+TEST(DelegationFaultTest, PersistentWorkerFaultFallsBackInline) {
+  NvmPool pool(32, NvmMode::kFast, Topo(2, 1));
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultDelegationWorker, FaultPolicy::Always());
+  pool.set_fault_injector(&injector);
+  DelegationConfig config;
+  config.fault_max_retries = 2;
+  DelegationPool delegation(pool, config);
+
+  char buf[512];
+  std::memset(buf, 0x6d, sizeof(buf));
+  std::atomic<uint32_t> pending{1};
+  DelegationRequest req;
+  req.op = DelegationRequest::Op::kWrite;
+  req.nvm = pool.PageAddress(20);
+  req.dram = buf;
+  req.len = sizeof(buf);
+  req.pending = &pending;
+  delegation.Submit(req);
+  delegation.Wait(pending);  // Retries exhaust, then the inline fallback completes it.
+  EXPECT_EQ(std::memcmp(pool.PageAddress(20), buf, sizeof(buf)), 0);
+  EXPECT_EQ(delegation.faults(), 3u);  // Initial attempt + 2 retries, all faulted.
+  EXPECT_EQ(delegation.fault_retries(), 2u);
+  EXPECT_EQ(delegation.inline_fallbacks(), 1u);
+  EXPECT_EQ(delegation.completed(), 1u);
+}
+
+TEST(DelegationFaultTest, BatchWithWorkerFaultsStillCompletesAndPersists) {
+  NvmPool pool(64, NvmMode::kTracking, Topo(2, 2));
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultDelegationWorker, FaultPolicy::EveryN(3));
+  pool.set_fault_injector(&injector);
+  DelegationPool delegation(pool);
+
+  const size_t stripe = pool.NodeStripeBytes();
+  std::vector<char> src(4 * kPageSize, 'F');
+  DelegationBatch batch(delegation);
+  // One AddWrite per page: 8 node-contained requests, so EveryN(3) faults several of
+  // them (a batch share below kMaxRequestBytes is otherwise a single request).
+  for (int node = 0; node < 2; ++node) {
+    for (size_t page = 0; page < 4; ++page) {
+      batch.AddWrite(pool.base() + node * stripe + page * kPageSize,
+                     src.data() + page * kPageSize, kPageSize, /*persist=*/true);
+    }
+  }
+  batch.Submit();
+  batch.Wait();
+  EXPECT_GT(delegation.faults(), 0u);
+  EXPECT_EQ(pool.UnpersistedLineCount(), 0u)
+      << "faulted chunks must still persist before the batch reports done";
+  pool.SimulateCrash();
+  for (int node = 0; node < 2; ++node) {
+    EXPECT_EQ(std::memcmp(pool.base() + node * stripe, src.data(), src.size()), 0)
+        << "node " << node;
+  }
 }
 
 TEST(DelegationTest, ConcurrentStandaloneSubmitsFromManyThreads) {

@@ -6,9 +6,12 @@
 
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/nvm/nvm.h"
+#include "src/sim/fault_injector.h"
+#include "tests/test_seed.h"
 
 namespace trio {
 namespace {
@@ -105,10 +108,97 @@ TEST(CrashSimTest, CommitStore64IsAtomicDurable) {
 TEST(CrashSimTest, EvictionMayPersistUnflushedLines) {
   // With evict probability 1.0 every dirty line survives the crash.
   NvmPool pool(16, NvmMode::kTracking);
-  Rng rng(1);
+  Rng rng(TestSeed());
   pool.Write(pool.PageAddress(2), "xyz", 3);
   pool.SimulateCrash(&rng, /*evict_probability=*/1.0);
   EXPECT_EQ(std::memcmp(pool.PageAddress(2), "xyz", 3), 0);
+}
+
+TEST(FaultSimTest, TornPersistLosesLinesAcrossACrash) {
+  NvmPool pool(16, NvmMode::kTracking);
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultNvmTornPersist, FaultPolicy::Once());
+  pool.set_fault_injector(&injector);
+
+  char* base = pool.PageAddress(2);
+  std::vector<char> data(4 * kCacheLineSize, 'T');
+  pool.Write(base, data.data(), data.size());
+  pool.Persist(base, data.size());  // Torn: a non-empty subset of the 4 lines is dropped.
+  pool.Fence();
+  EXPECT_EQ(injector.StatsFor(kFaultNvmTornPersist).fires, 1u);
+  // Dropped lines stayed dirty — they are NOT durable despite the persist+fence.
+  EXPECT_GT(pool.UnpersistedLineCount(), 0u);
+  pool.SimulateCrash();
+  // The last line of a torn persist is always among the dropped set.
+  EXPECT_EQ(base[3 * kCacheLineSize], 0);
+}
+
+TEST(FaultSimTest, TornPersistIsRepairedByRepersisting) {
+  NvmPool pool(16, NvmMode::kTracking);
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultNvmTornPersist, FaultPolicy::Once());
+  pool.set_fault_injector(&injector);
+
+  char* base = pool.PageAddress(2);
+  std::vector<char> data(4 * kCacheLineSize, 'R');
+  pool.Write(base, data.data(), data.size());
+  pool.PersistNow(base, data.size());  // Torn (fires once).
+  EXPECT_GT(pool.UnpersistedLineCount(), 0u);
+  pool.PersistNow(base, data.size());  // Clean retry: dropped lines are still dirty.
+  EXPECT_EQ(pool.UnpersistedLineCount(), 0u);
+  pool.SimulateCrash();
+  EXPECT_EQ(std::memcmp(base, data.data(), data.size()), 0);
+}
+
+TEST(FaultSimTest, SingleLinePersistIsNeverTorn) {
+  // A torn persist must drop a strict subset only when there is more than one line.
+  NvmPool pool(16, NvmMode::kTracking);
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultNvmTornPersist, FaultPolicy::Always());
+  pool.set_fault_injector(&injector);
+  auto* slot = reinterpret_cast<uint64_t*>(pool.PageAddress(3));
+  pool.CommitStore64(slot, 0x1234ull);  // 8-byte commit: one line, never torn.
+  pool.SimulateCrash();
+  EXPECT_EQ(pool.Load64(slot), 0x1234ull);
+}
+
+TEST(FaultSimTest, FenceBitFlipCorruptsExactlyOneBitDurably) {
+  NvmPool pool(16, NvmMode::kTracking);
+  FaultInjector injector(TestSeed());
+  injector.Arm(kFaultNvmBitFlip, FaultPolicy::Once());
+  pool.set_fault_injector(&injector);
+
+  char* base = pool.PageAddress(2);
+  std::vector<char> data(kCacheLineSize, 'b');
+  pool.Write(base, data.data(), data.size());
+  pool.PersistNow(base, data.size());
+  EXPECT_EQ(injector.StatsFor(kFaultNvmBitFlip).fires, 1u);
+
+  auto flipped_bits = [&] {
+    int bits = 0;
+    for (size_t i = 0; i < kCacheLineSize; ++i) {
+      bits += __builtin_popcount(static_cast<unsigned char>(base[i] ^ 'b'));
+    }
+    return bits;
+  };
+  EXPECT_EQ(flipped_bits(), 1);  // Live image took the media error...
+  pool.SimulateCrash();
+  EXPECT_EQ(flipped_bits(), 1);  // ...and so did the persisted image.
+}
+
+TEST(FaultSimTest, InjectBitFlipSurvivesCrash) {
+  NvmPool pool(16, NvmMode::kTracking);
+  char* addr = pool.PageAddress(3);
+  std::vector<char> data(kCacheLineSize, 'x');
+  pool.Write(addr, data.data(), data.size());
+  pool.PersistNow(addr, data.size());
+
+  Rng rng(TestSeed());
+  const size_t offset = pool.InjectBitFlip(addr, data.size(), rng);
+  ASSERT_LT(offset, data.size());
+  EXPECT_NE(addr[offset], 'x');
+  pool.SimulateCrash();
+  EXPECT_NE(addr[offset], 'x') << "media fault must survive a crash";
 }
 
 TEST(CrashSimTest, CacheLineGranularity) {

@@ -1,0 +1,29 @@
+// Shared seed source for randomized crash/fault tests. Every Rng handed to
+// SimulateCrash or a FaultInjector derives from TestSeed(), which is logged once and can
+// be overridden with TRIO_TEST_SEED=<n> — so any randomized failure replays exactly from
+// the seed printed by the failing run.
+
+#ifndef TESTS_TEST_SEED_H_
+#define TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace trio {
+
+inline uint64_t TestSeed() {
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("TRIO_TEST_SEED");
+    const uint64_t value = env != nullptr ? std::strtoull(env, nullptr, 10) : 20260806ull;
+    TRIO_LOG(kInfo) << "randomized tests using TRIO_TEST_SEED=" << value
+                    << " (set the env var to replay)";
+    return value;
+  }();
+  return seed;
+}
+
+}  // namespace trio
+
+#endif  // TESTS_TEST_SEED_H_
