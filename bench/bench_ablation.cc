@@ -10,6 +10,7 @@
 #include <string>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "src/baselines/fs_factory.h"
 #include "src/common/mpmc_ring.h"
 #include "src/common/rwlock.h"
@@ -226,4 +227,15 @@ BENCHMARK(BM_DelegationWriteThresholdSweep)
 }  // namespace
 }  // namespace trio
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the per-layer StatRegistry breakdown rides along with the
+// benchmark's own JSON output.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  trio::bench::EmitLayerStats("bench_ablation");
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/kernel/delegation.h"
 #include "src/nvm/nvm.h"
 
@@ -171,4 +172,15 @@ BENCHMARK(BM_DelegatedReadBatched)
 }  // namespace
 }  // namespace trio
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the per-layer StatRegistry breakdown rides along with the
+// benchmark's own JSON output.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  trio::bench::EmitLayerStats("bench_delegation");
+  return 0;
+}

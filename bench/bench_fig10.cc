@@ -150,5 +150,6 @@ int main() {
   measured.Print();
   std::printf("\nExpected shape (paper): KVFS ~1.3x over ArckFS on Webproxy; FPFS ~1.2x "
               "on deep-directory Varmail.\n");
+  trio::bench::EmitLayerStats("bench_fig10");
   return 0;
 }

@@ -116,5 +116,6 @@ int main() {
   std::printf("Figure 5 reproduction: single-thread performance (§6.2)\n");
   trio::bench::ModelSection();
   trio::bench::MeasuredSection();
+  trio::bench::EmitLayerStats("bench_fig5");
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
   Sweep("Fig 6f: 4KB write, 8 NUMA nodes", 4096, false, 8, EightNodeThreads());
   Sweep("Fig 6g: 2MB read, 8 NUMA nodes", 2 << 20, true, 8, EightNodeThreads());
   Sweep("Fig 6h: 2MB write, 8 NUMA nodes", 2 << 20, false, 8, EightNodeThreads());
+  trio::bench::EmitLayerStats("bench_fig6");
   return 0;
 }

@@ -68,5 +68,6 @@ int main() {
   for (const auto& bench : trio::bench::kBenches) {
     trio::bench::SweepBench(bench);
   }
+  trio::bench::EmitLayerStats("bench_fig7");
   return 0;
 }

@@ -142,5 +142,6 @@ int main() {
   trio::bench::CreateBreakdown();
   std::printf("\nExpected shape (paper): map/unmap dominates for the large file; "
               "verification (+rebuild) dominates for the shared-directory creates.\n");
+  trio::bench::EmitLayerStats("bench_fig8");
   return 0;
 }

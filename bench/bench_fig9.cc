@@ -160,5 +160,6 @@ int main() {
   ModelSweep(trio::FilebenchPersonality::kWebproxy, 8, {1, 2, 4, 8, 16});
   ModelSweep(trio::FilebenchPersonality::kVarmail, 8, {1, 2, 4, 8, 16});
   MeasuredSection();
+  trio::bench::EmitLayerStats("bench_fig9");
   return 0;
 }

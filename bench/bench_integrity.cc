@@ -203,5 +203,6 @@ int main() {
   trio::bench::AttackSuite();
   trio::bench::ScriptedSweep();
   trio::bench::VerifierLatency();
+  trio::bench::EmitLayerStats("bench_integrity");
   return 0;
 }

@@ -112,5 +112,6 @@ int main() {
   trio::bench::PrintMatrix();
   trio::bench::DemonstrateDirectAccess();
   trio::bench::DemonstrateCustomizationAndIntegrity();
+  trio::bench::EmitLayerStats("bench_properties");
   return 0;
 }

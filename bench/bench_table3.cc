@@ -165,5 +165,6 @@ int main() {
   table.Print();
   std::printf("\nExpected shape (paper): sharing cost negligible for small files, "
               "grows with file/directory size; trust group eliminates it.\n");
+  trio::bench::EmitLayerStats("bench_table3");
   return 0;
 }

@@ -70,5 +70,6 @@ int main() {
   table.Print();
   std::printf("\nExpected shape (paper): ArckFS beats WineFS by up to 3.1x and ext4 by "
               "1.5x-17x across the workloads.\n");
+  trio::bench::EmitLayerStats("bench_table5");
   return 0;
 }

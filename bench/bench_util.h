@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/stats.h"
+
 namespace trio {
 namespace bench {
 
@@ -65,6 +67,15 @@ inline std::string Fmt(double v, int decimals = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+// Per-layer StatRegistry breakdown (fences, bytes persisted, kernel crossings, ...),
+// emitted by every bench binary before exit. One greppable line —
+// "STATS_JSON <bench> <json>" — so runs can be captured and diffed; EXPERIMENTS.md has
+// the snapshot-diff recipe.
+inline void EmitLayerStats(const char* bench_name) {
+  std::printf("\nSTATS_JSON %s %s\n", bench_name,
+              obs::StatRegistry::Global().ToJson().c_str());
 }
 
 }  // namespace bench

@@ -4,12 +4,19 @@
 #include <cstring>
 
 #include "src/common/per_cpu.h"
+#include "src/obs/persist_span.h"
 
 namespace trio {
 
 namespace {
 constexpr size_t kKInodesPerPage = kPageSize / sizeof(SimpleKernelFs::KInode);
 constexpr size_t kKDirentsPerBlock = kPageSize / sizeof(SimpleKernelFs::KDirent);
+
+// mkfs-time persistence accounting (static Format has no instance to charge).
+obs::PersistStats& FormatPersistStats() {
+  static obs::PersistStats* stats = new obs::PersistStats("baselines");
+  return *stats;
+}
 }  // namespace
 
 Status SimpleKernelFs::Format(NvmPool& pool, const KernelFsOptions& options) {
@@ -42,8 +49,7 @@ Status SimpleKernelFs::Format(NvmPool& pool, const KernelFsOptions& options) {
   root.mode = kModeDirectory | 0755;
   root.nlink = 1;
   pool.Write(&table[kKRootIno], &root, sizeof(root));
-  pool.Persist(pool.PageAddress(0), kPageSize);
-  pool.Fence();
+  obs::PersistSpan(pool, &FormatPersistStats()).PersistNow(pool.PageAddress(0), kPageSize);
   return OkStatus();
 }
 
@@ -55,8 +61,8 @@ SimpleKernelFs::SimpleKernelFs(NvmPool& pool, const KernelFsOptions& options)
     const uint64_t shards =
         options_.journal_mode == JournalMode::kGlobalJournal ? 1 : Super()->journal_pages;
     for (uint64_t i = 0; i < shards; ++i) {
-      journals_.push_back(
-          std::make_unique<UndoJournal>(pool_, Super()->journal_page + i));
+      journals_.push_back(std::make_unique<UndoJournal>(pool_, Super()->journal_page + i,
+                                                        &persist_stats_));
     }
   }
 }
@@ -98,7 +104,7 @@ Result<PageNumber> SimpleKernelFs::AllocBlock() {
     if ((bitmap[page / 8] & (1u << (page % 8))) == 0) {
       uint8_t byte = bitmap[page / 8] | (1u << (page % 8));
       pool_.Write(&bitmap[page / 8], &byte, 1);
-      pool_.PersistNow(&bitmap[page / 8], 1);
+      obs::PersistSpan(pool_, &persist_stats_).PersistNow(&bitmap[page / 8], 1);
       bitmap_cursor_ = page + 1;
       pool_.Set(pool_.PageAddress(page), 0, kPageSize);
       return page;
@@ -112,7 +118,7 @@ void SimpleKernelFs::FreeBlock(PageNumber page) {
   auto* bitmap = reinterpret_cast<uint8_t*>(pool_.PageAddress(Super()->bitmap_page));
   uint8_t byte = bitmap[page / 8] & ~(1u << (page % 8));
   pool_.Write(&bitmap[page / 8], &byte, 1);
-  pool_.PersistNow(&bitmap[page / 8], 1);
+  obs::PersistSpan(pool_, &persist_stats_).PersistNow(&bitmap[page / 8], 1);
 }
 
 Result<Ino> SimpleKernelFs::AllocInode() {
@@ -131,7 +137,7 @@ void SimpleKernelFs::FreeInode(Ino ino) {
   KInode cleared{};
   cleared.generation = inode->generation + 1;
   pool_.Write(inode, &cleared, sizeof(cleared));
-  pool_.PersistNow(inode, sizeof(cleared));
+  obs::PersistSpan(pool_, &persist_stats_).PersistNow(inode, sizeof(cleared));
 }
 
 Result<PageNumber> SimpleKernelFs::BlockOf(KInode* inode, uint64_t index, bool grow) {
@@ -141,7 +147,7 @@ Result<PageNumber> SimpleKernelFs::BlockOf(KInode* inode, uint64_t index, bool g
         return NotFound("hole");
       }
       TRIO_ASSIGN_OR_RETURN(PageNumber fresh, AllocBlock());
-      pool_.CommitStore64(slot, fresh);
+      obs::PersistSpan(pool_, &persist_stats_).CommitStore64(slot, fresh);
     }
     return static_cast<PageNumber>(*slot);
   };
@@ -231,7 +237,8 @@ Result<Ino> SimpleKernelFs::Create(Ino dir, std::string_view name, uint32_t mode
   if (slot == nullptr) {
     const uint64_t block_index = dir_inode->size / kPageSize;
     TRIO_ASSIGN_OR_RETURN(PageNumber page, BlockOf(dir_inode, block_index, /*grow=*/true));
-    pool_.CommitStore64(&dir_inode->size, dir_inode->size + kPageSize);
+    obs::PersistSpan(pool_, &persist_stats_)
+        .CommitStore64(&dir_inode->size, dir_inode->size + kPageSize);
     slot = reinterpret_cast<KDirent*>(pool_.PageAddress(page));
   }
 
@@ -256,25 +263,27 @@ Result<Ino> SimpleKernelFs::Create(Ino dir, std::string_view name, uint32_t mode
     dirent.name_len = static_cast<uint8_t>(name.size());
     std::memcpy(dirent.name, name.data(), name.size());
     pool_.Write(slot, &dirent, sizeof(dirent));
-    pool_.Persist(inode, sizeof(fresh));
-    pool_.Persist(slot, sizeof(dirent));
-    pool_.Fence();
+    obs::PersistSpan span(pool_, &persist_stats_);
+    span.Persist(inode, sizeof(fresh));
+    span.Persist(slot, sizeof(dirent));
+    span.Fence();
     journal->Deactivate();
   } else {
     // PMFS-style ordering: inode first, dirent ino last (the commit word).
+    obs::PersistSpan span(pool_, &persist_stats_);
     KInode fresh{};
     fresh.mode = mode;
     fresh.nlink = 1;
     fresh.generation = inode->generation + 1;
     pool_.Write(inode, &fresh, sizeof(fresh));
-    pool_.PersistNow(inode, sizeof(fresh));
+    span.PersistNow(inode, sizeof(fresh));
     KDirent dirent{};
     dirent.ino = 0;
     dirent.name_len = static_cast<uint8_t>(name.size());
     std::memcpy(dirent.name, name.data(), name.size());
     pool_.Write(slot, &dirent, sizeof(dirent));
-    pool_.PersistNow(slot, sizeof(dirent));
-    pool_.CommitStore64(&slot->ino, ino);
+    span.PersistNow(slot, sizeof(dirent));
+    span.CommitStore64(&slot->ino, ino);
   }
   return ino;
 }
@@ -315,7 +324,7 @@ Status SimpleKernelFs::Remove(Ino dir, std::string_view name, bool must_be_dir) 
   }
   // Free data blocks.
   TRIO_RETURN_IF_ERROR(Truncate(ino, 0));
-  pool_.CommitStore64(&slot->ino, 0);
+  obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&slot->ino, 0);
   FreeInode(ino);
   return OkStatus();
 }
@@ -348,7 +357,8 @@ Status SimpleKernelFs::Rename(Ino src_dir, std::string_view src_name, Ino dst_di
   if (slot == nullptr) {
     const uint64_t block_index = dst_inode->size / kPageSize;
     TRIO_ASSIGN_OR_RETURN(PageNumber page, BlockOf(dst_inode, block_index, true));
-    pool_.CommitStore64(&dst_inode->size, dst_inode->size + kPageSize);
+    obs::PersistSpan(pool_, &persist_stats_)
+        .CommitStore64(&dst_inode->size, dst_inode->size + kPageSize);
     slot = reinterpret_cast<KDirent*>(pool_.PageAddress(page));
   }
   KDirent dirent{};
@@ -356,8 +366,9 @@ Status SimpleKernelFs::Rename(Ino src_dir, std::string_view src_name, Ino dst_di
   dirent.name_len = static_cast<uint8_t>(dst_name.size());
   std::memcpy(dirent.name, dst_name.data(), dst_name.size());
   pool_.Write(slot, &dirent, sizeof(dirent));
-  pool_.PersistNow(slot, sizeof(dirent));
-  pool_.CommitStore64(&slot->ino, ino);
+  obs::PersistSpan span(pool_, &persist_stats_);
+  span.PersistNow(slot, sizeof(dirent));
+  span.CommitStore64(&slot->ino, ino);
 
   // Remove source entry (without freeing the inode).
   KInode* src_inode = InodeOf(src_dir);
@@ -369,7 +380,7 @@ Status SimpleKernelFs::Rename(Ino src_dir, std::string_view src_name, Ino dst_di
     return OkStatus();
   }));
   if (src_slot != nullptr) {
-    pool_.CommitStore64(&src_slot->ino, 0);
+    obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&src_slot->ino, 0);
   }
   (void)mode;
   return OkStatus();
@@ -410,17 +421,18 @@ Result<size_t> SimpleKernelFs::Write(Ino ino, const void* buf, size_t count,
   const char* src = static_cast<const char*>(buf);
   uint64_t cursor = offset;
   const uint64_t end = offset + count;
+  obs::PersistSpan span(pool_, &persist_stats_);
   while (cursor < end) {
     const uint64_t in_page = cursor % kPageSize;
     const size_t chunk = std::min<uint64_t>(kPageSize - in_page, end - cursor);
     TRIO_ASSIGN_OR_RETURN(PageNumber page, BlockOf(inode, cursor / kPageSize, true));
     pool_.Write(pool_.PageAddress(page) + in_page, src + (cursor - offset), chunk);
-    pool_.Persist(pool_.PageAddress(page) + in_page, chunk);
+    span.Persist(pool_.PageAddress(page) + in_page, chunk);
     cursor += chunk;
   }
-  pool_.Fence();
+  span.Fence();
   if (end > inode->size) {
-    pool_.CommitStore64(&inode->size, end);
+    span.CommitStore64(&inode->size, end);
   }
   return count;
 }
@@ -432,7 +444,7 @@ Status SimpleKernelFs::Truncate(Ino ino, uint64_t size) {
   }
   const uint64_t old_blocks = (inode->size + kPageSize - 1) / kPageSize;
   const uint64_t new_blocks = (size + kPageSize - 1) / kPageSize;
-  pool_.CommitStore64(&inode->size, size);
+  obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&inode->size, size);
   for (uint64_t b = new_blocks; b < old_blocks; ++b) {
     Result<PageNumber> page = BlockOf(inode, b, false);
     if (page.ok()) {
@@ -458,8 +470,7 @@ Status SimpleKernelFs::Truncate(Ino ino, uint64_t size) {
       FreeBlock(inode->dindirect);
       pool_.Store64(&inode->dindirect, 0);
     }
-    pool_.Persist(inode, sizeof(KInode));
-    pool_.Fence();
+    obs::PersistSpan(pool_, &persist_stats_).PersistNow(inode, sizeof(KInode));
   }
   return OkStatus();
 }
@@ -503,7 +514,7 @@ Status SimpleKernelFs::Chmod(Ino ino, uint32_t perm) {
   }
   const uint32_t mode = (inode->mode & kModeTypeMask) | (perm & kModePermMask);
   pool_.Write(&inode->mode, &mode, sizeof(mode));
-  pool_.PersistNow(&inode->mode, sizeof(mode));
+  obs::PersistSpan(pool_, &persist_stats_).PersistNow(&inode->mode, sizeof(mode));
   return OkStatus();
 }
 

@@ -123,6 +123,7 @@ class SimpleKernelFs {
 
   NvmPool& pool_;
   KernelFsOptions options_;
+  obs::PersistStats persist_stats_{"baselines"};
   std::mutex alloc_mutex_;    // Bitmap + inode allocation (a global lock, as in ext4).
   std::mutex journal_mutex_;  // Global-journal mode only.
   std::vector<std::unique_ptr<UndoJournal>> journals_;

@@ -2,7 +2,18 @@
 
 #include <ctime>
 
+#include "src/obs/persist_span.h"
+
 namespace trio {
+
+namespace {
+// Format/mkfs persistence accounting (layer "core"). Function-local static: core_state
+// has no instance to hang it on, and mkfs runs once per pool.
+obs::PersistStats& CorePersistStats() {
+  static obs::PersistStats* stats = new obs::PersistStats("core");
+  return *stats;
+}
+}  // namespace
 
 Status Format(NvmPool& pool, const FormatOptions& options) {
   if (options.max_inodes < 2) {
@@ -45,15 +56,16 @@ Status Format(NvmPool& pool, const FormatOptions& options) {
   sb.root.generation = 1;
   sb.root.SetName("/");
 
+  obs::PersistSpan span(pool, &CorePersistStats());
   pool.Write(pool.PageAddress(0), &sb, sizeof(sb));
-  pool.PersistNow(pool.PageAddress(0), sizeof(sb));
+  span.PersistNow(pool.PageAddress(0), sizeof(sb));
 
   // Zero the shadow table, the write-map log, and the root's preallocated index page.
   for (uint64_t p = sb.shadow_table_page; p <= file_region; ++p) {
     pool.Set(pool.PageAddress(p), 0, kPageSize);
-    pool.Persist(pool.PageAddress(p), kPageSize);
+    span.Persist(pool.PageAddress(p), kPageSize);
   }
-  pool.Fence();
+  span.Fence();
 
   ShadowInode root_shadow{};
   root_shadow.mode = sb.root.mode;
@@ -62,7 +74,7 @@ Status Format(NvmPool& pool, const FormatOptions& options) {
   root_shadow.flags = 1;
   ShadowInode* slot = ShadowInodeOf(pool, kRootIno);
   pool.Write(slot, &root_shadow, sizeof(root_shadow));
-  pool.PersistNow(slot, sizeof(root_shadow));
+  span.PersistNow(slot, sizeof(root_shadow));
   return OkStatus();
 }
 

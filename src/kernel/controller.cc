@@ -1,33 +1,22 @@
+// KernelController lifecycle, mount/recovery, resource leasing, permission changes, the
+// write-map log, and ownership views. The implementation is split across three
+// translation units behind the single KernelController class:
+//   controller.cc        — this file
+//   controller_map.cc    — map/unmap/sharing and lease revocation
+//   controller_verify.cc — verify/reconcile, checkpoint/rollback, quarantine, reclaim
+// Every LibFS-callable entry point opens a SyscallScope (see syscall_boundary.h).
+
 #include "src/kernel/controller.h"
 
 #include <algorithm>
 
+#include "src/kernel/controller_internal.h"
+#include "src/kernel/syscall_boundary.h"
+#include "src/obs/persist_span.h"
+
 namespace trio {
 
-namespace {
-
-// Classic owner/group/other permission check against the shadow inode (ground truth, I4).
-bool AccessAllowed(const ShadowInode& shadow, uint32_t uid, uint32_t gid, bool write) {
-  if (uid == 0) {
-    return true;
-  }
-  const uint32_t perm = shadow.mode & 0777;
-  uint32_t bits;
-  if (uid == shadow.uid) {
-    bits = perm >> 6;
-  } else if (gid == shadow.gid) {
-    bits = perm >> 3;
-  } else {
-    bits = perm;
-  }
-  return write ? (bits & 2) != 0 : (bits & 4) != 0;
-}
-
-inline size_t WmapSlots(const NvmPool& pool) {
-  return SuperblockOf(pool)->wmap_log_pages * kPageSize / sizeof(uint64_t);
-}
-
-}  // namespace
+using controller_internal::WmapSlots;
 
 KernelController::KernelController(NvmPool& pool, KernelConfig config, Clock* clock)
     : pool_(pool), config_(config), clock_(clock) {
@@ -82,7 +71,7 @@ Status KernelController::Mount() {
   // We are live: a crash from here on is unclean until Unmount().
   const uint64_t live = 0;
   pool_.Write(&sb->clean_shutdown, &live, sizeof(live));
-  pool_.PersistNow(&sb->clean_shutdown, sizeof(live));
+  obs::PersistSpan(pool_, &persist_stats_).PersistNow(&sb->clean_shutdown, sizeof(live));
   mounted_ = true;
   return OkStatus();
 }
@@ -135,7 +124,7 @@ Status KernelController::ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_p
   if (shadow != nullptr && !shadow->Exists()) {
     ShadowInode fresh{dirent.mode, dirent.uid, dirent.gid, 1};
     pool_.Write(shadow, &fresh, sizeof(fresh));
-    pool_.PersistNow(shadow, sizeof(fresh));
+    obs::PersistSpan(pool_, &persist_stats_).PersistNow(shadow, sizeof(fresh));
   }
 
   Status children_status = OkStatus();
@@ -174,7 +163,7 @@ Status KernelController::Unmount() {
   Superblock* sb = SuperblockOf(pool_);
   const uint64_t clean = 1;
   pool_.Write(&sb->clean_shutdown, &clean, sizeof(clean));
-  pool_.PersistNow(&sb->clean_shutdown, sizeof(clean));
+  obs::PersistSpan(pool_, &persist_stats_).PersistNow(&sb->clean_shutdown, sizeof(clean));
   mounted_ = false;
   return OkStatus();
 }
@@ -258,7 +247,7 @@ Status KernelController::RunRecovery() {
                                           : "; root cannot be removed — left for fsck");
       if (ino != kRootIno) {
         DirentBlock* dirent = DirentOfLocked(*record);
-        pool_.CommitStore64(&dirent->ino, kInvalidIno);
+        obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&dirent->ino, kInvalidIno);
         ReclaimFileLocked(record);
       }
     }
@@ -275,19 +264,20 @@ Status KernelController::RunRecovery() {
     if (shadow != nullptr && shadow->Exists()) {
       ShadowInode cleared{};
       pool_.Write(shadow, &cleared, sizeof(cleared));
-      pool_.PersistNow(shadow, sizeof(cleared));
+      obs::PersistSpan(pool_, &persist_stats_).PersistNow(shadow, sizeof(cleared));
       TRIO_LOG(kInfo) << "recovery: cleared orphaned shadow inode " << ino;
     }
   }
 
   // All obligations discharged: retire the log.
+  obs::PersistSpan span(pool_, &persist_stats_);
   for (size_t i = 0; i < WmapSlots(pool_); ++i) {
     if (log[i] != kInvalidIno) {
-      pool_.CommitStore64(&log[i], kInvalidIno);
+      span.CommitStore64(&log[i], kInvalidIno);
     }
   }
   if (overflow) {
-    pool_.CommitStore64(&sb->wmap_log_overflow, 0);
+    span.CommitStore64(&sb->wmap_log_overflow, 0);
   }
   needs_recovery_ = false;
   return OkStatus();
@@ -298,8 +288,8 @@ Status KernelController::RunRecovery() {
 // ---------------------------------------------------------------------------
 
 LibFsId KernelController::RegisterLibFs(const LibFsOptions& options) {
+  SyscallScope syscall(stats_, "RegisterLibFs");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   const LibFsId id = next_libfs_id_++;
   auto record = std::make_unique<LibFsRecord>();
   record->id = id;
@@ -313,8 +303,8 @@ LibFsId KernelController::RegisterLibFs(const LibFsOptions& options) {
 }
 
 void KernelController::UnregisterLibFs(LibFsId libfs) {
+  SyscallScope syscall(stats_, "UnregisterLibFs");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto it = libfses_.find(libfs);
   if (it == libfses_.end()) {
     return;
@@ -384,8 +374,8 @@ void KernelController::UnregisterLibFs(LibFsId libfs) {
 
 Status KernelController::AllocPages(LibFsId libfs, size_t count, int node_hint,
                                     std::vector<PageNumber>* out) {
+  SyscallScope syscall(stats_, "AllocPages");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto it = libfses_.find(libfs);
   if (it == libfses_.end()) {
     return InvalidArgument("unknown LibFS");
@@ -429,8 +419,8 @@ Status KernelController::AllocPages(LibFsId libfs, size_t count, int node_hint,
 }
 
 Status KernelController::FreePages(LibFsId libfs, const std::vector<PageNumber>& pages) {
+  SyscallScope syscall(stats_, "FreePages");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto it = libfses_.find(libfs);
   if (it == libfses_.end()) {
     return InvalidArgument("unknown LibFS");
@@ -468,8 +458,8 @@ Result<Ino> KernelController::AllocIno(LibFsId libfs) {
 }
 
 Status KernelController::AllocInos(LibFsId libfs, size_t count, std::vector<Ino>* out) {
+  SyscallScope syscall(stats_, "AllocInos");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto it = libfses_.find(libfs);
   if (it == libfses_.end()) {
     return InvalidArgument("unknown LibFS");
@@ -500,8 +490,8 @@ Status KernelController::AllocInos(LibFsId libfs, size_t count, std::vector<Ino>
 }
 
 Status KernelController::FreeIno(LibFsId libfs, Ino ino) {
+  SyscallScope syscall(stats_, "FreeIno");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto it = libfses_.find(libfs);
   if (it == libfses_.end()) {
     return InvalidArgument("unknown LibFS");
@@ -518,721 +508,12 @@ Status KernelController::FreeIno(LibFsId libfs, Ino ino) {
 }
 
 // ---------------------------------------------------------------------------
-// Mapping and sharing
-// ---------------------------------------------------------------------------
-
-KernelController::FileRecord* KernelController::RecordOf(Ino ino) {
-  auto it = records_.find(ino);
-  return it == records_.end() ? nullptr : &it->second;
-}
-
-const KernelController::FileRecord* KernelController::RecordOf(Ino ino) const {
-  auto it = records_.find(ino);
-  return it == records_.end() ? nullptr : &it->second;
-}
-
-DirentBlock* KernelController::DirentOfLocked(const FileRecord& record) {
-  if (record.dirent_page == 0) {
-    return &SuperblockOf(pool_)->root;
-  }
-  auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(record.dirent_page));
-  return &page->slots[record.dirent_slot];
-}
-
-void KernelController::GrantFilePagesLocked(LibFsId libfs, const FileRecord& record,
-                                            bool write) {
-  const PagePerm perm = write ? PagePerm::kReadWrite : PagePerm::kRead;
-  for (PageNumber page : record.pages) {
-    mmu_.Grant(libfs, page, perm);
-  }
-  if (record.dirent_page != 0) {
-    // The co-located inode lives in the parent's data page (§4.1): stat needs read, size /
-    // metadata updates need write. Page-granularity is the documented caveat here.
-    mmu_.Grant(libfs, record.dirent_page, perm);
-  }
-}
-
-void KernelController::RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record) {
-  for (PageNumber page : record.pages) {
-    // Leave leased pages mapped; only revoke the file's own pages.
-    auto it = page_states_.find(page);
-    if (it != page_states_.end() && it->second.state == ResourceState::kLeased &&
-        it->second.lessee == libfs) {
-      continue;
-    }
-    mmu_.Revoke(libfs, page);
-  }
-  if (record.dirent_page == 0) {
-    return;
-  }
-  // The dirent page is shared with the parent directory and sibling files; recompute the
-  // strongest permission still justified by this LibFS's other mappings.
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
-    mmu_.Revoke(libfs, record.dirent_page);
-    return;
-  }
-  const LibFsRecord& lr = *libfs_it->second;
-  PagePerm perm = PagePerm::kNone;
-  auto consider = [&](Ino ino, PagePerm candidate) {
-    const FileRecord* other = RecordOf(ino);
-    if (other == nullptr || other->ino == record.ino) {
-      return;
-    }
-    const bool touches = other->pages.count(record.dirent_page) != 0 ||
-                         other->dirent_page == record.dirent_page;
-    if (touches && static_cast<int>(candidate) > static_cast<int>(perm)) {
-      perm = candidate;
-    }
-  };
-  for (Ino ino : lr.write_mapped) {
-    consider(ino, PagePerm::kReadWrite);
-  }
-  for (Ino ino : lr.read_mapped) {
-    consider(ino, PagePerm::kRead);
-  }
-  mmu_.Grant(libfs, record.dirent_page, perm);  // kNone erases.
-}
-
-Result<MapInfo> KernelController::MapRoot(LibFsId libfs, bool write) {
-  return MapFile(libfs, kInvalidIno, kRootIno, write);
-}
-
-Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bool write) {
-  const uint64_t t0 = NowNs();
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
-
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
-    return InvalidArgument("unknown LibFS");
-  }
-
-  while (true) {
-    FileRecord* record = RecordOf(ino);
-    if (record == nullptr) {
-      return NotFound("no such file");
-    }
-    LibFsRecord* me = libfses_.find(libfs)->second.get();
-
-    // Permission check against the shadow inode (ground truth).
-    const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
-    if (shadow == nullptr || !shadow->Exists()) {
-      return NotFound("file has no shadow inode");
-    }
-    if (!AccessAllowed(*shadow, me->uid, me->gid, write)) {
-      return PermissionDenied("access denied by shadow inode");
-    }
-
-    // Already mapped suitably?
-    if (record->writer == libfs) {
-      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
-      MapInfo info{record->dirent_page, record->dirent_slot, true, record->lease_deadline_ns,
-                   DirentOfLocked(*record)->first_index_page};
-      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-      return info;
-    }
-    if (!write && record->readers.count(libfs) != 0 && record->writer == kNoLibFs) {
-      MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
-                   DirentOfLocked(*record)->first_index_page};
-      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-      return info;
-    }
-
-    // Conflicts: a writer blocks everyone; readers block a writer (§3.2: concurrent read
-    // XOR exclusive write). Leases bound how long a holder can stall us; the holder is
-    // asked to release via its revoke callback.
-    LibFsId conflict = kNoLibFs;
-    if (record->writer != kNoLibFs && record->writer != libfs) {
-      conflict = record->writer;
-    } else if (write) {
-      for (LibFsId reader : record->readers) {
-        if (reader != libfs) {
-          conflict = reader;
-          break;
-        }
-      }
-    }
-
-    if (conflict != kNoLibFs) {
-      auto holder_it = libfses_.find(conflict);
-      if (holder_it == libfses_.end() || !holder_it->second->callbacks.revoke) {
-        // Dead or unresponsive holder: force the release ourselves.
-        if (record->writer == conflict) {
-          (void)VerifyAndReconcileLocked(lock, record);
-          record->writer = kNoLibFs;
-          record->checkpoint.reset();
-          WmapLogRemove(ino);
-          if (holder_it != libfses_.end()) {
-            holder_it->second->write_mapped.erase(ino);
-          }
-        } else {
-          record->readers.erase(conflict);
-          if (holder_it != libfses_.end()) {
-            holder_it->second->read_mapped.erase(ino);
-          }
-        }
-        continue;
-      }
-      stats_.revocations.fetch_add(1, std::memory_order_relaxed);
-      auto revoke = holder_it->second->callbacks.revoke;
-      if (!config_.guard_callbacks) {
-        lock.unlock();
-        revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
-        lock.lock();
-        continue;  // Re-evaluate from scratch; records may have been reclaimed.
-      }
-      // Lease enforcement: the holder is trusted to cooperate only until its lease
-      // expires. Wait for the revoke callback at most until the lease deadline (plus
-      // grace), then reclaim the mapping by force — an unresponsive holder cannot stall
-      // a conflicting mapper beyond its lease.
-      const uint64_t now = NowNs();
-      const uint64_t lease_end = record->lease_deadline_ns;
-      const uint64_t remaining_ms =
-          lease_end > now ? (lease_end - now + 999999ull) / 1000000ull : 0;
-      const uint64_t budget_ms = remaining_ms + config_.revoke_grace_ms;
-      lock.unlock();
-      const bool completed = callback_guard_.Run(budget_ms, [revoke, ino] { revoke(ino); });
-      lock.lock();
-      if (!completed) {
-        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
-        TRIO_LOG(kWarn) << "revoke of ino " << ino << " from LibFS " << conflict
-                        << " overran the lease deadline; forcing release";
-        ForceReleaseLocked(lock, ino, conflict);
-      }
-      continue;  // Re-evaluate from scratch; records may have been reclaimed.
-    }
-
-    // Grant.
-    if (write) {
-      // Readers of this same LibFS upgrading: drop the read mapping.
-      record->readers.erase(libfs);
-      me->read_mapped.erase(ino);
-      const uint64_t c0 = NowNs();
-      Status checkpoint_status = TakeCheckpointLocked(record);
-      stats_.checkpoint_ns.fetch_add(NowNs() - c0, std::memory_order_relaxed);
-      if (!checkpoint_status.ok()) {
-        return checkpoint_status;
-      }
-      record->writer = libfs;
-      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
-      me->write_mapped.insert(ino);
-      WmapLogAdd(ino);
-    } else {
-      record->readers.insert(libfs);
-      me->read_mapped.insert(ino);
-    }
-    GrantFilePagesLocked(libfs, *record, write);
-    stats_.maps.fetch_add(1, std::memory_order_relaxed);
-    MapInfo info{record->dirent_page, record->dirent_slot, write,
-                 write ? record->lease_deadline_ns : 0,
-                 DirentOfLocked(*record)->first_index_page};
-    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-    return info;
-  }
-}
-
-void KernelController::ForceReleaseLocked(std::unique_lock<std::recursive_mutex>& lock,
-                                          Ino ino, LibFsId holder) {
-  FileRecord* record = RecordOf(ino);
-  if (record == nullptr) {
-    return;
-  }
-  auto holder_it = libfses_.find(holder);
-  if (record->writer == holder) {
-    // Same teardown as a cooperative unmap: the holder's work is verified (and rolled
-    // back if corrupt) before the lease is handed on. The holder itself gets no say.
-    (void)VerifyAndReconcileLocked(lock, record);
-    record = RecordOf(ino);
-    if (record != nullptr) {
-      record->writer = kNoLibFs;
-      record->checkpoint.reset();
-      if (holder_it != libfses_.end()) {
-        RevokeFilePagesLocked(holder, *record);
-      }
-    }
-    WmapLogRemove(ino);
-    if (holder_it != libfses_.end()) {
-      holder_it->second->write_mapped.erase(ino);
-      if (holder_it->second->write_mapped.empty()) {
-        ResolveOrphansLocked(holder_it->second.get());
-      }
-    }
-  } else if (record->readers.erase(holder) > 0) {
-    if (holder_it != libfses_.end()) {
-      holder_it->second->read_mapped.erase(ino);
-    }
-    RevokeFilePagesLocked(holder, *record);
-  }
-  stats_.forced_releases.fetch_add(1, std::memory_order_relaxed);
-}
-
-Status KernelController::UnmapFile(LibFsId libfs, Ino ino) {
-  const uint64_t t0 = NowNs();
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
-    return InvalidArgument("unknown LibFS");
-  }
-  LibFsRecord* me = libfs_it->second.get();
-  FileRecord* record = RecordOf(ino);
-  if (record == nullptr) {
-    me->write_mapped.erase(ino);
-    me->read_mapped.erase(ino);
-    return NotFound("no such file");
-  }
-
-  Status result = OkStatus();
-  if (record->writer == libfs) {
-    result = VerifyAndReconcileLocked(lock, record);
-    record = RecordOf(ino);  // Reconciliation/rollback never erases it, but be safe.
-    if (record != nullptr) {
-      record->writer = kNoLibFs;
-      record->checkpoint.reset();
-      RevokeFilePagesLocked(libfs, *record);
-    }
-    me->write_mapped.erase(ino);
-    WmapLogRemove(ino);
-    if (me->write_mapped.empty()) {
-      ResolveOrphansLocked(me);
-    }
-  } else if (record->readers.erase(libfs) > 0) {
-    me->read_mapped.erase(ino);
-    RevokeFilePagesLocked(libfs, *record);
-  } else {
-    return InvalidArgument("file not mapped by caller");
-  }
-  stats_.unmaps.fetch_add(1, std::memory_order_relaxed);
-  stats_.unmap_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-  return result;
-}
-
-Status KernelController::CommitFile(LibFsId libfs, Ino ino) {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
-  FileRecord* record = RecordOf(ino);
-  if (record == nullptr || record->writer != libfs) {
-    return InvalidArgument("file not write-mapped by caller");
-  }
-  // Verify the current state without the corruption-handling fallback: a failed commit
-  // simply leaves the old checkpoint in force (§4.3).
-  VerifyRequest request;
-  request.ino = ino;
-  request.dirent = DirentOfLocked(*record);
-  request.writer = libfs;
-  LibFsRecord* me = libfses_.find(libfs)->second.get();
-  request.writer_uid = me->uid;
-  request.writer_gid = me->gid;
-  std::vector<CheckpointChild> checkpoint_children;
-  if (record->checkpoint != nullptr) {
-    checkpoint_children = record->checkpoint->children;
-    request.checkpoint_children = &checkpoint_children;
-  }
-  const uint64_t v0 = NowNs();
-  Result<VerifyReport> report = verifier_->Verify(request);
-  stats_.verifications.fetch_add(1, std::memory_order_relaxed);
-  stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
-  if (!report.ok()) {
-    stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
-    return report.status();
-  }
-  TRIO_RETURN_IF_ERROR(ApplyReportLocked(record, *report));
-  return TakeCheckpointLocked(record);
-}
-
-Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursive_mutex>& lock,
-                                                  FileRecord* record) {
-  const Ino ino = record->ino;
-  const LibFsId writer = record->writer;
-  auto libfs_it = libfses_.find(writer);
-  if (libfs_it == libfses_.end()) {
-    return Internal("writer vanished");
-  }
-  LibFsRecord* me = libfs_it->second.get();
-
-  VerifyRequest request;
-  request.ino = ino;
-  request.dirent = DirentOfLocked(*record);
-  request.writer = writer;
-  request.writer_uid = me->uid;
-  request.writer_gid = me->gid;
-  std::vector<CheckpointChild> checkpoint_children;
-  if (record->checkpoint != nullptr) {
-    checkpoint_children = record->checkpoint->children;
-    request.checkpoint_children = &checkpoint_children;
-  }
-
-  const uint64_t v0 = NowNs();
-  Result<VerifyReport> report = verifier_->Verify(request);
-  stats_.verifications.fetch_add(1, std::memory_order_relaxed);
-  stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
-  if (report.ok()) {
-    return ApplyReportLocked(record, *report);
-  }
-
-  stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
-  Status failure = report.status();
-  TRIO_LOG(kInfo) << "verification failed for ino " << ino << ": " << failure.ToString();
-
-  // §4.3: "ArckFS notifies LibFS A to fix the corruption with a timeout."
-  auto fix = me->callbacks.fix_corruption;
-  if (fix) {
-    const uint64_t deadline = NowNs() + config_.fix_timeout_ms * 1000000ull;
-    bool claims_fixed = false;
-    lock.unlock();
-    if (config_.guard_callbacks) {
-      // fix_timeout_ms is a real deadline, not an honor-system check: the callback runs
-      // on a watchdog thread and a hang is abandoned, escalating to rollback below. The
-      // result lives in a shared_ptr because an abandoned callback may write it late.
-      auto claimed = std::make_shared<std::atomic<bool>>(false);
-      const bool completed =
-          callback_guard_.Run(config_.fix_timeout_ms, [fix, ino, failure, claimed] {
-            claimed->store(fix(ino, failure), std::memory_order_release);
-          });
-      if (!completed) {
-        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
-        TRIO_LOG(kWarn) << "fix_corruption for ino " << ino
-                        << " hung past fix_timeout_ms; rolling back to checkpoint";
-      }
-      claims_fixed = completed && claimed->load(std::memory_order_acquire);
-    } else {
-      claims_fixed = fix(ino, failure);
-    }
-    lock.lock();
-    record = RecordOf(ino);
-    if (record == nullptr) {
-      return failure;
-    }
-    if (claims_fixed && NowNs() <= deadline) {
-      request.dirent = DirentOfLocked(*record);
-      Result<VerifyReport> retry = verifier_->Verify(request);
-      stats_.verifications.fetch_add(1, std::memory_order_relaxed);
-      if (retry.ok()) {
-        stats_.corruptions_fixed_by_libfs.fetch_add(1, std::memory_order_relaxed);
-        return ApplyReportLocked(record, *retry);
-      }
-      failure = retry.status();
-    }
-  }
-
-  // Quarantine the corrupted image for the offender, then roll back to the checkpoint.
-  QuarantineLocked(record);
-  RollbackToCheckpointLocked(record);
-  stats_.corruptions_rolled_back.fetch_add(1, std::memory_order_relaxed);
-  return failure;
-}
-
-Status KernelController::ApplyReportLocked(FileRecord* record, const VerifyReport& report) {
-  LibFsRecord* writer =
-      record->writer != kNoLibFs ? libfses_.find(record->writer)->second.get() : nullptr;
-
-  // Pages: adopt newly referenced leased pages, free no-longer-referenced owned pages.
-  std::unordered_set<PageNumber> new_pages(report.pages.begin(), report.pages.end());
-  for (PageNumber page : record->pages) {
-    if (new_pages.count(page) != 0) {
-      continue;
-    }
-    // Dropped from the file (truncate / shrink): back to the free pool.
-    if (record->writer != kNoLibFs) {
-      mmu_.Revoke(record->writer, page);
-    }
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
-    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
-  }
-  for (PageNumber page : new_pages) {
-    PageState& state = page_states_[page];
-    if (state.state == ResourceState::kLeased) {
-      if (writer != nullptr) {
-        writer->leased_pages.erase(page);
-      }
-      state = PageState{ResourceState::kOwned, kNoLibFs, record->ino};
-    }
-  }
-  record->pages = std::move(new_pages);
-  record->first_index_page = DirentOfLocked(*record)->first_index_page;
-
-  // Fresh children become live files with shadow inodes and an implicit write grant to
-  // their creator (their own pages reconcile at their own first verification).
-  for (const NewChildInfo& child : report.new_children) {
-    if (writer != nullptr) {
-      writer->leased_inos.erase(child.ino);
-    }
-    ino_states_[child.ino] = InoState{ResourceState::kOwned, kNoLibFs, record->ino};
-
-    FileRecord fresh;
-    fresh.ino = child.ino;
-    fresh.parent = record->ino;
-    fresh.is_dir = child.is_dir;
-    fresh.dirent_page = child.dirent_page;
-    fresh.dirent_slot = child.dirent_slot;
-    fresh.first_index_page = child.first_index_page;
-
-    ShadowInode shadow{child.mode, child.uid, child.gid, 1};
-    ShadowInode* slot = ShadowInodeOf(pool_, child.ino);
-    pool_.Write(slot, &shadow, sizeof(shadow));
-    pool_.PersistNow(slot, sizeof(shadow));
-
-    if (record->writer != kNoLibFs) {
-      fresh.writer = record->writer;
-      fresh.lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
-      writer->write_mapped.insert(child.ino);
-      WmapLogAdd(child.ino);
-    }
-    auto [it, inserted] = records_.emplace(child.ino, std::move(fresh));
-    if (inserted && it->second.writer != kNoLibFs) {
-      (void)TakeCheckpointLocked(&it->second);
-    }
-  }
-
-  // Renames into this directory.
-  for (const MovedInChild& moved : report.moved_in) {
-    FileRecord* child = RecordOf(moved.ino);
-    if (child == nullptr) {
-      continue;
-    }
-    child->parent = record->ino;
-    child->dirent_page = moved.dirent_page;
-    child->dirent_slot = moved.dirent_slot;
-    ino_states_[moved.ino].parent = record->ino;
-    if (writer != nullptr) {
-      writer->pending_orphans.erase(moved.ino);
-    }
-  }
-
-  // Children that vanished: deleted, or renamed to a directory we have not verified yet.
-  for (Ino removed : report.removed_children) {
-    auto state_it = ino_states_.find(removed);
-    if (state_it == ino_states_.end() || state_it->second.parent != record->ino) {
-      continue;  // Already moved elsewhere or reclaimed.
-    }
-    if (writer != nullptr) {
-      writer->pending_orphans.insert(removed);
-    } else {
-      FileRecord* child = RecordOf(removed);
-      if (child != nullptr) {
-        ReclaimFileLocked(child);
-      }
-    }
-  }
-  return OkStatus();
-}
-
-void KernelController::ResolveOrphansLocked(LibFsRecord* libfs) {
-  // Anything still orphaned when the writer's session quiesces was deleted, not renamed.
-  std::vector<Ino> orphans(libfs->pending_orphans.begin(), libfs->pending_orphans.end());
-  libfs->pending_orphans.clear();
-  for (Ino ino : orphans) {
-    FileRecord* record = RecordOf(ino);
-    if (record == nullptr) {
-      continue;
-    }
-    auto state_it = ino_states_.find(ino);
-    if (state_it != ino_states_.end() && state_it->second.state == ResourceState::kOwned) {
-      // Still owned with the stale parent: a deletion. Directories were checked empty by
-      // I3 at parent-verify time.
-      ReclaimFileLocked(record);
-    }
-  }
-}
-
-void KernelController::ReclaimFileLocked(FileRecord* record) {
-  const Ino ino = record->ino;
-  // Recursively reclaim children first (mass deletion by page rewrite is legal tombstoning).
-  std::vector<Ino> children;
-  for (auto& [child_ino, child] : records_) {
-    if (child.parent == ino && child_ino != ino) {
-      children.push_back(child_ino);
-    }
-  }
-  for (Ino child : children) {
-    FileRecord* child_record = RecordOf(child);
-    if (child_record != nullptr) {
-      ReclaimFileLocked(child_record);
-    }
-  }
-  record = RecordOf(ino);
-  if (record == nullptr) {
-    return;
-  }
-  for (PageNumber page : record->pages) {
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
-    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
-  }
-  ShadowInode* shadow = ShadowInodeOf(pool_, ino);
-  if (shadow != nullptr) {
-    ShadowInode cleared{};
-    pool_.Write(shadow, &cleared, sizeof(cleared));
-    pool_.PersistNow(shadow, sizeof(cleared));
-  }
-  WmapLogRemove(ino);
-  ino_states_.erase(ino);
-  records_.erase(ino);
-  free_inos_.push_back(ino);
-}
-
-Status KernelController::TakeCheckpointLocked(FileRecord* record) {
-  auto checkpoint = std::make_unique<FileCheckpointData>();
-  checkpoint->meta = *DirentOfLocked(*record);
-
-  auto copy_page = [&](PageNumber page) {
-    checkpoint->pages.push_back(page);
-    auto content = std::make_unique<char[]>(kPageSize);
-    std::memcpy(content.get(), pool_.PageAddress(page), kPageSize);
-    checkpoint->contents.push_back(std::move(content));
-  };
-
-  // §4.3: checkpoint the file's metadata — index pages for a regular file; both index and
-  // data pages for a directory (directory data pages *are* metadata).
-  const PageNumber first = checkpoint->meta.first_index_page;
-  TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber page) -> Status {
-    copy_page(page);
-    return OkStatus();
-  }));
-  if (record->is_dir) {
-    TRIO_RETURN_IF_ERROR(
-        ForEachDataPage(pool_, first, [&](uint64_t, PageNumber page) -> Status {
-          copy_page(page);
-          return OkStatus();
-        }));
-    TRIO_RETURN_IF_ERROR(ForEachDirent(pool_, first,
-                                       [&](DirentBlock* child, PageNumber, size_t) -> Status {
-                                         checkpoint->children.push_back(CheckpointChild{
-                                             child->ino, child->IsDirectory()});
-                                         return OkStatus();
-                                       }));
-  }
-  record->checkpoint = std::move(checkpoint);
-  return OkStatus();
-}
-
-void KernelController::QuarantineLocked(FileRecord* record) {
-  std::vector<std::vector<char>> images;
-  for (PageNumber page : record->pages) {
-    std::vector<char> image(kPageSize);
-    std::memcpy(image.data(), pool_.PageAddress(page), kPageSize);
-    images.push_back(std::move(image));
-  }
-  quarantine_[record->ino] = std::move(images);
-  quarantine_owner_[record->ino] = record->writer;
-}
-
-std::vector<std::vector<char>> KernelController::RetrieveQuarantine(LibFsId libfs, Ino ino) {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
-  auto owner = quarantine_owner_.find(ino);
-  if (owner == quarantine_owner_.end() || owner->second != libfs) {
-    return {};
-  }
-  auto it = quarantine_.find(ino);
-  if (it == quarantine_.end()) {
-    return {};
-  }
-  std::vector<std::vector<char>> images = std::move(it->second);
-  quarantine_.erase(it);
-  quarantine_owner_.erase(owner);
-  return images;
-}
-
-void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
-  FileCheckpointData* checkpoint = record->checkpoint.get();
-  DirentBlock* dirent = DirentOfLocked(*record);
-  if (checkpoint == nullptr) {
-    // A brand-new file with no checkpoint: the safe state is "empty".
-    DirentBlock cleared = *dirent;
-    cleared.first_index_page = 0;
-    cleared.size = 0;
-    pool_.Write(dirent, &cleared, sizeof(cleared));
-    pool_.PersistNow(dirent, sizeof(cleared));
-    record->first_index_page = 0;
-    for (PageNumber page : record->pages) {
-      page_states_.erase(page);
-      free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
-    }
-    record->pages.clear();
-    return;
-  }
-
-  // Restore checkpointed page images where the page still belongs to this file.
-  for (size_t i = 0; i < checkpoint->pages.size(); ++i) {
-    const PageNumber page = checkpoint->pages[i];
-    auto state = page_states_.find(page);
-    if (state != page_states_.end() && state->second.state == ResourceState::kOwned &&
-        state->second.owner == record->ino) {
-      pool_.Write(pool_.PageAddress(page), checkpoint->contents[i].get(), kPageSize);
-      pool_.Persist(pool_.PageAddress(page), kPageSize);
-    }
-  }
-  pool_.Fence();
-
-  // Restore the metadata (the dirent+inode block). Size mismatches against surviving data
-  // resolve as holes, which read back as zeros ("trimming or padding zero bits", §4.3).
-  pool_.Write(dirent, &checkpoint->meta, sizeof(checkpoint->meta));
-  pool_.PersistNow(dirent, sizeof(checkpoint->meta));
-  record->first_index_page = checkpoint->meta.first_index_page;
-
-  // Scrub: drop index entries that reference pages this file no longer owns, and rebuild
-  // the owned-page set from the restored chain.
-  std::unordered_set<PageNumber> restored;
-  Status scrub = ForEachIndexPage(pool_, record->first_index_page, [&](PageNumber p) -> Status {
-    auto state = page_states_.find(p);
-    if (state == page_states_.end() || state->second.state != ResourceState::kOwned ||
-        state->second.owner != record->ino) {
-      return Corrupted("restored chain broken");
-    }
-    restored.insert(p);
-    auto* index = reinterpret_cast<IndexPage*>(pool_.PageAddress(p));
-    for (size_t i = 0; i < kIndexEntriesPerPage; ++i) {
-      const PageNumber entry = index->entries[i];
-      if (entry == 0) {
-        continue;
-      }
-      auto entry_state = page_states_.find(entry);
-      const bool owned = entry_state != page_states_.end() &&
-                         entry_state->second.state == ResourceState::kOwned &&
-                         entry_state->second.owner == record->ino;
-      if (!owned) {
-        pool_.CommitStore64(&index->entries[i], 0);
-      } else {
-        restored.insert(entry);
-      }
-    }
-    return OkStatus();
-  });
-  if (!scrub.ok()) {
-    // The chain head itself was lost; fall back to an empty file.
-    DirentBlock cleared = checkpoint->meta;
-    cleared.first_index_page = 0;
-    cleared.size = 0;
-    pool_.Write(dirent, &cleared, sizeof(cleared));
-    pool_.PersistNow(dirent, sizeof(cleared));
-    record->first_index_page = 0;
-    restored.clear();
-  }
-
-  // Pages that were owned but are no longer reachable go back to the free pool.
-  for (PageNumber page : record->pages) {
-    if (restored.count(page) != 0) {
-      continue;
-    }
-    if (record->writer != kNoLibFs) {
-      mmu_.Revoke(record->writer, page);
-    }
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
-  }
-  record->pages = std::move(restored);
-}
-
-// ---------------------------------------------------------------------------
 // Permission changes
 // ---------------------------------------------------------------------------
 
 Status KernelController::Chmod(LibFsId libfs, Ino ino, uint32_t perm_bits) {
+  SyscallScope syscall(stats_, "Chmod");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto libfs_it = libfses_.find(libfs);
   if (libfs_it == libfses_.end()) {
     return InvalidArgument("unknown LibFS");
@@ -1247,18 +528,19 @@ Status KernelController::Chmod(LibFsId libfs, Ino ino, uint32_t perm_bits) {
   }
   ShadowInode updated = *shadow;
   updated.mode = (updated.mode & kModeTypeMask) | (perm_bits & kModePermMask);
+  obs::PersistSpan span(pool_, &persist_stats_);
   pool_.Write(shadow, &updated, sizeof(updated));
-  pool_.PersistNow(shadow, sizeof(updated));
+  span.PersistNow(shadow, sizeof(updated));
   // Refresh the cached copy in the dirent so I4 stays consistent.
   DirentBlock* dirent = DirentOfLocked(*record);
   pool_.Write(&dirent->mode, &updated.mode, sizeof(updated.mode));
-  pool_.PersistNow(&dirent->mode, sizeof(updated.mode));
+  span.PersistNow(&dirent->mode, sizeof(updated.mode));
   return OkStatus();
 }
 
 Status KernelController::Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gid) {
+  SyscallScope syscall(stats_, "Chown");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  stats_.syscalls.fetch_add(1, std::memory_order_relaxed);
   auto libfs_it = libfses_.find(libfs);
   if (libfs_it == libfses_.end()) {
     return InvalidArgument("unknown LibFS");
@@ -1274,12 +556,13 @@ Status KernelController::Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gi
   ShadowInode updated = *shadow;
   updated.uid = uid;
   updated.gid = gid;
+  obs::PersistSpan span(pool_, &persist_stats_);
   pool_.Write(shadow, &updated, sizeof(updated));
-  pool_.PersistNow(shadow, sizeof(updated));
+  span.PersistNow(shadow, sizeof(updated));
   DirentBlock* dirent = DirentOfLocked(*record);
   pool_.Write(&dirent->uid, &updated.uid, sizeof(updated.uid));
   pool_.Write(&dirent->gid, &updated.gid, sizeof(updated.gid));
-  pool_.PersistNow(&dirent->uid, sizeof(uint32_t) * 2);
+  span.PersistNow(&dirent->uid, sizeof(uint32_t) * 2);
   return OkStatus();
 }
 
@@ -1359,14 +642,14 @@ void KernelController::WmapLogAdd(Ino ino) {
   }
   for (size_t i = 0; i < slots; ++i) {
     if (pool_.Load64(&log[i]) == kInvalidIno) {
-      pool_.CommitStore64(&log[i], ino);
+      obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&log[i], ino);
       return;
     }
   }
   // Log full: fall back to verify-everything-at-recovery semantics.
   Superblock* sb = SuperblockOf(pool_);
   if (pool_.Load64(&sb->wmap_log_overflow) == 0) {
-    pool_.CommitStore64(&sb->wmap_log_overflow, 1);
+    obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&sb->wmap_log_overflow, 1);
     TRIO_LOG(kInfo) << "write-map log full; recovery will verify the full tree";
   }
 }
@@ -1375,7 +658,7 @@ void KernelController::WmapLogRemove(Ino ino) {
   auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(SuperblockOf(pool_)->wmap_log_page));
   for (size_t i = 0; i < WmapSlots(pool_); ++i) {
     if (pool_.Load64(&log[i]) == ino) {
-      pool_.CommitStore64(&log[i], kInvalidIno);
+      obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&log[i], kInvalidIno);
       return;
     }
   }

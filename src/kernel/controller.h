@@ -30,6 +30,7 @@
 #include "src/kernel/delegation.h"
 #include "src/kernel/mmu_sim.h"
 #include "src/kernel/watchdog.h"
+#include "src/obs/stats.h"
 #include "src/verifier/verifier.h"
 
 namespace trio {
@@ -81,33 +82,70 @@ struct MapInfo {
   PageNumber first_index_page = 0;  // As of grant time (convenience for rebuild).
 };
 
+// Registered into obs::StatRegistry under layer "kernel" (summed across controllers).
 struct KernelStats {
-  std::atomic<uint64_t> syscalls{0};
-  std::atomic<uint64_t> maps{0};
-  std::atomic<uint64_t> unmaps{0};
-  std::atomic<uint64_t> verifications{0};
-  std::atomic<uint64_t> verify_failures{0};
-  std::atomic<uint64_t> corruptions_fixed_by_libfs{0};
-  std::atomic<uint64_t> corruptions_rolled_back{0};
-  std::atomic<uint64_t> revocations{0};
+  obs::Counter syscalls;
+  obs::Counter maps;
+  obs::Counter unmaps;
+  obs::Counter verifications;
+  obs::Counter verify_failures;
+  obs::Counter corruptions_fixed_by_libfs;
+  obs::Counter corruptions_rolled_back;
+  obs::Counter revocations;
   // LibFS callbacks abandoned by the deadline watchdog (hung fix/recovery/revoke).
-  std::atomic<uint64_t> callback_timeouts{0};
-  std::atomic<uint64_t> forced_releases{0};  // Leases reclaimed from unresponsive holders.
-  std::atomic<uint64_t> pages_allocated{0};
-  std::atomic<uint64_t> pages_freed{0};
+  obs::Counter callback_timeouts;
+  obs::Counter forced_releases;  // Leases reclaimed from unresponsive holders.
+  obs::Counter pages_allocated;
+  obs::Counter pages_freed;
   // Sharing-cost breakdown (Fig 8): cumulative nanoseconds per phase.
-  std::atomic<uint64_t> map_ns{0};
-  std::atomic<uint64_t> unmap_ns{0};
-  std::atomic<uint64_t> verify_ns{0};
-  std::atomic<uint64_t> checkpoint_ns{0};
+  obs::Counter map_ns;
+  obs::Counter unmap_ns;
+  obs::Counter verify_ns;
+  obs::Counter checkpoint_ns;
+  // Per-syscall latency distribution (boundary entry to exit), recorded by SyscallScope.
+  obs::LatencyHistogram syscall_latency;
+
+  KernelStats()
+      : reg_("kernel", {{"syscalls", &syscalls},
+                        {"maps", &maps},
+                        {"unmaps", &unmaps},
+                        {"verifications", &verifications},
+                        {"verify_failures", &verify_failures},
+                        {"corruptions_fixed_by_libfs", &corruptions_fixed_by_libfs},
+                        {"corruptions_rolled_back", &corruptions_rolled_back},
+                        {"revocations", &revocations},
+                        {"callback_timeouts", &callback_timeouts},
+                        {"forced_releases", &forced_releases},
+                        {"pages_allocated", &pages_allocated},
+                        {"pages_freed", &pages_freed},
+                        {"map_ns", &map_ns},
+                        {"unmap_ns", &unmap_ns},
+                        {"verify_ns", &verify_ns},
+                        {"checkpoint_ns", &checkpoint_ns},
+                        {"syscall_latency", &syscall_latency}}) {}
 
   void Reset() {
-    syscalls = maps = unmaps = verifications = verify_failures = 0;
-    corruptions_fixed_by_libfs = corruptions_rolled_back = revocations = 0;
-    callback_timeouts = forced_releases = 0;
-    pages_allocated = pages_freed = 0;
-    map_ns = unmap_ns = verify_ns = checkpoint_ns = 0;
+    syscalls = 0;
+    maps = 0;
+    unmaps = 0;
+    verifications = 0;
+    verify_failures = 0;
+    corruptions_fixed_by_libfs = 0;
+    corruptions_rolled_back = 0;
+    revocations = 0;
+    callback_timeouts = 0;
+    forced_releases = 0;
+    pages_allocated = 0;
+    pages_freed = 0;
+    map_ns = 0;
+    unmap_ns = 0;
+    verify_ns = 0;
+    checkpoint_ns = 0;
+    syscall_latency.Reset();
   }
+
+ private:
+  obs::ScopedRegistration reg_;
 };
 
 class KernelController : public OwnershipView, public VerifyEnv {
@@ -251,6 +289,8 @@ class KernelController : public OwnershipView, public VerifyEnv {
   Clock* clock_;
   MmuSim mmu_;
   KernelStats stats_;
+  // Persistence accounting for every PersistSpan the controller opens (layer "kernel").
+  obs::PersistStats persist_stats_{"kernel"};
   std::unique_ptr<IntegrityVerifier> verifier_;
   std::unique_ptr<DelegationPool> delegation_;
   CallbackGuard callback_guard_;  // Deadline watchdog for untrusted LibFS callbacks.

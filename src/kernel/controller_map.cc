@@ -1,0 +1,302 @@
+// KernelController mapping and sharing: file record lookup, page-permission grants and
+// revocation, MapFile/UnmapFile with lease-based revocation of conflicting holders, and
+// forced release of unresponsive LibFSes. Part of the KernelController split; see
+// controller.cc for the TU map.
+
+#include "src/kernel/controller.h"
+
+#include "src/kernel/controller_internal.h"
+#include "src/kernel/syscall_boundary.h"
+
+namespace trio {
+
+using controller_internal::AccessAllowed;
+
+KernelController::FileRecord* KernelController::RecordOf(Ino ino) {
+  auto it = records_.find(ino);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const KernelController::FileRecord* KernelController::RecordOf(Ino ino) const {
+  auto it = records_.find(ino);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+DirentBlock* KernelController::DirentOfLocked(const FileRecord& record) {
+  if (record.dirent_page == 0) {
+    return &SuperblockOf(pool_)->root;
+  }
+  auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(record.dirent_page));
+  return &page->slots[record.dirent_slot];
+}
+
+void KernelController::GrantFilePagesLocked(LibFsId libfs, const FileRecord& record,
+                                            bool write) {
+  const PagePerm perm = write ? PagePerm::kReadWrite : PagePerm::kRead;
+  for (PageNumber page : record.pages) {
+    mmu_.Grant(libfs, page, perm);
+  }
+  if (record.dirent_page != 0) {
+    // The co-located inode lives in the parent's data page (§4.1): stat needs read, size /
+    // metadata updates need write. Page-granularity is the documented caveat here.
+    mmu_.Grant(libfs, record.dirent_page, perm);
+  }
+}
+
+void KernelController::RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record) {
+  for (PageNumber page : record.pages) {
+    // Leave leased pages mapped; only revoke the file's own pages.
+    auto it = page_states_.find(page);
+    if (it != page_states_.end() && it->second.state == ResourceState::kLeased &&
+        it->second.lessee == libfs) {
+      continue;
+    }
+    mmu_.Revoke(libfs, page);
+  }
+  if (record.dirent_page == 0) {
+    return;
+  }
+  // The dirent page is shared with the parent directory and sibling files; recompute the
+  // strongest permission still justified by this LibFS's other mappings.
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    mmu_.Revoke(libfs, record.dirent_page);
+    return;
+  }
+  const LibFsRecord& lr = *libfs_it->second;
+  PagePerm perm = PagePerm::kNone;
+  auto consider = [&](Ino ino, PagePerm candidate) {
+    const FileRecord* other = RecordOf(ino);
+    if (other == nullptr || other->ino == record.ino) {
+      return;
+    }
+    const bool touches = other->pages.count(record.dirent_page) != 0 ||
+                         other->dirent_page == record.dirent_page;
+    if (touches && static_cast<int>(candidate) > static_cast<int>(perm)) {
+      perm = candidate;
+    }
+  };
+  for (Ino ino : lr.write_mapped) {
+    consider(ino, PagePerm::kReadWrite);
+  }
+  for (Ino ino : lr.read_mapped) {
+    consider(ino, PagePerm::kRead);
+  }
+  mmu_.Grant(libfs, record.dirent_page, perm);  // kNone erases.
+}
+
+Result<MapInfo> KernelController::MapRoot(LibFsId libfs, bool write) {
+  return MapFile(libfs, kInvalidIno, kRootIno, write);
+}
+
+Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bool write) {
+  SyscallScope syscall(stats_, "MapFile");
+  const uint64_t t0 = NowNs();
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+
+  while (true) {
+    FileRecord* record = RecordOf(ino);
+    if (record == nullptr) {
+      return NotFound("no such file");
+    }
+    LibFsRecord* me = libfses_.find(libfs)->second.get();
+
+    // Permission check against the shadow inode (ground truth).
+    const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+    if (shadow == nullptr || !shadow->Exists()) {
+      return NotFound("file has no shadow inode");
+    }
+    if (!AccessAllowed(*shadow, me->uid, me->gid, write)) {
+      return PermissionDenied("access denied by shadow inode");
+    }
+
+    // Already mapped suitably?
+    if (record->writer == libfs) {
+      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+      MapInfo info{record->dirent_page, record->dirent_slot, true, record->lease_deadline_ns,
+                   DirentOfLocked(*record)->first_index_page};
+      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+      return info;
+    }
+    if (!write && record->readers.count(libfs) != 0 && record->writer == kNoLibFs) {
+      MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
+                   DirentOfLocked(*record)->first_index_page};
+      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+      return info;
+    }
+
+    // Conflicts: a writer blocks everyone; readers block a writer (§3.2: concurrent read
+    // XOR exclusive write). Leases bound how long a holder can stall us; the holder is
+    // asked to release via its revoke callback.
+    LibFsId conflict = kNoLibFs;
+    if (record->writer != kNoLibFs && record->writer != libfs) {
+      conflict = record->writer;
+    } else if (write) {
+      for (LibFsId reader : record->readers) {
+        if (reader != libfs) {
+          conflict = reader;
+          break;
+        }
+      }
+    }
+
+    if (conflict != kNoLibFs) {
+      auto holder_it = libfses_.find(conflict);
+      if (holder_it == libfses_.end() || !holder_it->second->callbacks.revoke) {
+        // Dead or unresponsive holder: force the release ourselves.
+        if (record->writer == conflict) {
+          (void)VerifyAndReconcileLocked(lock, record);
+          record->writer = kNoLibFs;
+          record->checkpoint.reset();
+          WmapLogRemove(ino);
+          if (holder_it != libfses_.end()) {
+            holder_it->second->write_mapped.erase(ino);
+          }
+        } else {
+          record->readers.erase(conflict);
+          if (holder_it != libfses_.end()) {
+            holder_it->second->read_mapped.erase(ino);
+          }
+        }
+        continue;
+      }
+      stats_.revocations.fetch_add(1, std::memory_order_relaxed);
+      auto revoke = holder_it->second->callbacks.revoke;
+      if (!config_.guard_callbacks) {
+        lock.unlock();
+        revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
+        lock.lock();
+        continue;  // Re-evaluate from scratch; records may have been reclaimed.
+      }
+      // Lease enforcement: the holder is trusted to cooperate only until its lease
+      // expires. Wait for the revoke callback at most until the lease deadline (plus
+      // grace), then reclaim the mapping by force — an unresponsive holder cannot stall
+      // a conflicting mapper beyond its lease.
+      const uint64_t now = NowNs();
+      const uint64_t lease_end = record->lease_deadline_ns;
+      const uint64_t remaining_ms =
+          lease_end > now ? (lease_end - now + 999999ull) / 1000000ull : 0;
+      const uint64_t budget_ms = remaining_ms + config_.revoke_grace_ms;
+      lock.unlock();
+      const bool completed = callback_guard_.Run(budget_ms, [revoke, ino] { revoke(ino); });
+      lock.lock();
+      if (!completed) {
+        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+        TRIO_LOG(kWarn) << "revoke of ino " << ino << " from LibFS " << conflict
+                        << " overran the lease deadline; forcing release";
+        ForceReleaseLocked(lock, ino, conflict);
+      }
+      continue;  // Re-evaluate from scratch; records may have been reclaimed.
+    }
+
+    // Grant.
+    if (write) {
+      // Readers of this same LibFS upgrading: drop the read mapping.
+      record->readers.erase(libfs);
+      me->read_mapped.erase(ino);
+      const uint64_t c0 = NowNs();
+      Status checkpoint_status = TakeCheckpointLocked(record);
+      stats_.checkpoint_ns.fetch_add(NowNs() - c0, std::memory_order_relaxed);
+      if (!checkpoint_status.ok()) {
+        return checkpoint_status;
+      }
+      record->writer = libfs;
+      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+      me->write_mapped.insert(ino);
+      WmapLogAdd(ino);
+    } else {
+      record->readers.insert(libfs);
+      me->read_mapped.insert(ino);
+    }
+    GrantFilePagesLocked(libfs, *record, write);
+    stats_.maps.fetch_add(1, std::memory_order_relaxed);
+    MapInfo info{record->dirent_page, record->dirent_slot, write,
+                 write ? record->lease_deadline_ns : 0,
+                 DirentOfLocked(*record)->first_index_page};
+    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    return info;
+  }
+}
+
+void KernelController::ForceReleaseLocked(std::unique_lock<std::recursive_mutex>& lock,
+                                          Ino ino, LibFsId holder) {
+  FileRecord* record = RecordOf(ino);
+  if (record == nullptr) {
+    return;
+  }
+  auto holder_it = libfses_.find(holder);
+  if (record->writer == holder) {
+    // Same teardown as a cooperative unmap: the holder's work is verified (and rolled
+    // back if corrupt) before the lease is handed on. The holder itself gets no say.
+    (void)VerifyAndReconcileLocked(lock, record);
+    record = RecordOf(ino);
+    if (record != nullptr) {
+      record->writer = kNoLibFs;
+      record->checkpoint.reset();
+      if (holder_it != libfses_.end()) {
+        RevokeFilePagesLocked(holder, *record);
+      }
+    }
+    WmapLogRemove(ino);
+    if (holder_it != libfses_.end()) {
+      holder_it->second->write_mapped.erase(ino);
+      if (holder_it->second->write_mapped.empty()) {
+        ResolveOrphansLocked(holder_it->second.get());
+      }
+    }
+  } else if (record->readers.erase(holder) > 0) {
+    if (holder_it != libfses_.end()) {
+      holder_it->second->read_mapped.erase(ino);
+    }
+    RevokeFilePagesLocked(holder, *record);
+  }
+  stats_.forced_releases.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status KernelController::UnmapFile(LibFsId libfs, Ino ino) {
+  SyscallScope syscall(stats_, "UnmapFile");
+  const uint64_t t0 = NowNs();
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  auto libfs_it = libfses_.find(libfs);
+  if (libfs_it == libfses_.end()) {
+    return InvalidArgument("unknown LibFS");
+  }
+  LibFsRecord* me = libfs_it->second.get();
+  FileRecord* record = RecordOf(ino);
+  if (record == nullptr) {
+    me->write_mapped.erase(ino);
+    me->read_mapped.erase(ino);
+    return NotFound("no such file");
+  }
+
+  Status result = OkStatus();
+  if (record->writer == libfs) {
+    result = VerifyAndReconcileLocked(lock, record);
+    record = RecordOf(ino);  // Reconciliation/rollback never erases it, but be safe.
+    if (record != nullptr) {
+      record->writer = kNoLibFs;
+      record->checkpoint.reset();
+      RevokeFilePagesLocked(libfs, *record);
+    }
+    me->write_mapped.erase(ino);
+    WmapLogRemove(ino);
+    if (me->write_mapped.empty()) {
+      ResolveOrphansLocked(me);
+    }
+  } else if (record->readers.erase(libfs) > 0) {
+    me->read_mapped.erase(ino);
+    RevokeFilePagesLocked(libfs, *record);
+  } else {
+    return InvalidArgument("file not mapped by caller");
+  }
+  stats_.unmaps.fetch_add(1, std::memory_order_relaxed);
+  stats_.unmap_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace trio

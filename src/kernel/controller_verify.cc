@@ -1,0 +1,438 @@
+// KernelController verification and safety: CommitFile, verify-and-reconcile on unmap,
+// report application (page/ino reconciliation, new children, renames, deletions),
+// checkpointing, quarantine, and rollback. Part of the KernelController split; see
+// controller.cc for the TU map.
+
+#include "src/kernel/controller.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/kernel/controller_internal.h"
+#include "src/kernel/syscall_boundary.h"
+#include "src/obs/persist_span.h"
+
+namespace trio {
+
+Status KernelController::CommitFile(LibFsId libfs, Ino ino) {
+  SyscallScope syscall(stats_, "CommitFile");
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  FileRecord* record = RecordOf(ino);
+  if (record == nullptr || record->writer != libfs) {
+    return InvalidArgument("file not write-mapped by caller");
+  }
+  // Verify the current state without the corruption-handling fallback: a failed commit
+  // simply leaves the old checkpoint in force (§4.3).
+  VerifyRequest request;
+  request.ino = ino;
+  request.dirent = DirentOfLocked(*record);
+  request.writer = libfs;
+  LibFsRecord* me = libfses_.find(libfs)->second.get();
+  request.writer_uid = me->uid;
+  request.writer_gid = me->gid;
+  std::vector<CheckpointChild> checkpoint_children;
+  if (record->checkpoint != nullptr) {
+    checkpoint_children = record->checkpoint->children;
+    request.checkpoint_children = &checkpoint_children;
+  }
+  const uint64_t v0 = NowNs();
+  Result<VerifyReport> report = verifier_->Verify(request);
+  stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+  stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
+  if (!report.ok()) {
+    stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
+    return report.status();
+  }
+  TRIO_RETURN_IF_ERROR(ApplyReportLocked(record, *report));
+  return TakeCheckpointLocked(record);
+}
+
+Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursive_mutex>& lock,
+                                                  FileRecord* record) {
+  const Ino ino = record->ino;
+  const LibFsId writer = record->writer;
+  auto libfs_it = libfses_.find(writer);
+  if (libfs_it == libfses_.end()) {
+    return Internal("writer vanished");
+  }
+  LibFsRecord* me = libfs_it->second.get();
+
+  VerifyRequest request;
+  request.ino = ino;
+  request.dirent = DirentOfLocked(*record);
+  request.writer = writer;
+  request.writer_uid = me->uid;
+  request.writer_gid = me->gid;
+  std::vector<CheckpointChild> checkpoint_children;
+  if (record->checkpoint != nullptr) {
+    checkpoint_children = record->checkpoint->children;
+    request.checkpoint_children = &checkpoint_children;
+  }
+
+  const uint64_t v0 = NowNs();
+  Result<VerifyReport> report = verifier_->Verify(request);
+  stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+  stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
+  if (report.ok()) {
+    return ApplyReportLocked(record, *report);
+  }
+
+  stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
+  Status failure = report.status();
+  TRIO_LOG(kInfo) << "verification failed for ino " << ino << ": " << failure.ToString();
+
+  // §4.3: "ArckFS notifies LibFS A to fix the corruption with a timeout."
+  auto fix = me->callbacks.fix_corruption;
+  if (fix) {
+    const uint64_t deadline = NowNs() + config_.fix_timeout_ms * 1000000ull;
+    bool claims_fixed = false;
+    lock.unlock();
+    if (config_.guard_callbacks) {
+      // fix_timeout_ms is a real deadline, not an honor-system check: the callback runs
+      // on a watchdog thread and a hang is abandoned, escalating to rollback below. The
+      // result lives in a shared_ptr because an abandoned callback may write it late.
+      auto claimed = std::make_shared<std::atomic<bool>>(false);
+      const bool completed =
+          callback_guard_.Run(config_.fix_timeout_ms, [fix, ino, failure, claimed] {
+            claimed->store(fix(ino, failure), std::memory_order_release);
+          });
+      if (!completed) {
+        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+        TRIO_LOG(kWarn) << "fix_corruption for ino " << ino
+                        << " hung past fix_timeout_ms; rolling back to checkpoint";
+      }
+      claims_fixed = completed && claimed->load(std::memory_order_acquire);
+    } else {
+      claims_fixed = fix(ino, failure);
+    }
+    lock.lock();
+    record = RecordOf(ino);
+    if (record == nullptr) {
+      return failure;
+    }
+    if (claims_fixed && NowNs() <= deadline) {
+      request.dirent = DirentOfLocked(*record);
+      Result<VerifyReport> retry = verifier_->Verify(request);
+      stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+      if (retry.ok()) {
+        stats_.corruptions_fixed_by_libfs.fetch_add(1, std::memory_order_relaxed);
+        return ApplyReportLocked(record, *retry);
+      }
+      failure = retry.status();
+    }
+  }
+
+  // Quarantine the corrupted image for the offender, then roll back to the checkpoint.
+  QuarantineLocked(record);
+  RollbackToCheckpointLocked(record);
+  stats_.corruptions_rolled_back.fetch_add(1, std::memory_order_relaxed);
+  return failure;
+}
+
+Status KernelController::ApplyReportLocked(FileRecord* record, const VerifyReport& report) {
+  LibFsRecord* writer =
+      record->writer != kNoLibFs ? libfses_.find(record->writer)->second.get() : nullptr;
+
+  // Pages: adopt newly referenced leased pages, free no-longer-referenced owned pages.
+  std::unordered_set<PageNumber> new_pages(report.pages.begin(), report.pages.end());
+  for (PageNumber page : record->pages) {
+    if (new_pages.count(page) != 0) {
+      continue;
+    }
+    // Dropped from the file (truncate / shrink): back to the free pool.
+    if (record->writer != kNoLibFs) {
+      mmu_.Revoke(record->writer, page);
+    }
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (PageNumber page : new_pages) {
+    PageState& state = page_states_[page];
+    if (state.state == ResourceState::kLeased) {
+      if (writer != nullptr) {
+        writer->leased_pages.erase(page);
+      }
+      state = PageState{ResourceState::kOwned, kNoLibFs, record->ino};
+    }
+  }
+  record->pages = std::move(new_pages);
+  record->first_index_page = DirentOfLocked(*record)->first_index_page;
+
+  // Fresh children become live files with shadow inodes and an implicit write grant to
+  // their creator (their own pages reconcile at their own first verification).
+  for (const NewChildInfo& child : report.new_children) {
+    if (writer != nullptr) {
+      writer->leased_inos.erase(child.ino);
+    }
+    ino_states_[child.ino] = InoState{ResourceState::kOwned, kNoLibFs, record->ino};
+
+    FileRecord fresh;
+    fresh.ino = child.ino;
+    fresh.parent = record->ino;
+    fresh.is_dir = child.is_dir;
+    fresh.dirent_page = child.dirent_page;
+    fresh.dirent_slot = child.dirent_slot;
+    fresh.first_index_page = child.first_index_page;
+
+    ShadowInode shadow{child.mode, child.uid, child.gid, 1};
+    ShadowInode* slot = ShadowInodeOf(pool_, child.ino);
+    pool_.Write(slot, &shadow, sizeof(shadow));
+    obs::PersistSpan(pool_, &persist_stats_).PersistNow(slot, sizeof(shadow));
+
+    if (record->writer != kNoLibFs) {
+      fresh.writer = record->writer;
+      fresh.lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+      writer->write_mapped.insert(child.ino);
+      WmapLogAdd(child.ino);
+    }
+    auto [it, inserted] = records_.emplace(child.ino, std::move(fresh));
+    if (inserted && it->second.writer != kNoLibFs) {
+      (void)TakeCheckpointLocked(&it->second);
+    }
+  }
+
+  // Renames into this directory.
+  for (const MovedInChild& moved : report.moved_in) {
+    FileRecord* child = RecordOf(moved.ino);
+    if (child == nullptr) {
+      continue;
+    }
+    child->parent = record->ino;
+    child->dirent_page = moved.dirent_page;
+    child->dirent_slot = moved.dirent_slot;
+    ino_states_[moved.ino].parent = record->ino;
+    if (writer != nullptr) {
+      writer->pending_orphans.erase(moved.ino);
+    }
+  }
+
+  // Children that vanished: deleted, or renamed to a directory we have not verified yet.
+  for (Ino removed : report.removed_children) {
+    auto state_it = ino_states_.find(removed);
+    if (state_it == ino_states_.end() || state_it->second.parent != record->ino) {
+      continue;  // Already moved elsewhere or reclaimed.
+    }
+    if (writer != nullptr) {
+      writer->pending_orphans.insert(removed);
+    } else {
+      FileRecord* child = RecordOf(removed);
+      if (child != nullptr) {
+        ReclaimFileLocked(child);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+void KernelController::ResolveOrphansLocked(LibFsRecord* libfs) {
+  // Anything still orphaned when the writer's session quiesces was deleted, not renamed.
+  std::vector<Ino> orphans(libfs->pending_orphans.begin(), libfs->pending_orphans.end());
+  libfs->pending_orphans.clear();
+  for (Ino ino : orphans) {
+    FileRecord* record = RecordOf(ino);
+    if (record == nullptr) {
+      continue;
+    }
+    auto state_it = ino_states_.find(ino);
+    if (state_it != ino_states_.end() && state_it->second.state == ResourceState::kOwned) {
+      // Still owned with the stale parent: a deletion. Directories were checked empty by
+      // I3 at parent-verify time.
+      ReclaimFileLocked(record);
+    }
+  }
+}
+
+void KernelController::ReclaimFileLocked(FileRecord* record) {
+  const Ino ino = record->ino;
+  // Recursively reclaim children first (mass deletion by page rewrite is legal tombstoning).
+  std::vector<Ino> children;
+  for (auto& [child_ino, child] : records_) {
+    if (child.parent == ino && child_ino != ino) {
+      children.push_back(child_ino);
+    }
+  }
+  for (Ino child : children) {
+    FileRecord* child_record = RecordOf(child);
+    if (child_record != nullptr) {
+      ReclaimFileLocked(child_record);
+    }
+  }
+  record = RecordOf(ino);
+  if (record == nullptr) {
+    return;
+  }
+  for (PageNumber page : record->pages) {
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+  if (shadow != nullptr) {
+    ShadowInode cleared{};
+    pool_.Write(shadow, &cleared, sizeof(cleared));
+    obs::PersistSpan(pool_, &persist_stats_).PersistNow(shadow, sizeof(cleared));
+  }
+  WmapLogRemove(ino);
+  ino_states_.erase(ino);
+  records_.erase(ino);
+  free_inos_.push_back(ino);
+}
+
+Status KernelController::TakeCheckpointLocked(FileRecord* record) {
+  auto checkpoint = std::make_unique<FileCheckpointData>();
+  checkpoint->meta = *DirentOfLocked(*record);
+
+  auto copy_page = [&](PageNumber page) {
+    checkpoint->pages.push_back(page);
+    auto content = std::make_unique<char[]>(kPageSize);
+    std::memcpy(content.get(), pool_.PageAddress(page), kPageSize);
+    checkpoint->contents.push_back(std::move(content));
+  };
+
+  // §4.3: checkpoint the file's metadata — index pages for a regular file; both index and
+  // data pages for a directory (directory data pages *are* metadata).
+  const PageNumber first = checkpoint->meta.first_index_page;
+  TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber page) -> Status {
+    copy_page(page);
+    return OkStatus();
+  }));
+  if (record->is_dir) {
+    TRIO_RETURN_IF_ERROR(
+        ForEachDataPage(pool_, first, [&](uint64_t, PageNumber page) -> Status {
+          copy_page(page);
+          return OkStatus();
+        }));
+    TRIO_RETURN_IF_ERROR(ForEachDirent(pool_, first,
+                                       [&](DirentBlock* child, PageNumber, size_t) -> Status {
+                                         checkpoint->children.push_back(CheckpointChild{
+                                             child->ino, child->IsDirectory()});
+                                         return OkStatus();
+                                       }));
+  }
+  record->checkpoint = std::move(checkpoint);
+  return OkStatus();
+}
+
+void KernelController::QuarantineLocked(FileRecord* record) {
+  std::vector<std::vector<char>> images;
+  for (PageNumber page : record->pages) {
+    std::vector<char> image(kPageSize);
+    std::memcpy(image.data(), pool_.PageAddress(page), kPageSize);
+    images.push_back(std::move(image));
+  }
+  quarantine_[record->ino] = std::move(images);
+  quarantine_owner_[record->ino] = record->writer;
+}
+
+std::vector<std::vector<char>> KernelController::RetrieveQuarantine(LibFsId libfs, Ino ino) {
+  SyscallScope syscall(stats_, "RetrieveQuarantine");
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  auto owner = quarantine_owner_.find(ino);
+  if (owner == quarantine_owner_.end() || owner->second != libfs) {
+    return {};
+  }
+  auto it = quarantine_.find(ino);
+  if (it == quarantine_.end()) {
+    return {};
+  }
+  std::vector<std::vector<char>> images = std::move(it->second);
+  quarantine_.erase(it);
+  quarantine_owner_.erase(owner);
+  return images;
+}
+
+void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
+  FileCheckpointData* checkpoint = record->checkpoint.get();
+  DirentBlock* dirent = DirentOfLocked(*record);
+  // One span for the whole rollback protocol: page restores batch under a single fence,
+  // metadata and scrub writes each fence at their original points.
+  obs::PersistSpan span(pool_, &persist_stats_);
+  if (checkpoint == nullptr) {
+    // A brand-new file with no checkpoint: the safe state is "empty".
+    DirentBlock cleared = *dirent;
+    cleared.first_index_page = 0;
+    cleared.size = 0;
+    pool_.Write(dirent, &cleared, sizeof(cleared));
+    span.PersistNow(dirent, sizeof(cleared));
+    record->first_index_page = 0;
+    for (PageNumber page : record->pages) {
+      page_states_.erase(page);
+      free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    }
+    record->pages.clear();
+    return;
+  }
+
+  // Restore checkpointed page images where the page still belongs to this file.
+  for (size_t i = 0; i < checkpoint->pages.size(); ++i) {
+    const PageNumber page = checkpoint->pages[i];
+    auto state = page_states_.find(page);
+    if (state != page_states_.end() && state->second.state == ResourceState::kOwned &&
+        state->second.owner == record->ino) {
+      pool_.Write(pool_.PageAddress(page), checkpoint->contents[i].get(), kPageSize);
+      span.Persist(pool_.PageAddress(page), kPageSize);
+    }
+  }
+  span.ForceFence();
+
+  // Restore the metadata (the dirent+inode block). Size mismatches against surviving data
+  // resolve as holes, which read back as zeros ("trimming or padding zero bits", §4.3).
+  pool_.Write(dirent, &checkpoint->meta, sizeof(checkpoint->meta));
+  span.PersistNow(dirent, sizeof(checkpoint->meta));
+  record->first_index_page = checkpoint->meta.first_index_page;
+
+  // Scrub: drop index entries that reference pages this file no longer owns, and rebuild
+  // the owned-page set from the restored chain.
+  std::unordered_set<PageNumber> restored;
+  Status scrub = ForEachIndexPage(pool_, record->first_index_page, [&](PageNumber p) -> Status {
+    auto state = page_states_.find(p);
+    if (state == page_states_.end() || state->second.state != ResourceState::kOwned ||
+        state->second.owner != record->ino) {
+      return Corrupted("restored chain broken");
+    }
+    restored.insert(p);
+    auto* index = reinterpret_cast<IndexPage*>(pool_.PageAddress(p));
+    for (size_t i = 0; i < kIndexEntriesPerPage; ++i) {
+      const PageNumber entry = index->entries[i];
+      if (entry == 0) {
+        continue;
+      }
+      auto entry_state = page_states_.find(entry);
+      const bool owned = entry_state != page_states_.end() &&
+                         entry_state->second.state == ResourceState::kOwned &&
+                         entry_state->second.owner == record->ino;
+      if (!owned) {
+        span.CommitStore64(&index->entries[i], 0);
+      } else {
+        restored.insert(entry);
+      }
+    }
+    return OkStatus();
+  });
+  if (!scrub.ok()) {
+    // The chain head itself was lost; fall back to an empty file.
+    DirentBlock cleared = checkpoint->meta;
+    cleared.first_index_page = 0;
+    cleared.size = 0;
+    pool_.Write(dirent, &cleared, sizeof(cleared));
+    span.PersistNow(dirent, sizeof(cleared));
+    record->first_index_page = 0;
+    restored.clear();
+  }
+
+  // Pages that were owned but are no longer reachable go back to the free pool.
+  for (PageNumber page : record->pages) {
+    if (restored.count(page) != 0) {
+      continue;
+    }
+    if (record->writer != kNoLibFs) {
+      mmu_.Revoke(record->writer, page);
+    }
+    page_states_.erase(page);
+    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+  }
+  record->pages = std::move(restored);
+}
+
+}  // namespace trio

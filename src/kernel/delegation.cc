@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/persist_span.h"
 #include "src/sim/fault_injector.h"
 
 namespace trio {
@@ -169,9 +170,12 @@ void DelegationPool::Execute(const DelegationRequest& request, int executing_nod
     case DelegationRequest::Op::kWrite:
       pool_.Write(request.nvm, request.dram, request.len);
       if (request.persist) {
-        pool_.Persist(request.nvm, request.len);
+        obs::PersistSpan span(pool_, &persist_stats_);
+        span.Persist(request.nvm, request.len);
         if (request.group == nullptr) {
-          pool_.Fence();  // Standalone request: self-fencing (the pre-batch behavior).
+          span.Fence();  // Standalone request: self-fencing (the pre-batch behavior).
+        } else {
+          span.Disarm();  // The group's last completer fences for the whole node share.
         }
       }
       break;
@@ -181,7 +185,7 @@ void DelegationPool::Execute(const DelegationRequest& request, int executing_nod
     // fence the last completer issues.
     if (request.group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
         request.group->fence) {
-      pool_.Fence();
+      obs::PersistSpan(pool_, &persist_stats_).ForceFence();
     }
   }
   nodes_[executing_node]->stats.completed.fetch_add(1, std::memory_order_relaxed);
@@ -361,6 +365,9 @@ void DelegationBatch::Submit() {
   if (total_requests_ == 0) {
     return;
   }
+  if (auto* op = obs::OpContext::Current()) {
+    op->counters.delegated_chunks.fetch_add(total_requests_, std::memory_order_relaxed);
+  }
   // Completion counters are armed before anything is visible to workers.
   pending_.store(static_cast<uint32_t>(total_requests_), std::memory_order_relaxed);
   for (size_t node = 0; node < per_node_.size(); ++node) {
@@ -380,6 +387,15 @@ void DelegationBatch::Wait() {
     return;
   }
   pool_.Wait(pending_);
+  if (auto* op = obs::OpContext::Current()) {
+    // The workers issued one fence per fencing node on this op's behalf; the per-layer
+    // count lives in the pool's PersistStats, the per-op share is attributed here.
+    uint64_t node_fences = 0;
+    for (const auto& group : groups_) {
+      node_fences += (group != nullptr && group->fence) ? 1 : 0;
+    }
+    op->counters.fences.fetch_add(node_fences, std::memory_order_relaxed);
+  }
 }
 
 int DelegationBatch::nodes_touched() const {

@@ -32,6 +32,7 @@
 
 #include "src/common/mpmc_ring.h"
 #include "src/nvm/nvm.h"
+#include "src/obs/stats.h"
 
 namespace trio {
 
@@ -81,18 +82,34 @@ struct DelegationRequest {
 };
 
 // Sharded per-node counters; one cacheline each so nodes never bounce a counter.
+// Each node's struct registers into obs::StatRegistry under layer "delegation"; the
+// registry sums across nodes, so registry reads equal the Sum() accessors below.
 struct alignas(64) DelegationNodeStats {
-  std::atomic<uint64_t> submitted{0};
-  std::atomic<uint64_t> completed{0};
-  std::atomic<uint64_t> batches{0};
-  std::atomic<uint64_t> wakeups{0};  // Times a parked worker was actually woken.
-  std::atomic<uint64_t> parks{0};    // Times a worker went to sleep.
-  std::atomic<uint64_t> steals{0};   // Requests this node's workers stole from siblings.
+  obs::Counter submitted;
+  obs::Counter completed;
+  obs::Counter batches;
+  obs::Counter wakeups;  // Times a parked worker was actually woken.
+  obs::Counter parks;    // Times a worker went to sleep.
+  obs::Counter steals;   // Requests this node's workers stole from siblings.
   // FaultSim outcomes: injected chunk failures, retries re-queued after backoff, and
   // chunks completed inline after exhausting retries (or when the ring was full).
-  std::atomic<uint64_t> faults{0};
-  std::atomic<uint64_t> fault_retries{0};
-  std::atomic<uint64_t> inline_fallbacks{0};
+  obs::Counter faults;
+  obs::Counter fault_retries;
+  obs::Counter inline_fallbacks;
+
+  DelegationNodeStats()
+      : reg_("delegation", {{"submitted", &submitted},
+                            {"completed", &completed},
+                            {"batches", &batches},
+                            {"wakeups", &wakeups},
+                            {"parks", &parks},
+                            {"steals", &steals},
+                            {"faults", &faults},
+                            {"fault_retries", &fault_retries},
+                            {"inline_fallbacks", &inline_fallbacks}}) {}
+
+ private:
+  obs::ScopedRegistration reg_;
 };
 
 class DelegationBatch;
@@ -166,7 +183,7 @@ class DelegationPool {
     return config;
   }
 
-  uint64_t Sum(std::atomic<uint64_t> DelegationNodeStats::* field) const {
+  uint64_t Sum(obs::Counter DelegationNodeStats::* field) const {
     uint64_t total = 0;
     for (const auto& node : nodes_) {
       total += (node->stats.*field).load(std::memory_order_relaxed);
@@ -191,6 +208,8 @@ class DelegationPool {
   const DelegationConfig config_;
   const int num_nodes_;
   int threads_per_node_ = 0;
+  // Worker-side persistence accounting (chunk persists, batch/standalone fences).
+  obs::PersistStats persist_stats_{"delegation"};
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

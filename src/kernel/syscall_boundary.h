@@ -1,0 +1,40 @@
+// The instrumented kernel syscall boundary. Every public KernelController entry point a
+// LibFS can call opens a SyscallScope as its first statement: it counts the crossing in
+// KernelStats, attributes it to the calling op's OpContext (kernel_crossings), records
+// the boundary-to-return latency into the kernel's log-binned histogram, and emits a
+// trace span when tracing is enabled. This is the one place "a kernel crossing happened"
+// is defined, so per-layer metric breakdowns and op spines agree on the count.
+
+#ifndef SRC_KERNEL_SYSCALL_BOUNDARY_H_
+#define SRC_KERNEL_SYSCALL_BOUNDARY_H_
+
+#include "src/kernel/controller.h"
+#include "src/obs/op_context.h"
+
+namespace trio {
+
+class SyscallScope {
+ public:
+  SyscallScope(KernelStats& stats, const char* name)
+      : stats_(stats), span_(name), t0_(obs::MonotonicNowNs()) {
+    stats_.syscalls.fetch_add(1);
+    if (TRIO_OBS_UNLIKELY(obs::OpContext::Current() != nullptr)) {
+      obs::OpContext::Current()->counters.kernel_crossings.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
+  ~SyscallScope() { stats_.syscall_latency.Record(obs::MonotonicNowNs() - t0_); }
+
+  SyscallScope(const SyscallScope&) = delete;
+  SyscallScope& operator=(const SyscallScope&) = delete;
+
+ private:
+  KernelStats& stats_;
+  obs::TraceSpan span_;  // No-op unless tracing is enabled.
+  uint64_t t0_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_KERNEL_SYSCALL_BOUNDARY_H_

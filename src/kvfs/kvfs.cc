@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/persist_span.h"
+
 namespace trio {
 
 KvFs::KvFs(KernelController& kernel, ArckFsConfig config, std::string base_dir)
@@ -92,12 +94,13 @@ Status KvFs::Set(const std::string& key, const void* data, size_t len) {
   DirentBlock* dirent = kv->node->dirent;
   const char* src = static_cast<const char*>(data);
 
+  obs::PersistSpan span(pool_, &persist_stats_);
   // One index page covers the whole value (8 entries needed, 511 available).
   if (kv->index_page == 0 && len > 0) {
     TRIO_ASSIGN_OR_RETURN(PageNumber index_page, leases_.AllocPage(0));
     pool_.Set(pool_.PageAddress(index_page), 0, kPageSize);
-    pool_.PersistNow(pool_.PageAddress(index_page), kPageSize);
-    pool_.CommitStore64(&dirent->first_index_page, index_page);
+    span.PersistNow(pool_.PageAddress(index_page), kPageSize);
+    span.CommitStore64(&dirent->first_index_page, index_page);
     kv->index_page = index_page;
   }
   auto* index = kv->index_page != 0
@@ -118,18 +121,18 @@ Status KvFs::Set(const std::string& key, const void* data, size_t len) {
       ++new_links;
     }
     pool_.Write(pool_.PageAddress(page), src + i * kPageSize, chunk);
-    pool_.Persist(pool_.PageAddress(page), chunk);
+    span.Persist(pool_.PageAddress(page), chunk);
   }
-  pool_.Fence();  // Data durable before links and size (§4.4 ordering).
+  span.Fence();  // Data durable before links and size (§4.4 ordering).
   if (new_links > 0) {
     for (size_t i = 0; i < kMaxValuePages; ++i) {
       if (fresh[i] != 0) {
-        pool_.CommitStore64(&index->entries[i], fresh[i]);
+        span.CommitStore64(&index->entries[i], fresh[i]);
         kv->pages[i] = fresh[i];
       }
     }
   }
-  pool_.CommitStore64(&dirent->size, len);
+  span.CommitStore64(&dirent->size, len);
   return OkStatus();
 }
 

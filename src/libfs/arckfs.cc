@@ -1,22 +1,36 @@
+// ArckFs lifecycle + journaling. The implementation is split across four translation
+// units behind the single ArckFs class:
+//   arckfs.cc        — construction/registration, journal shards, recovery, shared helpers
+//   node_cache.cc    — node table, mapping, op locking, revocation, aux rebuild
+//   namespace_ops.cc — path resolution, directory mutation, namespace FsInterface ops
+//   data_ops.cc      — regular-file data path and fd-based FsInterface ops
+
 #include "src/libfs/arckfs.h"
 
 #include <algorithm>
-#include <cstring>
-#include <optional>
-#include <thread>
+#include <atomic>
+
+#include "src/libfs/arckfs_internal.h"
+#include "src/obs/persist_span.h"
 
 namespace trio {
 
-namespace {
+namespace arckfs_internal {
 
 int64_t FakeTimeNs() {
-  // Timestamps are best-effort (§3.3): a monotonically bumped counter keeps mtime/ctime
-  // ordered without a clock dependency in the data path.
   static std::atomic<int64_t> tick{1};
   return tick.fetch_add(1, std::memory_order_relaxed);
 }
 
-}  // namespace
+Result<PageNumber> AllocZeroedPage(LeaseCache& leases, NvmPool& pool,
+                                   obs::PersistStats* stats, int node_hint) {
+  TRIO_ASSIGN_OR_RETURN(PageNumber page, leases.AllocPage(node_hint));
+  pool.Set(pool.PageAddress(page), 0, kPageSize);
+  obs::PersistSpan(pool, stats).PersistNow(pool.PageAddress(page), kPageSize);
+  return page;
+}
+
+}  // namespace arckfs_internal
 
 LibFsId ArckFs::RegisterWithKernel(KernelController& kernel, const ArckFsConfig& config) {
   LibFsOptions options;
@@ -48,730 +62,6 @@ ArckFs::~ArckFs() {
 }
 
 // ---------------------------------------------------------------------------
-// Node + mapping machinery
-// ---------------------------------------------------------------------------
-
-ArckFs::NodePtr ArckFs::GetOrCreateNode(Ino ino, Ino parent, bool is_dir,
-                                        DirentBlock* dirent) {
-  std::lock_guard<std::mutex> guard(nodes_mutex_);
-  auto it = nodes_.find(ino);
-  if (it != nodes_.end()) {
-    if (dirent != nullptr && it->second->dirent == nullptr) {
-      it->second->dirent = dirent;
-    }
-    return it->second;
-  }
-  auto node = std::make_shared<FileNode>();
-  node->ino = ino;
-  node->parent = parent;
-  node->is_dir = is_dir;
-  node->dirent = dirent;
-  nodes_[ino] = node;
-  return node;
-}
-
-ArckFs::NodePtr ArckFs::FindNode(Ino ino) {
-  std::lock_guard<std::mutex> guard(nodes_mutex_);
-  auto it = nodes_.find(ino);
-  return it == nodes_.end() ? nullptr : it->second;
-}
-
-void ArckFs::DropNode(Ino ino) {
-  std::lock_guard<std::mutex> guard(nodes_mutex_);
-  nodes_.erase(ino);
-}
-
-Status ArckFs::EnsureMapped(FileNode* node, bool write) {
-  std::lock_guard<std::mutex> guard(node->map_mutex);
-  const int need = write ? 2 : 1;
-  if (!node->stale.load(std::memory_order_acquire) &&
-      node->map_state.load(std::memory_order_acquire) >= need) {
-    return OkStatus();
-  }
-  const bool was_unmapped =
-      node->map_state.load(std::memory_order_relaxed) == 0 || node->stale.load();
-  TRIO_ASSIGN_OR_RETURN(MapInfo info,
-                        kernel_.MapFile(libfs_, node->parent, node->ino, write));
-  if (info.dirent_page == 0) {
-    node->dirent = &SuperblockOf(pool_)->root;
-  } else {
-    auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(info.dirent_page));
-    node->dirent = &page->slots[info.dirent_slot];
-  }
-  if (was_unmapped) {
-    TRIO_RETURN_IF_ERROR(RebuildAux(node));
-  }
-  node->stale.store(false, std::memory_order_release);
-  node->map_state.store(info.writable ? 2 : 1, std::memory_order_release);
-  return OkStatus();
-}
-
-Status ArckFs::LockForOp(FileNode* node, int level) {
-  for (int attempt = 0;; ++attempt) {
-    if (node->stale.load(std::memory_order_acquire) ||
-        node->map_state.load(std::memory_order_acquire) < level) {
-      TRIO_RETURN_IF_ERROR(EnsureMapped(node, level == 2));
-    }
-    node->op_lock.lock_shared();
-    if (!node->stale.load(std::memory_order_acquire) &&
-        node->map_state.load(std::memory_order_acquire) >= level) {
-      return OkStatus();
-    }
-    node->op_lock.unlock_shared();
-    if (attempt > 1000) {
-      std::this_thread::yield();
-    }
-  }
-}
-
-void ArckFs::RevokeNode(Ino ino) {
-  NodePtr node = FindNode(ino);
-  if (node == nullptr) {
-    (void)kernel_.UnmapFile(libfs_, ino);
-    return;
-  }
-  std::lock_guard<std::mutex> guard(node->map_mutex);
-  node->stale.store(true, std::memory_order_release);
-  node->op_lock.lock();  // Drain in-flight operations.
-  if (!config_.sync_data && !node->is_dir) {
-    FlushDirtyData(node.get());  // Shared data must be durable before the handoff.
-  }
-  if (node->locally_created) {
-    // The kernel only learns about files we created when the parent directory is
-    // verified; reconcile it now so the unmap below targets a known record. Harmless if
-    // the parent was already released (the kernel reconciled it then).
-    (void)kernel_.CommitFile(libfs_, node->parent);
-  }
-  if (node->map_state.load(std::memory_order_relaxed) != 0 || node->locally_created) {
-    (void)kernel_.UnmapFile(libfs_, ino);
-  }
-  // Drop auxiliary state; it is rebuilt from the (possibly verified-and-rolled-back) core
-  // state on the next access.
-  node->radix.Clear();
-  node->index_pages.clear();
-  node->reuse_pages.clear();
-  node->dir_index.reset();
-  node->dir_tails.clear();
-  node->dir_index_pages.clear();
-  node->dir_next_entry = 0;
-  node->locally_created = false;
-  node->map_state.store(0, std::memory_order_release);
-  node->op_lock.unlock();
-  node->stale.store(false, std::memory_order_release);
-  stats_.revocations.fetch_add(1, std::memory_order_relaxed);
-}
-
-Status ArckFs::RebuildAux(FileNode* node) {
-  const uint64_t t0 = kernel_.clock()->NowNs();
-  TRIO_CHECK(node->dirent != nullptr);
-  const PageNumber first = node->dirent->first_index_page;
-
-  if (!node->is_dir) {
-    node->radix.Clear();
-    node->index_pages.clear();
-    node->reuse_pages.clear();
-    TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber p) -> Status {
-      node->index_pages.push_back(p);
-      return OkStatus();
-    }));
-    TRIO_RETURN_IF_ERROR(
-        ForEachDataPage(pool_, first, [&](uint64_t index, PageNumber p) -> Status {
-          node->radix.Insert(index, p);
-          return OkStatus();
-        }));
-  } else {
-    node->dir_index = std::make_unique<DirIndex>();
-    node->dir_tails.clear();
-    node->dir_tail_index.clear();
-    node->dir_first_nonfull.store(0, std::memory_order_relaxed);
-    node->dir_index_pages.clear();
-    node->dir_next_entry = 0;
-    TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber p) -> Status {
-      node->dir_index_pages.push_back(p);
-      return OkStatus();
-    }));
-    TRIO_RETURN_IF_ERROR(
-        ForEachDataPage(pool_, first, [&](uint64_t, PageNumber p) -> Status {
-          auto tail = std::make_unique<FileNode::DirTail>();
-          tail->page = p;
-          auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(p));
-          uint32_t live = 0;
-          for (uint32_t s = 0; s < kDirentsPerPage; ++s) {
-            const DirentBlock& d = page->slots[s];
-            if (d.IsFree()) {
-              continue;
-            }
-            ++live;
-            node->dir_index->Insert(d.Name(),
-                                    DirSlot{p, s, d.ino, d.IsDirectory()});
-          }
-          tail->full.store(live == kDirentsPerPage, std::memory_order_relaxed);
-          node->dir_tail_index[p] = node->dir_tails.size();
-          node->dir_tails.push_back(std::move(tail));
-          return OkStatus();
-        }));
-    if (!node->dir_index_pages.empty()) {
-      const auto* last =
-          reinterpret_cast<const IndexPage*>(pool_.PageAddress(node->dir_index_pages.back()));
-      size_t used = 0;
-      for (size_t i = 0; i < kIndexEntriesPerPage; ++i) {
-        if (last->entries[i] != 0) {
-          used = i + 1;
-        }
-      }
-      node->dir_next_entry = used;
-    }
-  }
-  stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
-  stats_.rebuild_ns.fetch_add(kernel_.clock()->NowNs() - t0, std::memory_order_relaxed);
-  return OkStatus();
-}
-
-// ---------------------------------------------------------------------------
-// Path resolution
-// ---------------------------------------------------------------------------
-
-Result<ArckFs::NodePtr> ArckFs::ResolveDir(const std::vector<std::string>& components) {
-  NodePtr node = FindNode(kRootIno);
-  for (const std::string& component : components) {
-    TRIO_RETURN_IF_ERROR(LockForOp(node.get(), 1));
-    DirSlot slot;
-    const bool found =
-        node->dir_index != nullptr && node->dir_index->Lookup(component, &slot);
-    UnlockOp(node.get());
-    if (!found) {
-      return NotFound(component);
-    }
-    if (!slot.is_dir) {
-      return NotDir(component);
-    }
-    node = GetOrCreateNode(slot.ino, node->ino, /*is_dir=*/true, SlotPointer(slot));
-  }
-  if (!node->is_dir) {
-    return NotDir("path component is a file");
-  }
-  return node;
-}
-
-DirentBlock* ArckFs::SlotPointer(const DirSlot& slot) {
-  auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(slot.page));
-  return &page->slots[slot.slot];
-}
-
-Result<DirSlot> ArckFs::FindEntry(FileNode* dir, std::string_view name) {
-  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
-  DirSlot slot;
-  if (dir->dir_index == nullptr || !dir->dir_index->Lookup(name, &slot)) {
-    return NotFound(std::string(name));
-  }
-  return slot;
-}
-
-// ---------------------------------------------------------------------------
-// Directory core-state mutation
-// ---------------------------------------------------------------------------
-
-static Result<PageNumber> AllocZeroedPage(LeaseCache& leases, NvmPool& pool, int node_hint) {
-  TRIO_ASSIGN_OR_RETURN(PageNumber page, leases.AllocPage(node_hint));
-  pool.Set(pool.PageAddress(page), 0, kPageSize);
-  pool.Persist(pool.PageAddress(page), kPageSize);
-  pool.Fence();
-  return page;
-}
-
-Status ArckFs::AppendDirDataPage(FileNode* dir) {
-  std::lock_guard<SpinLock> guard(dir->tails_lock);
-  TRIO_ASSIGN_OR_RETURN(PageNumber data_page, AllocZeroedPage(leases_, pool_, 0));
-  if (dir->dir_index_pages.empty()) {
-    TRIO_ASSIGN_OR_RETURN(PageNumber index_page, AllocZeroedPage(leases_, pool_, 0));
-    pool_.CommitStore64(&dir->dirent->first_index_page, index_page);
-    dir->dir_index_pages.push_back(index_page);
-    dir->dir_next_entry = 0;
-  }
-  if (dir->dir_next_entry == kIndexEntriesPerPage) {
-    TRIO_ASSIGN_OR_RETURN(PageNumber index_page, AllocZeroedPage(leases_, pool_, 0));
-    auto* last = reinterpret_cast<IndexPage*>(pool_.PageAddress(dir->dir_index_pages.back()));
-    pool_.CommitStore64(&last->next, index_page);
-    dir->dir_index_pages.push_back(index_page);
-    dir->dir_next_entry = 0;
-  }
-  auto* last = reinterpret_cast<IndexPage*>(pool_.PageAddress(dir->dir_index_pages.back()));
-  pool_.CommitStore64(&last->entries[dir->dir_next_entry], data_page);
-  dir->dir_next_entry++;
-  auto tail = std::make_unique<FileNode::DirTail>();
-  tail->page = data_page;
-  const size_t index = dir->dir_tails.size();
-  dir->dir_tail_index[data_page] = index;
-  dir->dir_tails.push_back(std::move(tail));
-  // The fresh page is non-full: make sure creates can see it.
-  size_t hint = dir->dir_first_nonfull.load(std::memory_order_relaxed);
-  while (hint > index &&
-         !dir->dir_first_nonfull.compare_exchange_weak(hint, index,
-                                                       std::memory_order_relaxed)) {
-  }
-  return OkStatus();
-}
-
-Result<DirSlot> ArckFs::CreateEntry(FileNode* dir, std::string_view name, uint32_t mode,
-                                    bool exclusive) {
-  if (!ValidFileName(name)) {
-    return name.size() >= kMaxNameLen ? NameTooLong(std::string(name))
-                                      : InvalidArgument("bad file name");
-  }
-  DirSlot existing;
-  if (dir->dir_index->Lookup(name, &existing)) {
-    return AlreadyExists(std::string(name));
-  }
-  TRIO_ASSIGN_OR_RETURN(Ino ino, leases_.AllocIno());
-
-  for (int rounds = 0; rounds < 64; ++rounds) {
-    // Multiple logging tails (§4.2): threads start at different tails, so concurrent
-    // creates in one directory rarely contend on the same page lock.
-    size_t tails;
-    {
-      std::lock_guard<SpinLock> guard(dir->tails_lock);
-      tails = dir->dir_tails.size();
-    }
-    const size_t start = dir->dir_first_nonfull.load(std::memory_order_acquire);
-    bool prefix_full = true;
-    for (size_t i = start; i < tails; ++i) {
-      FileNode::DirTail* tail;
-      {
-        std::lock_guard<SpinLock> guard(dir->tails_lock);
-        tail = dir->dir_tails[i].get();
-      }
-      if (tail->full.load(std::memory_order_relaxed)) {
-        if (prefix_full) {
-          // Every tail up to i is full: advance the scan start for future creates.
-          size_t hint = dir->dir_first_nonfull.load(std::memory_order_relaxed);
-          while (hint <= i &&
-                 !dir->dir_first_nonfull.compare_exchange_weak(
-                     hint, i + 1, std::memory_order_relaxed)) {
-          }
-        }
-        continue;
-      }
-      prefix_full = false;
-      std::lock_guard<SpinLock> page_guard(tail->lock);
-      auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(tail->page));
-      for (uint32_t s = 0; s < kDirentsPerPage; ++s) {
-        DirentBlock* d = &page->slots[s];
-        if (!d->IsFree()) {
-          continue;
-        }
-        // Crash-consistent create (§4.4): persist every field with ino still 0, then
-        // commit the inode number with one atomic durable store.
-        DirentBlock block{};
-        block.first_index_page = 0;
-        block.size = 0;
-        block.mode = mode;
-        block.uid = config_.uid;
-        block.gid = config_.gid;
-        block.nlink = 1;
-        block.mtime_ns = FakeTimeNs();
-        block.ctime_ns = block.mtime_ns;
-        block.SetName(name);
-        pool_.Write(reinterpret_cast<char*>(d) + sizeof(uint64_t),
-                    reinterpret_cast<const char*>(&block) + sizeof(uint64_t),
-                    sizeof(DirentBlock) - sizeof(uint64_t));
-        pool_.Persist(d, sizeof(DirentBlock));
-        pool_.Fence();
-        pool_.CommitStore64(&d->ino, ino);
-
-        DirSlot slot{tail->page, s, ino, (mode & kModeTypeMask) == kModeDirectory};
-        if (!dir->dir_index->Insert(name, slot)) {
-          // Lost a same-name race after the initial check: undo.
-          pool_.CommitStore64(&d->ino, kInvalidIno);
-          leases_.RecycleIno(ino);
-          return AlreadyExists(std::string(name));
-        }
-        stats_.creates.fetch_add(1, std::memory_order_relaxed);
-        return slot;
-      }
-      // Every slot in this page is live: drop it from the active tails until an unlink
-      // frees a slot (keeps create O(1) in directory size).
-      tail->full.store(true, std::memory_order_relaxed);
-    }
-    TRIO_RETURN_IF_ERROR(AppendDirDataPage(dir));
-  }
-  leases_.RecycleIno(ino);
-  return NoSpace("could not claim a directory slot");
-}
-
-Status ArckFs::RemoveEntry(FileNode* dir, std::string_view name, bool must_be_dir,
-                           bool must_be_file) {
-  TRIO_ASSIGN_OR_RETURN(DirSlot slot, FindEntry(dir, name));
-  DirentBlock* d = SlotPointer(slot);
-  if (must_be_dir && !slot.is_dir) {
-    return NotDir(std::string(name));
-  }
-  if (must_be_file && slot.is_dir) {
-    return IsDir(std::string(name));
-  }
-  const PageNumber first_index_page = d->first_index_page;
-
-  if (slot.is_dir) {
-    // rmdir requires an empty directory. Count live entries through our own mapping of the
-    // child (a well-behaved LibFS never dereferences unmapped pages).
-    NodePtr child = GetOrCreateNode(slot.ino, dir->ino, /*is_dir=*/true, d);
-    TRIO_RETURN_IF_ERROR(LockForOp(child.get(), 1));
-    const size_t live = child->dir_index != nullptr ? child->dir_index->Size() : 0;
-    UnlockOp(child.get());
-    if (live != 0) {
-      return NotEmpty(std::string(name));
-    }
-    // Release our mapping before deletion: I3 rejects removed directories that are still
-    // mapped anywhere.
-    RevokeNode(slot.ino);
-  }
-
-  // Tombstone: one atomic durable store (§4.4).
-  pool_.CommitStore64(&d->ino, kInvalidIno);
-  dir->dir_index->Erase(name);
-  stats_.unlinks.fetch_add(1, std::memory_order_relaxed);
-  // The slot's page has space again: reactivate its logging tail (O(1) via the page
-  // index) and let creates scan from it.
-  {
-    std::lock_guard<SpinLock> guard(dir->tails_lock);
-    auto it = dir->dir_tail_index.find(slot.page);
-    if (it != dir->dir_tail_index.end()) {
-      dir->dir_tails[it->second]->full.store(false, std::memory_order_relaxed);
-      size_t hint = dir->dir_first_nonfull.load(std::memory_order_relaxed);
-      while (hint > it->second &&
-             !dir->dir_first_nonfull.compare_exchange_weak(hint, it->second,
-                                                           std::memory_order_relaxed)) {
-      }
-    }
-  }
-
-  // If this file was created by us and never reconciled, its resources are still leased to
-  // us: recycle them locally instead of waiting for kernel reclamation.
-  const InoState state = kernel_.StateOfIno(slot.ino);
-  if (state.state == ResourceState::kLeased && state.lessee == libfs_) {
-    std::vector<PageNumber> pages;
-    (void)ForEachIndexPage(pool_, first_index_page, [&](PageNumber p) -> Status {
-      pages.push_back(p);
-      return OkStatus();
-    });
-    (void)ForEachDataPage(pool_, first_index_page, [&](uint64_t, PageNumber p) -> Status {
-      pages.push_back(p);
-      return OkStatus();
-    });
-    for (PageNumber p : pages) {
-      leases_.RecyclePage(p);
-    }
-    leases_.RecycleIno(slot.ino);
-  }
-  DropNode(slot.ino);
-  return OkStatus();
-}
-
-// ---------------------------------------------------------------------------
-// Regular-file data path
-// ---------------------------------------------------------------------------
-
-size_t ArckFs::ReadDelegateThreshold() const {
-  if (config_.delegate_read_threshold != 0) {
-    return config_.delegate_read_threshold;
-  }
-  const DelegationPool* delegation = kernel_.delegation();
-  return delegation != nullptr ? delegation->config().read_threshold
-                               : kDelegateReadThreshold;
-}
-
-size_t ArckFs::WriteDelegateThreshold() const {
-  if (config_.delegate_write_threshold != 0) {
-    return config_.delegate_write_threshold;
-  }
-  const DelegationPool* delegation = kernel_.delegation();
-  return delegation != nullptr ? delegation->config().write_threshold
-                               : kDelegateWriteThreshold;
-}
-
-void ArckFs::CopyToNvm(char* dst, const char* src, size_t len, DelegationBatch* batch,
-                       bool persist) {
-  if (batch != nullptr) {
-    batch->AddWrite(dst, src, len, persist);
-    return;
-  }
-  pool_.Write(dst, src, len);
-  if (persist) {
-    pool_.Persist(dst, len);
-  }
-}
-
-void ArckFs::FlushDirtyData(FileNode* node) {
-  std::unordered_set<PageNumber> dirty;
-  {
-    std::lock_guard<SpinLock> guard(node->dirty_lock);
-    dirty.swap(node->dirty_pages);
-  }
-  if (dirty.empty()) {
-    return;
-  }
-  for (PageNumber page : dirty) {
-    pool_.Persist(pool_.PageAddress(page), kPageSize);
-  }
-  pool_.Fence();
-}
-
-void ArckFs::CopyFromNvm(char* dst, const char* src, size_t len, DelegationBatch* batch) {
-  if (batch != nullptr) {
-    batch->AddRead(dst, src, len);
-    return;
-  }
-  pool_.Read(dst, src, len);
-}
-
-Status ArckFs::EnsureIndexCapacity(FileNode* node, uint64_t max_page_index) {
-  // Exclusive inode lock held. Extend the chain so entry slot `max_page_index` exists.
-  while (node->index_pages.size() * kIndexEntriesPerPage <= max_page_index) {
-    TRIO_ASSIGN_OR_RETURN(PageNumber index_page, AllocZeroedPage(leases_, pool_, 0));
-    if (node->index_pages.empty()) {
-      pool_.CommitStore64(&node->dirent->first_index_page, index_page);
-    } else {
-      auto* last = reinterpret_cast<IndexPage*>(pool_.PageAddress(node->index_pages.back()));
-      pool_.CommitStore64(&last->next, index_page);
-    }
-    node->index_pages.push_back(index_page);
-  }
-  return OkStatus();
-}
-
-Result<PageNumber> ArckFs::AllocDataPage(FileNode* node, uint64_t page_index, bool zero) {
-  PageNumber page = kInvalidPage;
-  {
-    std::lock_guard<SpinLock> guard(node->tails_lock);  // Reused as the reuse-pool lock.
-    if (!node->reuse_pages.empty()) {
-      page = node->reuse_pages.back();
-      node->reuse_pages.pop_back();
-      if (!zero) {
-        // Recycled pages carry stale data; a full overwrite makes zeroing redundant, but a
-        // partial write must start from zeros.
-      }
-      zero = true;  // Conservative: recycled content must never leak.
-    }
-  }
-  if (page == kInvalidPage) {
-    const int nodes = pool_.topology().num_nodes;
-    TRIO_ASSIGN_OR_RETURN(page,
-                          leases_.AllocPage(static_cast<int>(page_index % nodes)));
-  }
-  if (zero) {
-    pool_.Set(pool_.PageAddress(page), 0, kPageSize);
-    pool_.Persist(pool_.PageAddress(page), kPageSize);
-  }
-  return page;
-}
-
-Status ArckFs::LinkDataPage(FileNode* node, uint64_t page_index, PageNumber page) {
-  const size_t chain_slot = page_index / kIndexEntriesPerPage;
-  TRIO_CHECK(chain_slot < node->index_pages.size()) << "index chain does not cover page";
-  auto* index = reinterpret_cast<IndexPage*>(pool_.PageAddress(node->index_pages[chain_slot]));
-  pool_.CommitStore64(&index->entries[page_index % kIndexEntriesPerPage], page);
-  node->radix.Insert(page_index, page);
-  return OkStatus();
-}
-
-Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count,
-                                   uint64_t offset) {
-  if (count == 0) {
-    return static_cast<size_t>(0);
-  }
-  stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  const char* src = static_cast<const char*>(buf);
-
-  bool exclusive;
-  uint64_t size;
-  while (true) {
-    size = pool_.Load64(&node->dirent->size);
-    exclusive = offset + count > size;
-    if (exclusive) {
-      node->inode_lock.lock();
-      // Size may have grown while we waited; the exclusive lock is still fine.
-      size = pool_.Load64(&node->dirent->size);
-    } else {
-      node->inode_lock.lock_shared();
-      const uint64_t now_size = pool_.Load64(&node->dirent->size);
-      if (offset + count > now_size) {
-        node->inode_lock.unlock_shared();
-        continue;  // Raced with a truncate; retry on the exclusive path.
-      }
-    }
-    break;
-  }
-
-  const bool extend = offset + count > size;
-  // Fine-grained concurrency (§4.2): extension holds the inode lock exclusively; in-place
-  // writers hold it shared plus a write range lock over the touched bytes.
-  if (!exclusive) {
-    node->range_lock.LockRange(offset, count, /*exclusive=*/true);
-  }
-
-  const bool delegate = config_.use_delegation && kernel_.delegation() != nullptr &&
-                        count >= WriteDelegateThreshold();
-  // All chunks of this write accumulate into one batch: one ring push and one fence per
-  // touched node, instead of one of each per 4 KiB chunk.
-  std::optional<DelegationBatch> batch;
-  if (delegate) {
-    batch.emplace(*kernel_.delegation());
-  }
-
-  Status status = OkStatus();
-  std::vector<std::pair<uint64_t, PageNumber>> to_link;
-  if (extend) {
-    status = EnsureIndexCapacity(node, (offset + count - 1) / kPageSize);
-  }
-  if (status.ok()) {
-    uint64_t cursor = offset;
-    const uint64_t end = offset + count;
-    while (cursor < end) {
-      const uint64_t page_index = cursor / kPageSize;
-      const uint64_t in_page = cursor % kPageSize;
-      const size_t chunk = std::min<uint64_t>(kPageSize - in_page, end - cursor);
-      PageNumber page = node->radix.Lookup(page_index);
-      if (page == 0) {
-        const bool full_page = in_page == 0 && chunk == kPageSize;
-        Result<PageNumber> fresh = AllocDataPage(node, page_index, /*zero=*/!full_page);
-        if (!fresh.ok()) {
-          status = fresh.status();
-          break;
-        }
-        page = *fresh;
-        to_link.push_back({page_index, page});
-        // Make it visible to this op's later iterations (not yet linked in core state).
-        node->radix.Insert(page_index, page);
-      }
-      CopyToNvm(pool_.PageAddress(page) + in_page, src + (cursor - offset), chunk,
-                delegate ? &*batch : nullptr, config_.sync_data);
-      if (!config_.sync_data) {
-        std::lock_guard<SpinLock> guard(node->dirty_lock);
-        node->dirty_pages.insert(page);
-      }
-      cursor += chunk;
-    }
-  }
-
-  // Data durable before any index entry or size commit (§4.4). The delegated path fences
-  // once per touched node inside the batch; the direct path fences here.
-  if (delegate) {
-    batch->Submit();
-    batch->Wait();
-  } else {
-    pool_.Fence();
-  }
-
-  if (status.ok()) {
-    for (const auto& [page_index, page] : to_link) {
-      status = LinkDataPage(node, page_index, page);
-      if (!status.ok()) {
-        break;
-      }
-    }
-  }
-  if (status.ok() && extend) {
-    pool_.CommitStore64(&node->dirent->size, offset + count);
-    const int64_t now = FakeTimeNs();
-    pool_.Write(&node->dirent->mtime_ns, &now, sizeof(now));
-    pool_.PersistNow(&node->dirent->mtime_ns, sizeof(now));
-  }
-
-  if (!exclusive) {
-    node->range_lock.UnlockRange(offset, count, true);
-    node->inode_lock.unlock_shared();
-  } else {
-    node->inode_lock.unlock();
-  }
-  if (!status.ok()) {
-    return status;
-  }
-  return count;
-}
-
-Result<size_t> ArckFs::ReadLocked(FileNode* node, void* buf, size_t count, uint64_t offset) {
-  stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  char* dst = static_cast<char*>(buf);
-  ReadGuard<BravoRwLock> inode_guard(node->inode_lock);
-  const uint64_t size = pool_.Load64(&node->dirent->size);
-  if (offset >= size) {
-    return static_cast<size_t>(0);
-  }
-  count = std::min<uint64_t>(count, size - offset);
-  RangeGuard range_guard(node->range_lock, offset, count, /*exclusive=*/false);
-
-  const bool delegate = config_.use_delegation && kernel_.delegation() != nullptr &&
-                        count >= ReadDelegateThreshold();
-  std::optional<DelegationBatch> batch;
-  if (delegate) {
-    batch.emplace(*kernel_.delegation());
-  }
-
-  uint64_t cursor = offset;
-  const uint64_t end = offset + count;
-  while (cursor < end) {
-    const uint64_t page_index = cursor / kPageSize;
-    const uint64_t in_page = cursor % kPageSize;
-    const size_t chunk = std::min<uint64_t>(kPageSize - in_page, end - cursor);
-    const PageNumber page = node->radix.Lookup(page_index);
-    if (page == 0) {
-      std::memset(dst + (cursor - offset), 0, chunk);  // Hole.
-    } else {
-      CopyFromNvm(dst + (cursor - offset), pool_.PageAddress(page) + in_page, chunk,
-                  delegate ? &*batch : nullptr);
-    }
-    cursor += chunk;
-  }
-  if (delegate) {
-    batch->Submit();
-    batch->Wait();
-  }
-  return count;
-}
-
-Status ArckFs::TruncateLocked(FileNode* node, uint64_t new_size) {
-  WriteGuard<BravoRwLock> inode_guard(node->inode_lock);
-  const uint64_t old_size = pool_.Load64(&node->dirent->size);
-  if (new_size == old_size) {
-    return OkStatus();
-  }
-  if (new_size > old_size) {
-    // Growing: the index chain must cover the new size (I1), holes read as zeros.
-    TRIO_RETURN_IF_ERROR(EnsureIndexCapacity(node, (new_size - 1) / kPageSize));
-    pool_.CommitStore64(&node->dirent->size, new_size);
-    return OkStatus();
-  }
-  // Shrinking: commit the size first; everything beyond is garbage we now scrub.
-  pool_.CommitStore64(&node->dirent->size, new_size);
-  // Zero the tail of the boundary page so a later size-only grow reads zeros.
-  if (new_size % kPageSize != 0) {
-    const PageNumber boundary = node->radix.Lookup(new_size / kPageSize);
-    if (boundary != 0) {
-      const uint64_t keep = new_size % kPageSize;
-      pool_.Set(pool_.PageAddress(boundary) + keep, 0, kPageSize - keep);
-      pool_.Persist(pool_.PageAddress(boundary) + keep, kPageSize - keep);
-    }
-  }
-  const uint64_t first_dead = (new_size + kPageSize - 1) / kPageSize;
-  const uint64_t last_page = old_size == 0 ? 0 : (old_size - 1) / kPageSize;
-  for (uint64_t index = first_dead; index <= last_page; ++index) {
-    const PageNumber page = node->radix.Lookup(index);
-    if (page == 0) {
-      continue;
-    }
-    const size_t chain_slot = index / kIndexEntriesPerPage;
-    auto* chain =
-        reinterpret_cast<IndexPage*>(pool_.PageAddress(node->index_pages[chain_slot]));
-    pool_.Store64(&chain->entries[index % kIndexEntriesPerPage], 0);
-    pool_.Persist(&chain->entries[index % kIndexEntriesPerPage], sizeof(uint64_t));
-    node->radix.Erase(index);
-    std::lock_guard<SpinLock> guard(node->tails_lock);
-    node->reuse_pages.push_back(page);
-  }
-  pool_.Fence();
-  return OkStatus();
-}
-
-// ---------------------------------------------------------------------------
 // Journal (rename) + recovery
 // ---------------------------------------------------------------------------
 
@@ -782,7 +72,8 @@ UndoJournal& ArckFs::JournalShard() {
       for (size_t i = 0; i < std::max<size_t>(1, config_.journal_shards); ++i) {
         Result<PageNumber> page = leases_.AllocPage(0);
         TRIO_CHECK(page.ok()) << "cannot allocate journal page";
-        journals_.push_back(std::make_unique<UndoJournal>(pool_, *page));
+        journals_.push_back(
+            std::make_unique<UndoJournal>(pool_, *page, &persist_stats_));
       }
     }
   }
@@ -800,512 +91,8 @@ std::vector<PageNumber> ArckFs::JournalPages() {
 
 void ArckFs::ReplayJournals() {
   for (PageNumber page : config_.recover_journal_pages) {
-    UndoJournal::RecoverPage(pool_, page);
+    UndoJournal::RecoverPage(pool_, page, &persist_stats_);
   }
-}
-
-// ---------------------------------------------------------------------------
-// FsInterface
-// ---------------------------------------------------------------------------
-
-Result<ArckFs::NodePtr> ArckFs::OpenNodeByPath(const std::string& path, bool write) {
-  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 1));
-  Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
-  UnlockOp(parent.get());
-  if (!slot.ok()) {
-    return slot.status();
-  }
-  NodePtr node =
-      GetOrCreateNode(slot->ino, parent->ino, slot->is_dir, SlotPointer(*slot));
-  TRIO_RETURN_IF_ERROR(EnsureMapped(node.get(), write));
-  return node;
-}
-
-Result<Fd> ArckFs::Open(const std::string& path, OpenFlags flags, uint32_t mode) {
-  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-
-  const int parent_level = flags.create ? 2 : 1;
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), parent_level));
-  Result<DirSlot> found = FindEntry(parent.get(), parts.leaf);
-
-  NodePtr node;
-  bool created = false;
-  if (found.ok()) {
-    UnlockOp(parent.get());
-    if (flags.create && flags.exclusive) {
-      return AlreadyExists(parts.leaf);
-    }
-    if (found->is_dir && (flags.write || flags.truncate)) {
-      return IsDir(parts.leaf);
-    }
-    node = GetOrCreateNode(found->ino, parent->ino, found->is_dir, SlotPointer(*found));
-    TRIO_RETURN_IF_ERROR(EnsureMapped(node.get(), flags.write));
-  } else if (found.status().Is(ErrorCode::kNotFound) && flags.create) {
-    Result<DirSlot> slot =
-        CreateEntry(parent.get(), parts.leaf, kModeRegular | (mode & kModePermMask),
-                    flags.exclusive);
-    UnlockOp(parent.get());
-    if (!slot.ok()) {
-      return slot.status();
-    }
-    node = GetOrCreateNode(slot->ino, parent->ino, /*is_dir=*/false, SlotPointer(*slot));
-    // A freshly created file is implicitly write-held by its creator: its pages are our
-    // leases and the kernel learns of it when the parent directory is next verified.
-    node->locally_created = true;
-    node->map_state.store(2, std::memory_order_release);
-    created = true;
-  } else {
-    UnlockOp(parent.get());
-    return found.status();
-  }
-
-  if (flags.truncate && !created) {
-    TRIO_RETURN_IF_ERROR(LockForOp(node.get(), 2));
-    Status truncated = TruncateLocked(node.get(), 0);
-    UnlockOp(node.get());
-    TRIO_RETURN_IF_ERROR(truncated);
-  }
-  const uint64_t offset = flags.append ? pool_.Load64(&node->dirent->size) : 0;
-  return fds_.Alloc(node, flags.write, flags.append, offset);
-}
-
-Status ArckFs::Close(Fd fd) { return fds_.Release(fd); }
-
-Result<size_t> ArckFs::Read(Fd fd, void* buf, size_t count) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr) {
-    return BadFd();
-  }
-  const uint64_t offset = entry->offset.load(std::memory_order_relaxed);
-  TRIO_ASSIGN_OR_RETURN(size_t done, Pread(fd, buf, count, offset));
-  entry->offset.store(offset + done, std::memory_order_relaxed);
-  return done;
-}
-
-Result<size_t> ArckFs::Write(Fd fd, const void* buf, size_t count) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr) {
-    return BadFd();
-  }
-  uint64_t offset;
-  if (entry->append) {
-    offset = pool_.Load64(&entry->file->dirent->size);
-  } else {
-    offset = entry->offset.load(std::memory_order_relaxed);
-  }
-  TRIO_ASSIGN_OR_RETURN(size_t done, Pwrite(fd, buf, count, offset));
-  entry->offset.store(offset + done, std::memory_order_relaxed);
-  return done;
-}
-
-Result<size_t> ArckFs::Pread(Fd fd, void* buf, size_t count, uint64_t offset) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr) {
-    return BadFd();
-  }
-  FileNode* node = entry->file.get();
-  if (node->is_dir) {
-    return IsDir();
-  }
-  TRIO_RETURN_IF_ERROR(LockForOp(node, 1));
-  Result<size_t> result = ReadLocked(node, buf, count, offset);
-  UnlockOp(node);
-  return result;
-}
-
-Result<size_t> ArckFs::Pwrite(Fd fd, const void* buf, size_t count, uint64_t offset) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr) {
-    return BadFd();
-  }
-  if (!entry->writable) {
-    return BadFd("fd not opened for writing");
-  }
-  FileNode* node = entry->file.get();
-  if (node->is_dir) {
-    return IsDir();
-  }
-  TRIO_RETURN_IF_ERROR(LockForOp(node, 2));
-  Result<size_t> result = WriteLocked(node, buf, count, offset);
-  UnlockOp(node);
-  return result;
-}
-
-Result<uint64_t> ArckFs::Seek(Fd fd, uint64_t offset) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr) {
-    return BadFd();
-  }
-  entry->offset.store(offset, std::memory_order_relaxed);
-  return offset;
-}
-
-Status ArckFs::Fsync(Fd fd) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr) {
-    return BadFd();
-  }
-  if (!config_.sync_data && !entry->file->is_dir) {
-    // Relaxed-data mode: the write path deferred its flushes to here.
-    FlushDirtyData(entry->file.get());
-  }
-  // In the default mode every operation is already synchronous (§4.4).
-  return OkStatus();
-}
-
-Status ArckFs::Ftruncate(Fd fd, uint64_t size) {
-  auto* entry = fds_.Get(fd);
-  if (entry == nullptr || !entry->writable) {
-    return BadFd();
-  }
-  FileNode* node = entry->file.get();
-  TRIO_RETURN_IF_ERROR(LockForOp(node, 2));
-  Status status = TruncateLocked(node, size);
-  UnlockOp(node);
-  return status;
-}
-
-Status ArckFs::Mkdir(const std::string& path, uint32_t mode) {
-  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 2));
-  Result<DirSlot> slot = CreateEntry(parent.get(), parts.leaf,
-                                     kModeDirectory | (mode & kModePermMask),
-                                     /*exclusive=*/true);
-  UnlockOp(parent.get());
-  if (!slot.ok()) {
-    return slot.status();
-  }
-  NodePtr node = GetOrCreateNode(slot->ino, parent->ino, /*is_dir=*/true, SlotPointer(*slot));
-  node->locally_created = true;
-  node->map_state.store(2, std::memory_order_release);
-  node->dir_index = std::make_unique<DirIndex>();  // Empty directory aux.
-  return OkStatus();
-}
-
-Status ArckFs::Rmdir(const std::string& path) {
-  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 2));
-  Status status = RemoveEntry(parent.get(), parts.leaf, /*must_be_dir=*/true,
-                              /*must_be_file=*/false);
-  UnlockOp(parent.get());
-  return status;
-}
-
-Status ArckFs::Unlink(const std::string& path) {
-  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 2));
-  Status status = RemoveEntry(parent.get(), parts.leaf, /*must_be_dir=*/false,
-                              /*must_be_file=*/true);
-  UnlockOp(parent.get());
-  return status;
-}
-
-Status ArckFs::Rename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> rename_guard(rename_mutex_);
-  TRIO_ASSIGN_OR_RETURN(SplitParent src_parts, SplitParentPath(from));
-  TRIO_ASSIGN_OR_RETURN(SplitParent dst_parts, SplitParentPath(to));
-  TRIO_ASSIGN_OR_RETURN(NodePtr src_dir, ResolveDir(src_parts.parent));
-  TRIO_ASSIGN_OR_RETURN(NodePtr dst_dir, ResolveDir(dst_parts.parent));
-  const bool same_dir = src_dir->ino == dst_dir->ino;
-
-  TRIO_RETURN_IF_ERROR(LockForOp(src_dir.get(), 2));
-  if (!same_dir) {
-    Status locked = LockForOp(dst_dir.get(), 2);
-    if (!locked.ok()) {
-      UnlockOp(src_dir.get());
-      return locked;
-    }
-  }
-  auto unlock_all = [&] {
-    if (!same_dir) {
-      UnlockOp(dst_dir.get());
-    }
-    UnlockOp(src_dir.get());
-  };
-
-  Result<DirSlot> src_slot = FindEntry(src_dir.get(), src_parts.leaf);
-  if (!src_slot.ok()) {
-    unlock_all();
-    return src_slot.status();
-  }
-  DirentBlock* src = SlotPointer(*src_slot);
-
-  // Cross-directory rename of a non-empty directory cannot pass I3 (§4.3); reject it
-  // up front — a documented ArckFS divergence from POSIX.
-  if (src_slot->is_dir && !same_dir) {
-    Result<uint64_t> live = CountDirents(pool_, src->first_index_page);
-    if (!live.ok() || *live != 0) {
-      unlock_all();
-      return NotSupported("cross-directory rename of a non-empty directory");
-    }
-  }
-
-  Result<DirSlot> dst_slot = FindEntry(dst_dir.get(), dst_parts.leaf);
-  const bool overwrite = dst_slot.ok();
-  if (overwrite) {
-    if (dst_slot->is_dir != src_slot->is_dir) {
-      unlock_all();
-      return dst_slot->is_dir ? IsDir(dst_parts.leaf) : NotDir(dst_parts.leaf);
-    }
-    if (dst_slot->is_dir) {
-      DirentBlock* dst = SlotPointer(*dst_slot);
-      Result<uint64_t> live = CountDirents(pool_, dst->first_index_page);
-      if (!live.ok() || *live != 0) {
-        unlock_all();
-        return NotEmpty(dst_parts.leaf);
-      }
-    }
-  }
-
-  UndoJournal& journal = JournalShard();
-  Status status = OkStatus();
-  Ino replaced_ino = kInvalidIno;
-  PageNumber replaced_chain = 0;
-
-  if (overwrite) {
-    DirentBlock* dst = SlotPointer(*dst_slot);
-    replaced_ino = dst->ino;
-    replaced_chain = dst->first_index_page;
-    const Ino moving_ino = src->ino;
-    std::lock_guard<SpinLock> journal_guard(journal.lock());
-    journal.Begin();
-    status = journal.LogPreImage(src, sizeof(DirentBlock));
-    if (status.ok()) {
-      status = journal.LogPreImage(dst, sizeof(DirentBlock));
-    }
-    if (status.ok()) {
-      journal.Activate();
-      DirentBlock moved = *src;
-      moved.SetName(dst_parts.leaf);
-      pool_.Write(dst, &moved, sizeof(moved));
-      pool_.Persist(dst, sizeof(moved));
-      pool_.Fence();
-      pool_.CommitStore64(&src->ino, kInvalidIno);
-      journal.Deactivate();
-    }
-    if (status.ok()) {
-      dst_dir->dir_index->Erase(dst_parts.leaf);
-      dst_dir->dir_index->Insert(
-          dst_parts.leaf,
-          DirSlot{dst_slot->page, dst_slot->slot, moving_ino, src_slot->is_dir});
-    }
-  } else {
-    // Claim a fresh slot in the destination directory under its tail lock, with both the
-    // old and new slots journaled, then tombstone the source.
-    bool placed = false;
-    for (int rounds = 0; rounds < 64 && !placed && status.ok(); ++rounds) {
-      size_t tails;
-      {
-        std::lock_guard<SpinLock> guard(dst_dir->tails_lock);
-        tails = dst_dir->dir_tails.size();
-      }
-      for (size_t i = 0; i < tails && !placed; ++i) {
-        FileNode::DirTail* tail;
-        {
-          std::lock_guard<SpinLock> guard(dst_dir->tails_lock);
-          tail = dst_dir->dir_tails[i].get();
-        }
-        if (tail->full.load(std::memory_order_relaxed)) {
-          continue;
-        }
-        std::lock_guard<SpinLock> page_guard(tail->lock);
-        auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(tail->page));
-        for (uint32_t s = 0; s < kDirentsPerPage && !placed; ++s) {
-          DirentBlock* dst = &page->slots[s];
-          if (!dst->IsFree()) {
-            continue;
-          }
-          std::lock_guard<SpinLock> journal_guard(journal.lock());
-          journal.Begin();
-          status = journal.LogPreImage(src, sizeof(DirentBlock));
-          if (status.ok()) {
-            status = journal.LogPreImage(dst, sizeof(DirentBlock));
-          }
-          if (!status.ok()) {
-            break;
-          }
-          journal.Activate();
-          DirentBlock moved = *src;
-          moved.SetName(dst_parts.leaf);
-          pool_.Write(dst, &moved, sizeof(moved));
-          pool_.Persist(dst, sizeof(moved));
-          pool_.Fence();
-          pool_.CommitStore64(&src->ino, kInvalidIno);
-          journal.Deactivate();
-          dst_dir->dir_index->Insert(dst_parts.leaf,
-                                     DirSlot{tail->page, s, moved.ino, src_slot->is_dir});
-          placed = true;
-        }
-        if (!placed) {
-          tail->full.store(true, std::memory_order_relaxed);
-        }
-      }
-      if (!placed && status.ok()) {
-        status = AppendDirDataPage(dst_dir.get());
-      }
-    }
-    if (!placed && status.ok()) {
-      status = NoSpace("no slot for rename target");
-    }
-  }
-
-  if (status.ok()) {
-    src_dir->dir_index->Erase(src_parts.leaf);
-    // Fix up the moved file's cached node: its dirent moved.
-    NodePtr moved_node = FindNode(src_slot->ino);
-    if (moved_node != nullptr) {
-      DirSlot now;
-      if (dst_dir->dir_index->Lookup(dst_parts.leaf, &now)) {
-        moved_node->dirent = SlotPointer(now);
-        moved_node->parent = dst_dir->ino;
-      }
-    }
-    // The replaced file is gone; recycle if it was still only leased to us.
-    if (replaced_ino != kInvalidIno) {
-      const InoState state = kernel_.StateOfIno(replaced_ino);
-      if (state.state == ResourceState::kLeased && state.lessee == libfs_) {
-        (void)ForEachIndexPage(pool_, replaced_chain, [&](PageNumber p) -> Status {
-          leases_.RecyclePage(p);
-          return OkStatus();
-        });
-        (void)ForEachDataPage(pool_, replaced_chain,
-                              [&](uint64_t, PageNumber p) -> Status {
-                                leases_.RecyclePage(p);
-                                return OkStatus();
-                              });
-        leases_.RecycleIno(replaced_ino);
-      }
-      DropNode(replaced_ino);
-    }
-  }
-  unlock_all();
-  return status;
-}
-
-Result<StatInfo> ArckFs::Stat(const std::string& path) {
-  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
-  if (components.empty()) {
-    const DirentBlock& root = SuperblockOf(pool_)->root;
-    StatInfo info{root.ino, root.mode, root.uid, root.gid,
-                  root.size, root.mtime_ns, root.ctime_ns};
-    return info;
-  }
-  SplitParent parts;
-  parts.leaf = std::move(components.back());
-  components.pop_back();
-  parts.parent = std::move(components);
-
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 1));
-  Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
-  Status failed = slot.ok() ? OkStatus() : slot.status();
-  StatInfo info;
-  if (slot.ok()) {
-    const DirentBlock* d = SlotPointer(*slot);
-    info = StatInfo{d->ino, d->mode, d->uid, d->gid, d->size, d->mtime_ns, d->ctime_ns};
-  }
-  UnlockOp(parent.get());
-  if (!failed.ok()) {
-    return failed;
-  }
-  return info;
-}
-
-Result<std::vector<DirEntryInfo>> ArckFs::ReadDir(const std::string& path) {
-  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr node, ResolveDir(components));
-  TRIO_RETURN_IF_ERROR(LockForOp(node.get(), 1));
-  std::vector<DirEntryInfo> entries;
-  node->dir_index->ForEach([&](const std::string& name, const DirSlot& slot) {
-    entries.push_back(DirEntryInfo{name, slot.ino, slot.is_dir});
-  });
-  UnlockOp(node.get());
-  return entries;
-}
-
-Status ArckFs::Truncate(const std::string& path, uint64_t size) {
-  TRIO_ASSIGN_OR_RETURN(NodePtr node, OpenNodeByPath(path, /*write=*/true));
-  if (node->is_dir) {
-    return IsDir(path);
-  }
-  TRIO_RETURN_IF_ERROR(LockForOp(node.get(), 2));
-  Status status = TruncateLocked(node.get(), size);
-  UnlockOp(node.get());
-  return status;
-}
-
-Status ArckFs::Chmod(const std::string& path, uint32_t perm) {
-  TRIO_ASSIGN_OR_RETURN(SplitParent parts, SplitParentPath(path));
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 1));
-  Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
-  UnlockOp(parent.get());
-  if (!slot.ok()) {
-    return slot.status();
-  }
-  // Permission changes go through the kernel controller: the shadow inode is the ground
-  // truth the verifier trusts (I4, §4.3).
-  TRIO_RETURN_IF_ERROR(EnsureReconciled(slot->ino));
-  return kernel_.Chmod(libfs_, slot->ino, perm);
-}
-
-Status ArckFs::ReleaseFile(const std::string& path) {
-  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
-  if (components.empty()) {
-    RevokeNode(kRootIno);
-    return OkStatus();
-  }
-  SplitParent parts;
-  parts.leaf = std::move(components.back());
-  components.pop_back();
-  parts.parent = std::move(components);
-  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 1));
-  Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
-  UnlockOp(parent.get());
-  if (!slot.ok()) {
-    return slot.status();
-  }
-  RevokeNode(slot->ino);
-  return OkStatus();
-}
-
-Status ArckFs::Commit(const std::string& path) {
-  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
-  Ino ino = kRootIno;
-  if (!components.empty()) {
-    SplitParent parts;
-    parts.leaf = std::move(components.back());
-    components.pop_back();
-    parts.parent = std::move(components);
-    TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
-    TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), 1));
-    Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
-    UnlockOp(parent.get());
-    if (!slot.ok()) {
-      return slot.status();
-    }
-    ino = slot->ino;
-  }
-  TRIO_RETURN_IF_ERROR(EnsureReconciled(ino));
-  return kernel_.CommitFile(libfs_, ino);
-}
-
-Status ArckFs::EnsureReconciled(Ino ino) {
-  NodePtr node = FindNode(ino);
-  if (node != nullptr && node->locally_created) {
-    // Committing the parent directory verifies it and registers our fresh children with
-    // the kernel (we remain their writer).
-    TRIO_RETURN_IF_ERROR(kernel_.CommitFile(libfs_, node->parent));
-    node->locally_created = false;
-  }
-  return OkStatus();
 }
 
 }  // namespace trio

@@ -37,6 +37,7 @@
 #include "src/libfs/journal.h"
 #include "src/libfs/lease_cache.h"
 #include "src/libfs/radix_tree.h"
+#include "src/obs/stats.h"
 
 namespace trio {
 
@@ -66,15 +67,32 @@ struct ArckFsConfig {
   std::function<bool(Ino, const Status&)> fix_corruption;
 };
 
+// Registered into obs::StatRegistry under layer "libfs" (summed across instances).
 struct LibFsStats {
-  std::atomic<uint64_t> rebuilds{0};
-  std::atomic<uint64_t> rebuild_ns{0};
-  std::atomic<uint64_t> reads{0};
-  std::atomic<uint64_t> writes{0};
-  std::atomic<uint64_t> creates{0};
-  std::atomic<uint64_t> unlinks{0};
-  std::atomic<uint64_t> lookups{0};
-  std::atomic<uint64_t> revocations{0};
+  obs::Counter rebuilds;
+  obs::Counter rebuild_ns;
+  obs::Counter reads;
+  obs::Counter writes;
+  obs::Counter creates;
+  obs::Counter unlinks;
+  obs::Counter lookups;
+  obs::Counter revocations;
+  // Cumulative ns ops spent waiting in LockForOp, attributed per-op when tracing is on.
+  obs::Counter lock_wait_ns;
+
+  LibFsStats()
+      : reg_("libfs", {{"rebuilds", &rebuilds},
+                       {"rebuild_ns", &rebuild_ns},
+                       {"reads", &reads},
+                       {"writes", &writes},
+                       {"creates", &creates},
+                       {"unlinks", &unlinks},
+                       {"lookups", &lookups},
+                       {"revocations", &revocations},
+                       {"lock_wait_ns", &lock_wait_ns}}) {}
+
+ private:
+  obs::ScopedRegistration reg_;
 };
 
 class ArckFs : public FsInterface {
@@ -173,10 +191,13 @@ class ArckFs : public FsInterface {
   Status EnsureMapped(FileNode* node, bool write);
   // Acquire op_lock shared and confirm the mapping is still live at `level` (1=read,
   // 2=write); retries via EnsureMapped on staleness. Returns with op_lock held shared.
+  // When an OpContext is active, the wait is charged to its lock_wait_ns counter.
   Status LockForOp(FileNode* node, int level);
   void UnlockOp(FileNode* node) { node->op_lock.unlock_shared(); }
   // Revoker-side: quiesce, unmap, drop auxiliary state.
   void RevokeNode(Ino ino);
+  // The LockForOp acquisition loop (no instrumentation; LockForOp wraps it).
+  Status AcquireOpLock(FileNode* node, int level);
 
   // ---- Path resolution ----
   // Virtual so customized LibFSes can replace the strategy: FPFS swaps the per-component
@@ -192,7 +213,11 @@ class ArckFs : public FsInterface {
   DirentBlock* SlotPointer(const DirSlot& slot);
 
   // ---- Regular-file data path (callers hold file op_lock shared + suitable map) ----
-  Result<size_t> WriteLocked(FileNode* node, const void* buf, size_t count, uint64_t offset);
+  // `append` computes the write offset from the file size UNDER the exclusive inode lock
+  // (the only race-free place; O_APPEND correctness depends on it) and reports the offset
+  // actually used through `offset_used`.
+  Result<size_t> WriteLocked(FileNode* node, const void* buf, size_t count, uint64_t offset,
+                             bool append = false, uint64_t* offset_used = nullptr);
   Result<size_t> ReadLocked(FileNode* node, void* buf, size_t count, uint64_t offset);
   Status TruncateLocked(FileNode* node, uint64_t new_size);
 
@@ -208,9 +233,10 @@ class ArckFs : public FsInterface {
   // Copies with optional delegation: a non-null `batch` queues the chunk into the
   // current operation's DelegationBatch (submitted + fenced once per node at the end of
   // the op); null copies inline. `persist` = flush the written lines now (the
-  // synchronous-data mode); relaxed mode records dirty pages instead.
+  // synchronous-data mode) through `span`, whose fence the caller issues after the loop;
+  // relaxed mode records dirty pages instead.
   void CopyToNvm(char* dst, const char* src, size_t len, DelegationBatch* batch,
-                 bool persist);
+                 bool persist, obs::PersistSpan* span);
   // Relaxed-data mode: persist everything this node dirtied since the last flush.
   void FlushDirtyData(FileNode* node);
   void CopyFromNvm(char* dst, const char* src, size_t len, DelegationBatch* batch);
@@ -234,6 +260,8 @@ class ArckFs : public FsInterface {
   LeaseCache leases_;
   FdTable<FileNode> fds_;
   LibFsStats stats_;
+  // Persistence accounting for every PersistSpan this LibFS opens (layer "libfs").
+  obs::PersistStats persist_stats_{"libfs"};
 
   std::mutex nodes_mutex_;
   std::unordered_map<Ino, NodePtr> nodes_;

@@ -3,6 +3,9 @@
 // Protocol: Begin -> LogPreImage* -> Activate (persist barrier) -> mutate core state ->
 // Deactivate. Crash with an active journal means the mutation may be torn; the LibFS's
 // recovery program (§4.4) calls Recover to copy the pre-images back.
+//
+// All journal persistence goes through obs::PersistSpan; the optional PersistStats passed
+// at construction attributes the journal's fences to the owning layer ("libfs").
 
 #ifndef SRC_LIBFS_JOURNAL_H_
 #define SRC_LIBFS_JOURNAL_H_
@@ -13,17 +16,20 @@
 #include "src/common/spinlock.h"
 #include "src/common/status.h"
 #include "src/nvm/nvm.h"
+#include "src/obs/persist_span.h"
 
 namespace trio {
 
 class UndoJournal {
  public:
-  // `page` is an NVM page leased to this LibFS. One UndoJournal per CPU shard.
-  UndoJournal(NvmPool& pool, PageNumber page) : pool_(pool), page_(page) {
+  // `page` is an NVM page leased to this LibFS. One UndoJournal per CPU shard. `stats`
+  // (not owned, may be null) receives the persistence accounting.
+  UndoJournal(NvmPool& pool, PageNumber page, obs::PersistStats* stats = nullptr)
+      : pool_(pool), page_(page), stats_(stats) {
     auto* header = Header();
     pool_.Store64(&header->active, 0);
     pool_.Store64(&header->used, sizeof(JournalHeader));
-    pool_.PersistNow(header, sizeof(JournalHeader));
+    obs::PersistSpan(pool_, stats_).PersistNow(header, sizeof(JournalHeader));
   }
 
   PageNumber page() const { return page_; }
@@ -36,6 +42,7 @@ class UndoJournal {
   }
 
   // Copies len bytes at `nvm_addr` (pool address) into the journal as an undo record.
+  // The records are made durable by Activate()'s barrier, not here.
   Status LogPreImage(const void* nvm_addr, uint32_t len) {
     auto* header = Header();
     const uint64_t used = pool_.Load64(&header->used);
@@ -51,31 +58,35 @@ class UndoJournal {
     r.reserved = 0;
     pool_.Write(record, &r, sizeof(Record));
     pool_.Write(base + used + sizeof(Record), nvm_addr, len);
-    pool_.Persist(base + used, need);
+    obs::PersistSpan span(pool_, stats_);
+    span.Persist(base + used, need);
     pool_.Store64(&header->used, used + need);
-    pool_.Persist(&header->used, sizeof(header->used));
+    span.Persist(&header->used, sizeof(header->used));
+    span.Disarm();  // Activate() supplies the ordering fence for all records at once.
     return OkStatus();
   }
 
   // Persist barrier, then mark the journal active. After this returns, a crash replays.
   void Activate() {
-    pool_.Fence();
+    obs::PersistSpan span(pool_, stats_);
+    span.ForceFence();  // Commit every record LogPreImage left pending.
     auto* header = Header();
-    pool_.CommitStore64(&header->active, 1);
+    span.CommitStore64(&header->active, 1);
   }
 
   // The guarded mutation is fully persisted; discard the undo records.
   void Deactivate() {
     auto* header = Header();
-    pool_.CommitStore64(&header->active, 0);
+    obs::PersistSpan(pool_, stats_).CommitStore64(&header->active, 0);
   }
 
   // Recovery program body: undo a torn mutation, if any. Returns true if it replayed.
-  bool Recover() { return RecoverPage(pool_, page_); }
+  bool Recover() { return RecoverPage(pool_, page_, stats_); }
 
   // Static form: replay a journal page from a previous incarnation without resetting it
   // first (the constructor resets; recovery must not).
-  static bool RecoverPage(NvmPool& pool, PageNumber page) {
+  static bool RecoverPage(NvmPool& pool, PageNumber page,
+                          obs::PersistStats* stats = nullptr) {
     char* base = pool.PageAddress(page);
     auto* header = reinterpret_cast<JournalHeader*>(base);
     if (pool.Load64(&header->active) == 0) {
@@ -83,6 +94,7 @@ class UndoJournal {
     }
     const uint64_t used = pool.Load64(&header->used);
     uint64_t cursor = sizeof(JournalHeader);
+    obs::PersistSpan span(pool, stats);
     while (cursor + sizeof(Record) <= used && used <= kPageSize) {
       const auto* record = reinterpret_cast<const Record*>(base + cursor);
       if (cursor + sizeof(Record) + record->len > used) {
@@ -90,11 +102,11 @@ class UndoJournal {
       }
       pool.Write(pool.base() + record->pool_offset, base + cursor + sizeof(Record),
                  record->len);
-      pool.Persist(pool.base() + record->pool_offset, record->len);
+      span.Persist(pool.base() + record->pool_offset, record->len);
       cursor += sizeof(Record) + record->len;
     }
-    pool.Fence();
-    pool.CommitStore64(&header->active, 0);
+    span.Fence();
+    span.CommitStore64(&header->active, 0);
     return true;
   }
 
@@ -115,6 +127,7 @@ class UndoJournal {
 
   NvmPool& pool_;
   PageNumber page_;
+  obs::PersistStats* stats_;
   SpinLock lock_;
 };
 

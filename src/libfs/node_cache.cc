@@ -1,0 +1,204 @@
+// ArckFs node + mapping machinery: the in-DRAM FileNode table, kernel map/unmap
+// handshakes, the op-lock acquisition protocol, revocation, and auxiliary-state rebuild.
+
+#include <thread>
+
+#include "src/libfs/arckfs.h"
+#include "src/libfs/arckfs_internal.h"
+#include "src/obs/op_context.h"
+
+namespace trio {
+
+ArckFs::NodePtr ArckFs::GetOrCreateNode(Ino ino, Ino parent, bool is_dir,
+                                        DirentBlock* dirent) {
+  std::lock_guard<std::mutex> guard(nodes_mutex_);
+  auto it = nodes_.find(ino);
+  if (it != nodes_.end()) {
+    if (dirent != nullptr && it->second->dirent == nullptr) {
+      it->second->dirent = dirent;
+    }
+    return it->second;
+  }
+  auto node = std::make_shared<FileNode>();
+  node->ino = ino;
+  node->parent = parent;
+  node->is_dir = is_dir;
+  node->dirent = dirent;
+  nodes_[ino] = node;
+  return node;
+}
+
+ArckFs::NodePtr ArckFs::FindNode(Ino ino) {
+  std::lock_guard<std::mutex> guard(nodes_mutex_);
+  auto it = nodes_.find(ino);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+void ArckFs::DropNode(Ino ino) {
+  std::lock_guard<std::mutex> guard(nodes_mutex_);
+  nodes_.erase(ino);
+}
+
+Status ArckFs::EnsureMapped(FileNode* node, bool write) {
+  obs::TraceSpan span("EnsureMapped");
+  std::lock_guard<std::mutex> guard(node->map_mutex);
+  const int need = write ? 2 : 1;
+  if (!node->stale.load(std::memory_order_acquire) &&
+      node->map_state.load(std::memory_order_acquire) >= need) {
+    return OkStatus();
+  }
+  const bool was_unmapped =
+      node->map_state.load(std::memory_order_relaxed) == 0 || node->stale.load();
+  TRIO_ASSIGN_OR_RETURN(MapInfo info,
+                        kernel_.MapFile(libfs_, node->parent, node->ino, write));
+  if (info.dirent_page == 0) {
+    node->dirent = &SuperblockOf(pool_)->root;
+  } else {
+    auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(info.dirent_page));
+    node->dirent = &page->slots[info.dirent_slot];
+  }
+  if (was_unmapped) {
+    TRIO_RETURN_IF_ERROR(RebuildAux(node));
+  }
+  node->stale.store(false, std::memory_order_release);
+  node->map_state.store(info.writable ? 2 : 1, std::memory_order_release);
+  return OkStatus();
+}
+
+Status ArckFs::AcquireOpLock(FileNode* node, int level) {
+  for (int attempt = 0;; ++attempt) {
+    if (node->stale.load(std::memory_order_acquire) ||
+        node->map_state.load(std::memory_order_acquire) < level) {
+      TRIO_RETURN_IF_ERROR(EnsureMapped(node, level == 2));
+    }
+    node->op_lock.lock_shared();
+    if (!node->stale.load(std::memory_order_acquire) &&
+        node->map_state.load(std::memory_order_acquire) >= level) {
+      return OkStatus();
+    }
+    node->op_lock.unlock_shared();
+    if (attempt > 1000) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Status ArckFs::LockForOp(FileNode* node, int level) {
+  auto* op = obs::OpContext::Current();
+  if (TRIO_OBS_UNLIKELY(op != nullptr)) {
+    obs::TraceSpan span("LockForOp");
+    const uint64_t t0 = obs::MonotonicNowNs();
+    Status status = AcquireOpLock(node, level);
+    const uint64_t waited = obs::MonotonicNowNs() - t0;
+    op->counters.lock_wait_ns.fetch_add(waited, std::memory_order_relaxed);
+    stats_.lock_wait_ns.fetch_add(waited);
+    return status;
+  }
+  return AcquireOpLock(node, level);
+}
+
+void ArckFs::RevokeNode(Ino ino) {
+  NodePtr node = FindNode(ino);
+  if (node == nullptr) {
+    (void)kernel_.UnmapFile(libfs_, ino);
+    return;
+  }
+  std::lock_guard<std::mutex> guard(node->map_mutex);
+  node->stale.store(true, std::memory_order_release);
+  node->op_lock.lock();  // Drain in-flight operations.
+  if (!config_.sync_data && !node->is_dir) {
+    FlushDirtyData(node.get());  // Shared data must be durable before the handoff.
+  }
+  if (node->locally_created) {
+    // The kernel only learns about files we created when the parent directory is
+    // verified; reconcile it now so the unmap below targets a known record. Harmless if
+    // the parent was already released (the kernel reconciled it then).
+    (void)kernel_.CommitFile(libfs_, node->parent);
+  }
+  if (node->map_state.load(std::memory_order_relaxed) != 0 || node->locally_created) {
+    (void)kernel_.UnmapFile(libfs_, ino);
+  }
+  // Drop auxiliary state; it is rebuilt from the (possibly verified-and-rolled-back) core
+  // state on the next access.
+  node->radix.Clear();
+  node->index_pages.clear();
+  node->reuse_pages.clear();
+  node->dir_index.reset();
+  node->dir_tails.clear();
+  node->dir_index_pages.clear();
+  node->dir_next_entry = 0;
+  node->locally_created = false;
+  node->map_state.store(0, std::memory_order_release);
+  node->op_lock.unlock();
+  node->stale.store(false, std::memory_order_release);
+  stats_.revocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status ArckFs::RebuildAux(FileNode* node) {
+  obs::TraceSpan span("RebuildAux");
+  const uint64_t t0 = kernel_.clock()->NowNs();
+  TRIO_CHECK(node->dirent != nullptr);
+  const PageNumber first = node->dirent->first_index_page;
+
+  if (!node->is_dir) {
+    node->radix.Clear();
+    node->index_pages.clear();
+    node->reuse_pages.clear();
+    TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber p) -> Status {
+      node->index_pages.push_back(p);
+      return OkStatus();
+    }));
+    TRIO_RETURN_IF_ERROR(
+        ForEachDataPage(pool_, first, [&](uint64_t index, PageNumber p) -> Status {
+          node->radix.Insert(index, p);
+          return OkStatus();
+        }));
+  } else {
+    node->dir_index = std::make_unique<DirIndex>();
+    node->dir_tails.clear();
+    node->dir_tail_index.clear();
+    node->dir_first_nonfull.store(0, std::memory_order_relaxed);
+    node->dir_index_pages.clear();
+    node->dir_next_entry = 0;
+    TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first, [&](PageNumber p) -> Status {
+      node->dir_index_pages.push_back(p);
+      return OkStatus();
+    }));
+    TRIO_RETURN_IF_ERROR(
+        ForEachDataPage(pool_, first, [&](uint64_t, PageNumber p) -> Status {
+          auto tail = std::make_unique<FileNode::DirTail>();
+          tail->page = p;
+          auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(p));
+          uint32_t live = 0;
+          for (uint32_t s = 0; s < kDirentsPerPage; ++s) {
+            const DirentBlock& d = page->slots[s];
+            if (d.IsFree()) {
+              continue;
+            }
+            ++live;
+            node->dir_index->Insert(d.Name(),
+                                    DirSlot{p, s, d.ino, d.IsDirectory()});
+          }
+          tail->full.store(live == kDirentsPerPage, std::memory_order_relaxed);
+          node->dir_tail_index[p] = node->dir_tails.size();
+          node->dir_tails.push_back(std::move(tail));
+          return OkStatus();
+        }));
+    if (!node->dir_index_pages.empty()) {
+      const auto* last =
+          reinterpret_cast<const IndexPage*>(pool_.PageAddress(node->dir_index_pages.back()));
+      size_t used = 0;
+      for (size_t i = 0; i < kIndexEntriesPerPage; ++i) {
+        if (last->entries[i] != 0) {
+          used = i + 1;
+        }
+      }
+      node->dir_next_entry = used;
+    }
+  }
+  stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+  stats_.rebuild_ns.fetch_add(kernel_.clock()->NowNs() - t0, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+}  // namespace trio

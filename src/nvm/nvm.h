@@ -31,6 +31,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/random.h"
+#include "src/obs/stats.h"
 
 namespace trio {
 
@@ -54,12 +55,19 @@ enum class NvmMode {
   kTracking,  // Shadow-copy persistence tracking. For crash-consistency tests.
 };
 
-// Statistics the cost models and benches read. Relaxed atomics; cheap enough to keep on.
+// Statistics the cost models and benches read. Relaxed counters; cheap enough to keep
+// on. Registered into obs::StatRegistry under layer "nvm" (summed across pools).
 struct NvmStats {
-  std::atomic<uint64_t> bytes_written{0};
-  std::atomic<uint64_t> bytes_read{0};
-  std::atomic<uint64_t> lines_flushed{0};
-  std::atomic<uint64_t> fences{0};
+  obs::Counter bytes_written;
+  obs::Counter bytes_read;
+  obs::Counter lines_flushed;
+  obs::Counter fences;
+
+  NvmStats()
+      : reg_("nvm", {{"bytes_written", &bytes_written},
+                     {"bytes_read", &bytes_read},
+                     {"lines_flushed", &lines_flushed},
+                     {"fences", &fences}}) {}
 
   void Reset() {
     bytes_written = 0;
@@ -67,6 +75,9 @@ struct NvmStats {
     lines_flushed = 0;
     fences = 0;
   }
+
+ private:
+  obs::ScopedRegistration reg_;
 };
 
 class NvmPool {

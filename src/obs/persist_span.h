@@ -1,0 +1,129 @@
+// PersistSpan: the single instrumented gateway between the file-system layers and
+// NvmPool's persistence primitives. Every Persist/PersistNow/Fence/CommitStore64 outside
+// src/nvm goes through one of these (grep-enforced by obs_test), so fence counting,
+// fence coalescing, and per-op attribution live in exactly one place — and the torn-
+// persist / bit-flip fault points armed inside NvmPool fire under a span whose op id is
+// known.
+//
+// Coalescing invariant: in this NVM model an sfence only commits cachelines that had a
+// clwb (Persist) issued since the last fence. A Fence() with no persists pending through
+// this span is therefore a durability no-op and is skipped (counted as coalesced). A span
+// NEVER skips a fence when it has issued persists; the destructor issues a closing fence
+// if any persists are still pending, so dropping a span cannot lose durability.
+//
+// Disarm() exists for the delegation last-completer protocol: a worker that is not the
+// last completer of a batch-node group hands its pending persists to the completer's
+// single fence and must not fence in its own destructor.
+
+#ifndef SRC_OBS_PERSIST_SPAN_H_
+#define SRC_OBS_PERSIST_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/nvm/nvm.h"
+#include "src/obs/op_context.h"
+#include "src/obs/stats.h"
+
+namespace trio {
+namespace obs {
+
+class PersistSpan {
+ public:
+  explicit PersistSpan(NvmPool& pool, PersistStats* stats = nullptr)
+      : pool_(pool), stats_(stats), op_(OpContext::Current()) {}
+
+  ~PersistSpan() {
+    if (pending_) {
+      IssueFence();
+    }
+  }
+
+  PersistSpan(const PersistSpan&) = delete;
+  PersistSpan& operator=(const PersistSpan&) = delete;
+
+  // clwb over [dst, dst+len). Marks the span pending: a fence must follow (the
+  // destructor supplies one if the caller forgets).
+  void Persist(const void* dst, size_t len) {
+    pool_.Persist(dst, len);
+    pending_ = true;
+    Account(len);
+  }
+
+  // sfence — issued only if this span has pending persists, else counted as coalesced.
+  void Fence() {
+    if (pending_) {
+      IssueFence();
+    } else if (stats_ != nullptr) {
+      stats_->coalesced_fences.fetch_add(1);
+    }
+  }
+
+  // Persist + guaranteed fence (uncoalescible: callers use this when the fence must
+  // order against a subsequent store even within the span).
+  void PersistNow(const void* dst, size_t len) {
+    pool_.Persist(dst, len);
+    pending_ = true;
+    Account(len);
+    IssueFence();
+  }
+
+  // Store64 + Persist + Fence: the 8-byte atomic durable commit. Any persists pending in
+  // the span ride the commit's fence.
+  void CommitStore64(uint64_t* dst, uint64_t value) {
+    pool_.Store64(dst, value);
+    pool_.Persist(dst, sizeof(uint64_t));
+    pending_ = true;
+    Account(sizeof(uint64_t));
+    IssueFence();
+    if (stats_ != nullptr) {
+      stats_->commit_stores.fetch_add(1);
+    }
+  }
+
+  // Drop pending persists without fencing: the caller has transferred responsibility for
+  // the fence to someone else (delegation last-completer groups).
+  void Disarm() { pending_ = false; }
+
+  // Unconditional sfence, even with nothing pending in THIS span: the dual of Disarm(),
+  // for the party that fences on behalf of persists other spans issued (the last
+  // completer of a delegation batch-node group).
+  void ForceFence() {
+    pending_ = true;
+    IssueFence();
+  }
+
+  bool pending() const { return pending_; }
+
+ private:
+  void Account(size_t len) {
+    if (stats_ != nullptr) {
+      stats_->persists.fetch_add(1);
+      stats_->bytes_persisted.fetch_add(len);
+    }
+    if (TRIO_OBS_UNLIKELY(op_ != nullptr)) {
+      op_->counters.bytes_persisted.fetch_add(len, std::memory_order_relaxed);
+    }
+  }
+
+  void IssueFence() {
+    pool_.Fence();
+    pending_ = false;
+    if (stats_ != nullptr) {
+      stats_->fences.fetch_add(1);
+    }
+    if (TRIO_OBS_UNLIKELY(op_ != nullptr)) {
+      op_->counters.fences.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  NvmPool& pool_;
+  PersistStats* stats_;
+  OpContext* op_;
+  bool pending_ = false;
+};
+
+}  // namespace obs
+}  // namespace trio
+
+#endif  // SRC_OBS_PERSIST_SPAN_H_

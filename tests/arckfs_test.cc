@@ -485,5 +485,104 @@ TEST_F(ArckFsTest, CommitRefreshesCheckpoint) {
   EXPECT_TRUE(fs_->Commit("/cm").ok());
 }
 
+TEST_F(ArckFsTest, RenameOntoNonEmptyDirFails) {
+  ASSERT_TRUE(fs_->Mkdir("/empty").ok());
+  ASSERT_TRUE(fs_->Mkdir("/full").ok());
+  WriteFile("/full/f", "x");
+  EXPECT_TRUE(fs_->Rename("/empty", "/full").Is(ErrorCode::kNotEmpty));
+  // The failed rename must not have disturbed either directory.
+  EXPECT_TRUE(fs_->Stat("/empty")->IsDirectory());
+  EXPECT_EQ(ReadAll("/full/f"), "x");
+  // Once the destination is empty, the overwriting rename goes through.
+  ASSERT_TRUE(fs_->Unlink("/full/f").ok());
+  EXPECT_TRUE(fs_->Rename("/empty", "/full").ok());
+  EXPECT_TRUE(fs_->Stat("/empty").status().Is(ErrorCode::kNotFound));
+  EXPECT_TRUE(fs_->Stat("/full")->IsDirectory());
+}
+
+TEST_F(ArckFsTest, ConcurrentAppendsLoseNoRecords) {
+  // Regression for the O_APPEND lost-update race: the append offset must be derived from
+  // the durable size INSIDE the inode lock, not from a pre-lock read, or two appenders
+  // can land on the same offset and one record overwrites the other.
+  constexpr int kWriters = 2;
+  constexpr int kRecords = 64;
+  constexpr size_t kRecordSize = 100;
+  {
+    Result<Fd> fd = fs_->Open("/applog", OpenFlags::CreateRw());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->Close(*fd).ok());
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      OpenFlags flags = OpenFlags::ReadWrite();
+      flags.append = true;
+      Result<Fd> fd = fs_->Open("/applog", flags);
+      ASSERT_TRUE(fd.ok());
+      const std::string record(kRecordSize, static_cast<char>('a' + w));
+      for (int i = 0; i < kRecords; ++i) {
+        Result<size_t> n = fs_->Write(*fd, record.data(), record.size());
+        ASSERT_TRUE(n.ok());
+        ASSERT_EQ(*n, kRecordSize);
+      }
+      ASSERT_TRUE(fs_->Close(*fd).ok());
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  const std::string data = ReadAll("/applog");
+  ASSERT_EQ(data.size(), static_cast<size_t>(kWriters) * kRecords * kRecordSize);
+  // Every record landed whole: each record-sized slot is homogeneous, and each writer's
+  // full output is present.
+  size_t per_writer[kWriters] = {};
+  for (size_t off = 0; off < data.size(); off += kRecordSize) {
+    const char c = data[off];
+    ASSERT_GE(c, 'a');
+    ASSERT_LT(c, 'a' + kWriters);
+    for (size_t i = 1; i < kRecordSize; ++i) {
+      ASSERT_EQ(data[off + i], c) << "torn record at offset " << off + i;
+    }
+    ++per_writer[c - 'a'];
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(per_writer[w], static_cast<size_t>(kRecords)) << "writer " << w;
+  }
+}
+
+TEST_F(ArckFsTest, SharedFdCursorAdvancesByCompletedBytes) {
+  // Regression for the shared-fd cursor race: concurrent Write()s through one fd must
+  // advance the cursor with fetch_add of the completed byte count; a load→store update
+  // can lose a concurrent writer's advancement. With the fix the cursor equals the total
+  // bytes written no matter the interleaving, so a final probe write lands exactly there.
+  constexpr int kThreads = 2;
+  constexpr int kWritesPerThread = 500;
+  Result<Fd> fd = fs_->Open("/shared", OpenFlags::CreateRw());
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const char buf[4] = {'w', 'w', 'w', 'w'};
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        Result<size_t> n = fs_->Write(*fd, buf, sizeof(buf));
+        ASSERT_TRUE(n.ok());
+        ASSERT_EQ(*n, sizeof(buf));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const size_t total = static_cast<size_t>(kThreads) * kWritesPerThread * 4;
+  ASSERT_TRUE(fs_->Write(*fd, "PROBE", 5).ok());
+  Result<StatInfo> info = fs_->Stat("/shared");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, total + 5);
+  char probe[6] = {};
+  ASSERT_TRUE(fs_->Pread(*fd, probe, 5, total).ok());
+  EXPECT_STREQ(probe, "PROBE");
+  ASSERT_TRUE(fs_->Close(*fd).ok());
+}
+
 }  // namespace
 }  // namespace trio

@@ -213,6 +213,62 @@ TEST(CrashExplorerTest, AppendHeavyWorkloadCleanAtEveryFence) {
   EXPECT_EQ(explorer.stats().sampled_out.load(), 0u);
 }
 
+TEST(CrashExplorerTest, RenameWorkloadCleanAtEveryFence) {
+  // Satellite: rename-focused crash sweep. Same-directory rename, cross-directory
+  // rename, and an overwriting rename each run under the undo journal; crashing at any
+  // fence must leave every name holding a state some op prefix produced (old content,
+  // new content, or absent) — never a torn dirent or a doubly-linked ino.
+  CrashExplorerOptions options = SmallPoolOptions();
+  options.explore_recovery = true;
+  options.max_recovery_points = 2;
+  CrashExplorer explorer(options);
+
+  Result<CrashExplorerReport> report = explorer.Explore(
+      [](ArckFs& fs) {
+        TRIO_CHECK_OK(fs.Mkdir("/dir"));
+        WriteAll(fs, "/one", "first");
+        WriteAll(fs, "/two", "second");
+        TRIO_CHECK_OK(fs.Rename("/one", "/renamed"));      // Same-directory.
+        TRIO_CHECK_OK(fs.Rename("/renamed", "/dir/deep")); // Cross-directory.
+        TRIO_CHECK_OK(fs.Rename("/two", "/dir/deep"));     // Overwrite existing file.
+      },
+      [](ArckFs& fs) -> Status {
+        // The moving "first" payload exists under at most one of its three names.
+        int live = 0;
+        for (const char* path : {"/one", "/renamed"}) {
+          if (fs.Stat(path).ok()) {
+            ++live;
+            const std::string data = ReadAll(fs, path);
+            if (data != "" && data != "first") {
+              return Corrupted(std::string(path) + " holds torn content: " + data);
+            }
+          }
+        }
+        if (fs.Stat("/dir/deep").ok()) {
+          const std::string data = ReadAll(fs, "/dir/deep");
+          if (data == "first") {
+            ++live;
+          } else if (data != "" && data != "second") {
+            return Corrupted("/dir/deep holds torn content: " + data);
+          }
+        }
+        if (live > 1) {
+          return Corrupted("renamed file visible under multiple names");
+        }
+        if (fs.Stat("/two").ok()) {
+          const std::string data = ReadAll(fs, "/two");
+          if (data != "" && data != "second") {
+            return Corrupted("/two holds torn content: " + data);
+          }
+        }
+        return OkStatus();
+      });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->Clean()) << FirstFailure(*report);
+  EXPECT_GT(report->fences, 10u);
+  EXPECT_EQ(report->explored, report->fences + 1);
+}
+
 TEST(CrashExplorerTest, RecoveryIsIdempotentAtEveryInnerFence) {
   // Satellite: crash at each fence INSIDE RunRecovery, run recovery again, and require
   // convergence. The workload leaves a file write-mapped (never released) and a rename
