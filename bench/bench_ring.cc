@@ -1,0 +1,158 @@
+// Op-ring microbenchmarks: 4 KiB writes through the synchronous FsInterface path versus
+// the async submission ring at several depths. The NVM cost model charges a realistic
+// latency per fence (and per flushed line), so the group-commit epoch's fence coalescing
+// shows up as wall-time, not just counter deltas. Each benchmark also exports
+// fences_per_op / deferred_per_op counters (from the "libfs" StatRegistry layer), which
+// the CI smoke gate compares across depths: a deeper ring must fence strictly less often
+// per op. Run with --benchmark_out=BENCH_ring.json --benchmark_out_format=json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/core_state.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+#include "src/libfs/op_ring.h"
+
+namespace trio {
+namespace {
+
+constexpr size_t kPoolPages = 2048;
+// The write window: ops rotate over a preallocated file so the working set is fixed and
+// the pool never fills, however long the benchmark runs.
+constexpr size_t kFilePages = 64;
+
+// Approximate real-NVM costs (clwb ~tens of ns per line, sfence drain ~1 us under
+// load). kFast mode alone makes fences free, which would hide exactly the effect this
+// bench exists to measure.
+NvmCostModel BenchCostModel() {
+  NvmCostModel cost;
+  cost.fence_ns = 1000;
+  cost.flush_ns_per_line = 5;
+  return cost;
+}
+
+struct FsHarness {
+  explicit FsHarness(size_t ring_depth /* 0 = synchronous */) {
+    pool = std::make_unique<NvmPool>(kPoolPages, NvmMode::kFast);
+    TRIO_CHECK_OK(Format(*pool, FormatOptions{}));
+    kernel = std::make_unique<KernelController>(*pool);
+    TRIO_CHECK_OK(kernel->Mount());
+    ArckFsConfig config;
+    if (ring_depth > 0) {
+      config.ring.enabled = true;
+      config.ring.depth = ring_depth;
+    }
+    fs = std::make_unique<ArckFs>(*kernel, config);
+
+    // Preallocate the window before arming the cost model, so setup is not billed.
+    Result<Fd> opened = fs->Open("/bench", OpenFlags::CreateRw());
+    TRIO_CHECK(opened.ok());
+    fd = *opened;
+    const std::string page(kPageSize, 'w');
+    for (size_t i = 0; i < kFilePages; ++i) {
+      TRIO_CHECK(fs->Write(fd, page.data(), page.size()).ok());
+    }
+    pool->set_cost_model(BenchCostModel());
+  }
+
+  ~FsHarness() { pool->set_cost_model(NvmCostModel{}); }
+
+  std::unique_ptr<NvmPool> pool;
+  std::unique_ptr<KernelController> kernel;
+  std::unique_ptr<ArckFs> fs;
+  Fd fd = -1;
+};
+
+struct FenceProbe {
+  FenceProbe()
+      : fences(Value("fences")), deferred(Value("deferred_fences")) {}
+  static uint64_t Value(const char* counter) {
+    return obs::StatRegistry::Global().CounterValue("libfs", counter);
+  }
+  void Export(benchmark::State& state) const {
+    const double ops = static_cast<double>(state.iterations());
+    state.counters["fences_per_op"] = static_cast<double>(Value("fences") - fences) / ops;
+    state.counters["deferred_per_op"] =
+        static_cast<double>(Value("deferred_fences") - deferred) / ops;
+  }
+  uint64_t fences;
+  uint64_t deferred;
+};
+
+// ---- Synchronous baseline: every 4 KiB write fences on the submitting thread ----
+
+void BM_SyncWrite4K(benchmark::State& state) {
+  FsHarness harness(0);
+  const std::string block(kPageSize, 's');
+  size_t slot = 0;
+  FenceProbe probe;
+  for (auto _ : state) {
+    const uint64_t offset = (slot++ % kFilePages) * kPageSize;
+    const Result<size_t> n =
+        harness.fs->Pwrite(harness.fd, block.data(), block.size(), offset);
+    TRIO_CHECK(n.ok() && *n == kPageSize);
+  }
+  probe.Export(state);
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_SyncWrite4K)->UseRealTime();
+
+// ---- Ring: bursts of `depth` writes share one drain pass and one epoch fence ----
+
+void BM_RingWrite4K(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  FsHarness harness(depth);
+  OpRingEngine* ring = harness.fs->ring_engine();
+  const std::string block(kPageSize, 'r');
+  std::vector<Sqe> burst(depth);
+  size_t pending = 0;
+  size_t slot = 0;
+  FenceProbe probe;
+  for (auto _ : state) {
+    Sqe& sqe = burst[pending++];
+    sqe.op = Sqe::Op::kPwrite;
+    sqe.fd = harness.fd;
+    sqe.buf = block.data();
+    sqe.len = kPageSize;
+    sqe.offset = (slot++ % kFilePages) * kPageSize;
+    if (pending == depth) {
+      ring->SubmitBurst(burst.data(), pending);
+      ring->WaitIdle();
+      pending = 0;
+    }
+  }
+  if (pending > 0) {
+    ring->SubmitBurst(burst.data(), pending);
+    ring->WaitIdle();
+  }
+  probe.Export(state);
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_RingWrite4K)
+    ->ArgNames({"depth"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace trio
+
+// Expanded BENCHMARK_MAIN so the per-layer StatRegistry breakdown rides along with the
+// benchmark's own JSON output.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  trio::bench::EmitLayerStats("bench_ring");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""CI gate for the op-ring group-commit bench.
+
+Reads a bench_ring --benchmark_out JSON and checks the coalescing property the ring
+exists for: fences per 4 KiB write at depth 8 must be strictly lower than at depth 1
+(one epoch close per drain pass, so deeper passes amortize the fence). Wall-clock is
+deliberately NOT gated — it varies with core count and scheduler; the fence counters
+are deterministic.
+
+Usage: check_ring_bench.py <bench_ring.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    fences_per_op = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "RingWrite4K" not in name or "fences_per_op" not in bench:
+            continue
+        for token in name.split("/"):
+            if token.startswith("depth:"):
+                fences_per_op[int(token.split(":")[1])] = bench["fences_per_op"]
+
+    missing = [d for d in (1, 8) if d not in fences_per_op]
+    if missing:
+        print(f"FAIL: no RingWrite4K result for depth(s) {missing} in {sys.argv[1]}")
+        return 1
+
+    d1, d8 = fences_per_op[1], fences_per_op[8]
+    if d1 <= 0 or d8 <= 0:
+        print(f"FAIL: degenerate fence counters (depth1={d1}, depth8={d8})")
+        return 1
+    if not d8 < d1:
+        print(f"FAIL: depth-8 fences/op ({d8:.4f}) not lower than depth-1 ({d1:.4f}) "
+              "- group-commit coalescing is broken")
+        return 1
+
+    print(f"OK: fences/op depth1={d1:.4f} depth8={d8:.4f} ({d1 / d8:.1f}x coalescing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

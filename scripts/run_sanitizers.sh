@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the concurrency-heavy test binaries (delegation pool, callback watchdog, crash
-# explorer) under ThreadSanitizer and AddressSanitizer and runs a smoke subset of each.
+# explorer, op-ring drainer) under ThreadSanitizer and AddressSanitizer and runs a smoke
+# subset of each.
 # Usage: scripts/run_sanitizers.sh [thread|address]   (default: both, thread first)
 set -euo pipefail
 
@@ -15,18 +16,27 @@ fi
 # (parking/wakeup/stealing, worker-fault retry, watchdog abandonment, explorer reboots).
 delegation_filter='DelegationFaultTest.*:DelegationTest.ConcurrentStandaloneSubmitsFromManyThreads:DelegationTest.*Park*:DelegationTest.*Steal*:DelegationTest.*Batch*'
 explorer_filter='FaultSimKernelTest.*:CrashExplorerTest.AppendHeavyWorkloadCleanAtEveryFence'
+# Every OpRingTest crosses the submitter/drainer boundary (SPSC rings, park/wake, epoch
+# close before CQE post) — exactly what TSan needs to see; SpscRingTest adds the raw
+# two-thread ring in isolation.
+ring_filter='OpRingTest.*'
+spsc_filter='SpscRingTest.*'
 
 for san in "${sanitizers[@]}"; do
   build="$repo/build-$san"
   echo "== TRIO_SANITIZE=$san: configuring $build =="
   cmake -B "$build" -S "$repo" -DTRIO_SANITIZE="$san" >/dev/null
-  cmake --build "$build" -j2 --target delegation_test crash_explorer_test
+  cmake --build "$build" -j2 --target delegation_test crash_explorer_test op_ring_test common_test
 
   echo "== TRIO_SANITIZE=$san: delegation_test =="
   "$build/tests/delegation_test" --gtest_filter="$delegation_filter" --gtest_brief=1
 
   echo "== TRIO_SANITIZE=$san: crash_explorer_test =="
   "$build/tests/crash_explorer_test" --gtest_filter="$explorer_filter" --gtest_brief=1
+
+  echo "== TRIO_SANITIZE=$san: op_ring_test =="
+  "$build/tests/op_ring_test" --gtest_filter="$ring_filter" --gtest_brief=1
+  "$build/tests/common_test" --gtest_filter="$spsc_filter" --gtest_brief=1
 done
 
 echo "== sanitizer sweep passed: ${sanitizers[*]} =="

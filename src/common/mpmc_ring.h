@@ -1,6 +1,14 @@
 // Bounded multi-producer multi-consumer ring buffer (Vyukov-style sequence ring).
 // Used as the per-application request ring between LibFS threads and delegation threads
 // (§4.5): application threads enqueue access requests; delegation threads dequeue them.
+//
+// The kSpsc template flag selects the single-producer/single-consumer fast path: each
+// side owns its position exclusively, so claiming a slot is a relaxed load + relaxed
+// store instead of a CAS loop. The cell sequence numbers still carry the cross-thread
+// hand-off (acquire on read, release on publish), so SPSC mode keeps the same
+// correctness argument with none of the MPMC contention cost. The per-thread op
+// submission rings (src/libfs/op_ring.h) are exactly this shape: one application thread
+// produces, one drainer consumes.
 
 #ifndef SRC_COMMON_MPMC_RING_H_
 #define SRC_COMMON_MPMC_RING_H_
@@ -15,7 +23,7 @@
 
 namespace trio {
 
-template <typename T>
+template <typename T, bool kSpsc = false>
 class MpmcRing {
  public:
   explicit MpmcRing(size_t capacity_pow2) : capacity_(capacity_pow2), mask_(capacity_pow2 - 1) {
@@ -31,6 +39,19 @@ class MpmcRing {
 
   // Non-blocking; returns false when full.
   bool TryPush(T value) {
+    if constexpr (kSpsc) {
+      // Single producer: head_ is ours alone. The cell's sequence (released by the
+      // consumer when it frees the slot) is the only cross-thread synchronization.
+      const size_t pos = head_.load(std::memory_order_relaxed);
+      Cell* cell = &cells_[pos & mask_];
+      if (cell->sequence.load(std::memory_order_acquire) != pos) {
+        return false;  // Full.
+      }
+      cell->value = std::move(value);
+      cell->sequence.store(pos + 1, std::memory_order_release);
+      head_.store(pos + 1, std::memory_order_release);
+      return true;
+    }
     Cell* cell;
     size_t pos = head_.load(std::memory_order_relaxed);
     while (true) {
@@ -54,6 +75,19 @@ class MpmcRing {
 
   // Non-blocking; returns false when empty.
   bool TryPop(T& out) {
+    if constexpr (kSpsc) {
+      // Single consumer: tail_ is ours alone; acquire on the cell sequence pairs with
+      // the producer's release publish.
+      const size_t pos = tail_.load(std::memory_order_relaxed);
+      Cell* cell = &cells_[pos & mask_];
+      if (cell->sequence.load(std::memory_order_acquire) != pos + 1) {
+        return false;  // Empty.
+      }
+      out = std::move(cell->value);
+      cell->sequence.store(pos + capacity_, std::memory_order_release);
+      tail_.store(pos + 1, std::memory_order_release);
+      return true;
+    }
     Cell* cell;
     size_t pos = tail_.load(std::memory_order_relaxed);
     while (true) {
@@ -130,6 +164,10 @@ class MpmcRing {
   alignas(64) std::atomic<size_t> head_{0};
   alignas(64) std::atomic<size_t> tail_{0};
 };
+
+// Single-producer/single-consumer specialization: one owning thread per side, no CAS.
+template <typename T>
+using SpscRing = MpmcRing<T, /*kSpsc=*/true>;
 
 }  // namespace trio
 

@@ -382,6 +382,25 @@ void DelegationBatch::Submit() {
   }
 }
 
+void DelegationBatch::Reset() {
+  TRIO_DCHECK(!submitted_ || pending_.load(std::memory_order_acquire) == 0)
+      << "Reset with requests outstanding";
+  for (auto& requests : per_node_) {
+    requests.clear();
+  }
+  // Groups stay allocated (workers are done with them once pending_ reached 0); only
+  // their per-round state resets.
+  for (auto& group : groups_) {
+    if (group != nullptr) {
+      group->remaining.store(0, std::memory_order_relaxed);
+      group->fence = false;
+    }
+  }
+  pending_.store(0, std::memory_order_relaxed);
+  total_requests_ = 0;
+  submitted_ = false;
+}
+
 void DelegationBatch::Wait() {
   if (!submitted_ || total_requests_ == 0) {
     return;

@@ -239,11 +239,16 @@ class DelegationBatch {
   void AddWrite(char* nvm, const char* dram, size_t len, bool persist);
   void AddRead(char* dram, const char* nvm, size_t len);
 
-  // Enqueues all accumulated requests. Call at most once.
+  // Enqueues all accumulated requests. Call at most once (until Reset).
   void Submit();
   // Blocks (adaptive spin, then park) until every submitted request completed — at which
   // point each touched node has issued its single batch fence.
   void Wait();
+  // Returns the batch to its pre-Add state so one object (and its vector capacity) can be
+  // reused across many Submit/Wait rounds — the op-ring drainer keeps a single batch per
+  // drain pass and flushes it at op boundaries that need data durable. Only legal with
+  // nothing outstanding: before Submit, or after Wait.
+  void Reset();
 
   size_t requests() const { return total_requests_; }
   int nodes_touched() const;

@@ -50,9 +50,14 @@ ArckFs::ArckFs(KernelController& kernel, ArckFsConfig config)
       leases_(kernel, libfs_, config_.page_batch, config_.ino_batch) {
   Superblock* sb = SuperblockOf(pool_);
   GetOrCreateNode(kRootIno, kInvalidIno, /*is_dir=*/true, &sb->root);
+  if (config_.ring.enabled) {
+    ring_engine_ = std::make_unique<OpRingEngine>(
+        *this, pool_, config_.ring, static_cast<RingPassHooks*>(this), &persist_stats_);
+  }
 }
 
 ArckFs::~ArckFs() {
+  ring_engine_.reset();  // Stop the drainer before tearing anything else down.
   fds_.ReleaseAll();
   {
     std::lock_guard<std::mutex> guard(nodes_mutex_);
@@ -60,6 +65,40 @@ ArckFs::~ArckFs() {
   }
   kernel_.UnregisterLibFs(libfs_);
 }
+
+// ---------------------------------------------------------------------------
+// Op-ring drain-pass hooks (drainer thread only)
+// ---------------------------------------------------------------------------
+
+namespace {
+// The drainer thread's pass-wide DelegationBatch. A plain thread_local works because a
+// drainer thread belongs to exactly one ArckFs, and the hooks bracket every use.
+thread_local DelegationBatch* tls_pass_batch = nullptr;
+}  // namespace
+
+void ArckFs::BeginPass() {
+  if (config_.use_delegation && kernel_.delegation() != nullptr) {
+    tls_pass_batch = new DelegationBatch(*kernel_.delegation());
+  }
+}
+
+void ArckFs::FlushPass() {
+  DelegationBatch* batch = tls_pass_batch;
+  if (batch == nullptr || batch->requests() == 0) {
+    return;
+  }
+  batch->Submit();
+  batch->Wait();
+  batch->Reset();
+}
+
+void ArckFs::EndPass() {
+  FlushPass();
+  delete tls_pass_batch;
+  tls_pass_batch = nullptr;
+}
+
+DelegationBatch* ArckFs::PassBatch() { return tls_pass_batch; }
 
 // ---------------------------------------------------------------------------
 // Journal (rename) + recovery

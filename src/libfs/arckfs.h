@@ -36,6 +36,7 @@
 #include "src/libfs/fs_interface.h"
 #include "src/libfs/journal.h"
 #include "src/libfs/lease_cache.h"
+#include "src/libfs/op_ring.h"
 #include "src/libfs/radix_tree.h"
 #include "src/obs/stats.h"
 
@@ -65,6 +66,10 @@ struct ArckFsConfig {
   std::vector<PageNumber> recover_journal_pages;
   // Optional corruption-fix hook the kernel calls on a failed verification of our file.
   std::function<bool(Ino, const Status&)> fix_corruption;
+  // Async submission rings (src/libfs/op_ring.h). enabled=true starts a per-LibFS
+  // drainer; application threads then reach ring_engine() for the async path. The
+  // synchronous FsInterface API keeps working either way.
+  OpRingConfig ring;
 };
 
 // Registered into obs::StatRegistry under layer "libfs" (summed across instances).
@@ -95,7 +100,7 @@ struct LibFsStats {
   obs::ScopedRegistration reg_;
 };
 
-class ArckFs : public FsInterface {
+class ArckFs : public FsInterface, private RingPassHooks {
  public:
   explicit ArckFs(KernelController& kernel, ArckFsConfig config = {});
   ~ArckFs() override;
@@ -132,6 +137,8 @@ class ArckFs : public FsInterface {
   LibFsId id() const { return libfs_; }
   KernelController& kernel() { return kernel_; }
   LibFsStats& libfs_stats() { return stats_; }
+  // Non-null iff config.ring.enabled: the async submission path into this LibFS.
+  OpRingEngine* ring_engine() { return ring_engine_.get(); }
   // Current journal page numbers (persist these to recover after a crash).
   std::vector<PageNumber> JournalPages();
 
@@ -239,6 +246,16 @@ class ArckFs : public FsInterface {
                  bool persist, obs::PersistSpan* span);
   // Relaxed-data mode: persist everything this node dirtied since the last flush.
   void FlushDirtyData(FileNode* node);
+
+  // ---- Op-ring drain-pass plumbing (drainer thread only) ----
+  // RingPassHooks: one DelegationBatch is shared by every delegated write of a drain
+  // pass; FlushPass submits/waits/resets it so its data is durable before any dependent
+  // metadata commit, and before every epoch close.
+  void BeginPass() override;
+  void FlushPass() override;
+  void EndPass() override;
+  // The calling thread's pass batch (null off the drainer / without delegation).
+  DelegationBatch* PassBatch();
   void CopyFromNvm(char* dst, const char* src, size_t len, DelegationBatch* batch);
   // Effective delegation thresholds: config overrides, else the pool's DelegationConfig.
   size_t ReadDelegateThreshold() const;
@@ -265,6 +282,10 @@ class ArckFs : public FsInterface {
 
   std::mutex nodes_mutex_;
   std::unordered_map<Ino, NodePtr> nodes_;
+
+  // Destroyed first in ~ArckFs (declaration order notwithstanding): the drainer calls
+  // back into this object, so it must stop before any other member is torn down.
+  std::unique_ptr<OpRingEngine> ring_engine_;
 
   std::mutex journal_init_mutex_;
   std::vector<std::unique_ptr<UndoJournal>> journals_;

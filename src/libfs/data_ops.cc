@@ -178,11 +178,17 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
   const bool delegate = config_.use_delegation && kernel_.delegation() != nullptr &&
                         count >= WriteDelegateThreshold();
   // All chunks of this write accumulate into one batch: one ring push and one fence per
-  // touched node, instead of one of each per 4 KiB chunk.
-  std::optional<DelegationBatch> batch;
-  if (delegate) {
-    batch.emplace(*kernel_.delegation());
+  // touched node, instead of one of each per 4 KiB chunk. On the op-ring drainer the
+  // batch is the pass-wide one (shared by every delegated write of the drain pass);
+  // elsewhere it is a local per-op batch.
+  DelegationBatch* pass_batch = delegate ? PassBatch() : nullptr;
+  std::optional<DelegationBatch> local_batch;
+  if (delegate && pass_batch == nullptr) {
+    local_batch.emplace(*kernel_.delegation());
   }
+  DelegationBatch* batch = pass_batch != nullptr
+                               ? pass_batch
+                               : (local_batch.has_value() ? &*local_batch : nullptr);
 
   obs::PersistSpan span(pool_, &persist_stats_);
   Status status = OkStatus();
@@ -211,7 +217,7 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
         node->radix.Insert(page_index, page);
       }
       CopyToNvm(pool_.PageAddress(page) + in_page, src + (cursor - offset), chunk,
-                delegate ? &*batch : nullptr, config_.sync_data, &span);
+                batch, config_.sync_data, &span);
       if (!config_.sync_data) {
         std::lock_guard<SpinLock> guard(node->dirty_lock);
         node->dirty_pages.insert(page);
@@ -221,10 +227,17 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
   }
 
   // Data durable before any index entry or size commit (§4.4). The delegated path fences
-  // once per touched node inside the batch; the direct path fences here.
-  if (delegate) {
-    batch->Submit();
-    batch->Wait();
+  // once per touched node inside the batch; the direct path fences here. A pass-wide
+  // batch is flushed only when this op commits metadata below — a pure in-place write
+  // has no commit to order against, so its chunks ride until the pass-end flush (which
+  // precedes the epoch close and therefore every CQE).
+  if (pass_batch != nullptr) {
+    if (extend || !to_link.empty()) {
+      FlushPass();
+    }
+  } else if (delegate) {
+    local_batch->Submit();
+    local_batch->Wait();
   } else {
     span.Fence();
   }

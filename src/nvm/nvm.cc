@@ -6,10 +6,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/sim/fault_injector.h"
 
 namespace trio {
+
+void NvmPool::SpinDelayNs(uint64_t ns) {
+  const auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+    // Busy wait: models a core stalled on an sfence / clwb drain, which does not yield.
+  }
+}
 
 void NvmPool::Init() {
   TRIO_CHECK(num_pages_ >= 8) << "pool too small";
@@ -74,6 +82,9 @@ void NvmPool::Persist(const void* dst, size_t len) {
   const uint64_t first = LineOf(dst);
   const uint64_t last = LineOf(static_cast<const char*>(dst) + len - 1);
   stats_.lines_flushed.fetch_add(last - first + 1, std::memory_order_relaxed);
+  if (cost_model_.flush_ns_per_line != 0) {
+    SpinDelayNs(static_cast<uint64_t>(cost_model_.flush_ns_per_line) * (last - first + 1));
+  }
   if (mode_ != NvmMode::kTracking) {
     return;
   }
@@ -101,6 +112,9 @@ void NvmPool::Persist(const void* dst, size_t len) {
 
 void NvmPool::Fence() {
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  if (cost_model_.fence_ns != 0) {
+    SpinDelayNs(cost_model_.fence_ns);
+  }
   if (mode_ != NvmMode::kTracking) {
     return;
   }

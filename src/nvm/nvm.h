@@ -55,6 +55,19 @@ enum class NvmMode {
   kTracking,  // Shadow-copy persistence tracking. For crash-consistency tests.
 };
 
+// Modeled persistence costs. On DRAM emulation Persist/Fence are nearly free, so a bench
+// cannot observe the ordering-point savings the real hardware would show; with a cost
+// model enabled, each Fence() busy-waits fence_ns (the sfence draining the write-pending
+// queue) and each Persist() busy-waits flush_ns_per_line per covered cacheline (clwb
+// writeback bandwidth). Defaults are zero: no modeling, no overhead, existing behavior.
+// Benches enable Optane-calibrated figures (~100ns fence); correctness tests leave it off.
+struct NvmCostModel {
+  uint32_t fence_ns = 0;
+  uint32_t flush_ns_per_line = 0;
+
+  bool enabled() const { return fence_ns != 0 || flush_ns_per_line != 0; }
+};
+
 // Statistics the cost models and benches read. Relaxed counters; cheap enough to keep
 // on. Registered into obs::StatRegistry under layer "nvm" (summed across pools).
 struct NvmStats {
@@ -100,6 +113,8 @@ class NvmPool {
 
   size_t num_pages() const { return num_pages_; }
   NvmMode mode() const { return mode_; }
+  void set_cost_model(NvmCostModel model) { cost_model_ = model; }
+  const NvmCostModel& cost_model() const { return cost_model_; }
   const NumaTopology& topology() const { return topology_; }
   NvmStats& stats() { return stats_; }
 
@@ -237,6 +252,7 @@ class NvmPool {
 
  private:
   void MarkDirty(const void* dst, size_t len);
+  static void SpinDelayNs(uint64_t ns);
   uint64_t LineOf(const void* ptr) const {
     return (static_cast<const char*>(ptr) - main_) / kCacheLineSize;
   }
@@ -251,6 +267,7 @@ class NvmPool {
   std::unique_ptr<char[]> heap_;     // Owns main_ when not file-backed.
   std::unique_ptr<char[]> shadow_;   // Persisted image (kTracking only).
   NvmStats stats_;
+  NvmCostModel cost_model_;
   FaultInjector* fault_injector_ = nullptr;
 
   std::mutex track_mutex_;

@@ -1,0 +1,19 @@
+#include "src/obs/persist_span.h"
+
+namespace trio {
+namespace obs {
+
+namespace {
+thread_local PersistEpoch* g_current_epoch = nullptr;
+}  // namespace
+
+PersistEpoch* PersistEpoch::Current() { return g_current_epoch; }
+
+PersistEpoch::Scope::Scope(PersistEpoch& epoch) : prev_(g_current_epoch) {
+  g_current_epoch = &epoch;
+}
+
+PersistEpoch::Scope::~Scope() { g_current_epoch = prev_; }
+
+}  // namespace obs
+}  // namespace trio

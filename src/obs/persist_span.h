@@ -14,6 +14,16 @@
 // Disarm() exists for the delegation last-completer protocol: a worker that is not the
 // last completer of a batch-node group hands its pending persists to the completer's
 // single fence and must not fence in its own destructor.
+//
+// Group-commit epochs (PR 6): a PersistEpoch installed on a thread (PersistEpoch::Scope)
+// absorbs the fences of every span opened on that thread while it is current. The spans
+// still issue their clwbs in program order — so any fence, whenever it happens, commits a
+// dependency-consistent prefix — but the sfences themselves collapse into ONE issued at
+// PersistEpoch::Close(). The op-ring drainer wraps each drain pass in an epoch, which is
+// what eliminates per-op fences ACROSS queued operations rather than just within one.
+// Durability contract: nothing executed inside an epoch is durable until the epoch
+// closes; the ring posts completions only after the close, so a completion still implies
+// durability.
 
 #ifndef SRC_OBS_PERSIST_SPAN_H_
 #define SRC_OBS_PERSIST_SPAN_H_
@@ -28,10 +38,76 @@
 namespace trio {
 namespace obs {
 
+// One group-commit window. Single-threaded by construction: it is installed as a
+// thread-local and only spans of that thread defer into it. Close() is re-armable — the
+// ring drainer closes at every barrier SQE and again at the end of the pass, reusing one
+// epoch object per pass.
+class PersistEpoch {
+ public:
+  explicit PersistEpoch(NvmPool& pool, PersistStats* stats = nullptr)
+      : pool_(pool), stats_(stats) {}
+  ~PersistEpoch() { Close(); }
+  PersistEpoch(const PersistEpoch&) = delete;
+  PersistEpoch& operator=(const PersistEpoch&) = delete;
+
+  // A span hands its fence obligation to the epoch (counted per call, so
+  // deferred() == fences the group commit absorbed).
+  void Absorb() {
+    armed_ = true;
+    ++deferred_;
+  }
+
+  // The group-commit point: one sfence covering every deferred fence since the last
+  // Close. No-op when nothing was deferred.
+  void Close() {
+    if (!armed_) {
+      return;
+    }
+    pool_.Fence();
+    armed_ = false;
+    ++closes_;
+    if (stats_ != nullptr) {
+      stats_->fences.fetch_add(1);
+      stats_->epoch_fences.fetch_add(1);
+    }
+  }
+
+  bool armed() const { return armed_; }
+  uint64_t deferred() const { return deferred_; }
+  uint64_t closes() const { return closes_; }
+
+  // The epoch spans of the calling thread defer into, or nullptr (the default:
+  // every fence issues synchronously, the pre-epoch behaviour).
+  static PersistEpoch* Current();
+
+  // RAII installation of an epoch as the calling thread's current one. Nests: the
+  // previous epoch is restored on exit.
+  class Scope {
+   public:
+    explicit Scope(PersistEpoch& epoch);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PersistEpoch* prev_;
+  };
+
+ private:
+  NvmPool& pool_;
+  PersistStats* stats_;
+  bool armed_ = false;
+  uint64_t deferred_ = 0;
+  uint64_t closes_ = 0;
+};
+
 class PersistSpan {
  public:
   explicit PersistSpan(NvmPool& pool, PersistStats* stats = nullptr)
-      : pool_(pool), stats_(stats), op_(OpContext::Current()) {}
+      : pool_(pool),
+        stats_(stats),
+        op_(OpContext::Current()),
+        epoch_(PersistEpoch::Current()) {}
 
   ~PersistSpan() {
     if (pending_) {
@@ -107,6 +183,22 @@ class PersistSpan {
   }
 
   void IssueFence() {
+    if (TRIO_OBS_UNLIKELY(epoch_ != nullptr)) {
+      // Group commit: the clwbs are already issued in dependency order; the sfence
+      // rides the epoch's single Close() fence. Safe at fence granularity because in
+      // this model a fence commits ALL pending lines process-wide, so the commit
+      // store of an op can never become durable without the persists issued before
+      // it. Any fence image is a dependency-consistent prefix of each op.
+      epoch_->Absorb();
+      pending_ = false;
+      if (stats_ != nullptr) {
+        stats_->deferred_fences.fetch_add(1);
+      }
+      if (op_ != nullptr) {
+        op_->counters.fences.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
     pool_.Fence();
     pending_ = false;
     if (stats_ != nullptr) {
@@ -120,6 +212,7 @@ class PersistSpan {
   NvmPool& pool_;
   PersistStats* stats_;
   OpContext* op_;
+  PersistEpoch* epoch_;
   bool pending_ = false;
 };
 

@@ -180,6 +180,8 @@ struct PersistStats {
   Counter fences;            // Fences actually issued to the pool.
   Counter coalesced_fences;  // Fence() calls skipped because nothing was pending.
   Counter commit_stores;     // 8-byte atomic durable commits (CommitStore64).
+  Counter deferred_fences;   // Span fences absorbed into a group-commit epoch.
+  Counter epoch_fences;      // Epoch Close() fences (each covering >=1 deferral).
 
   explicit PersistStats(std::string layer)
       : reg_(std::move(layer),
@@ -187,7 +189,9 @@ struct PersistStats {
               {"bytes_persisted", &bytes_persisted},
               {"fences", &fences},
               {"coalesced_fences", &coalesced_fences},
-              {"commit_stores", &commit_stores}}) {}
+              {"commit_stores", &commit_stores},
+              {"deferred_fences", &deferred_fences},
+              {"epoch_fences", &epoch_fences}}) {}
 
   void Reset() {
     persists = 0;
@@ -195,6 +199,8 @@ struct PersistStats {
     fences = 0;
     coalesced_fences = 0;
     commit_stores = 0;
+    deferred_fences = 0;
+    epoch_fences = 0;
   }
 
  private:

@@ -231,7 +231,7 @@ Result<CrashExplorerReport> CrashExplorer::Explore(const Workload& workload,
   TRIO_RETURN_IF_ERROR(Format(pool, format));
   KernelController kernel(pool);
   TRIO_RETURN_IF_ERROR(kernel.Mount());
-  ArckFs fs(kernel);
+  ArckFs fs(kernel, options_.workload_config);
 
   // Faults are live only while the workload runs; exploration then observes the durable
   // damage rather than injecting fresh faults into every remount.

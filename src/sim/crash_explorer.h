@@ -56,6 +56,10 @@ struct CrashExplorerOptions {
   // Fault points armed on the workload pool (disarmed before exploration starts, so the
   // explorer observes the faults' durable damage, not fresh injections).
   std::vector<ArmedFault> faults;
+  // Config for the ArckFs the workload runs on (e.g. ring.enabled to crash-test the
+  // op-ring drainer's group-commit epochs). Recovery boots always use a default config:
+  // the recovered image must be readable without the workload's special modes.
+  ArckFsConfig workload_config;
   // Seeds the injector's Rng; every run with the same seed explores identical faults.
   uint64_t seed = 2026;
   // Stop exploring after this many failing crash points (details kept for all of them).

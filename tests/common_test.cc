@@ -321,6 +321,59 @@ TEST(MpmcRingTest, ConcurrentProducersConsumers) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(SpscRingTest, FifoAndBoundsSingleThread) {
+  SpscRing<int> ring(8);
+  for (int round = 0; round < 3; ++round) {  // Wraps exercise the sequence arithmetic.
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(ring.TryPush(round * 8 + i));
+    }
+    EXPECT_FALSE(ring.TryPush(99));  // Full.
+    int out = -1;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(ring.TryPop(out));
+      EXPECT_EQ(out, round * 8 + i);
+    }
+    EXPECT_FALSE(ring.TryPop(out));  // Empty.
+  }
+}
+
+TEST(SpscRingTest, OrderPreservedAcrossThreads) {
+  SpscRing<uint64_t> ring(16);
+  constexpr uint64_t kItems = 20000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t v;
+  while (expected < kItems) {
+    if (!ring.TryPop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(v, expected);  // SPSC must be strictly FIFO, no loss, no duplication.
+    ++expected;
+  }
+  producer.join();
+  EXPECT_FALSE(ring.TryPop(v));
+}
+
+TEST(SpscRingTest, BatchHooksUseFastPath) {
+  SpscRing<int> ring(8);
+  const int items[5] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.TryPushBatch(items, 5), 5u);
+  EXPECT_EQ(ring.ApproxSize(), 5u);
+  int out[8] = {};
+  EXPECT_EQ(ring.TryPopBatch(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], items[i]);
+  }
+  EXPECT_TRUE(ring.ApproxEmpty());
+}
+
 TEST(PerCpuTest, ShardsAreIndependent) {
   PerCpu<int> counters(4);
   counters.Shard(0) = 1;
