@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI gate for the delegation-batching bench.
+
+Reads a bench_delegation --benchmark_out JSON and checks the property batching exists
+for: at the largest copy size (1 MiB), the batched data path (one ring push and one
+fence per node per batch) must move bytes at least as fast as the pre-batch per-chunk
+path (one Submit + one fence per 4 KiB chunk). Both numbers come from the SAME run on
+the SAME runner, so the comparison is relative — absolute wall-clock is deliberately
+not gated.
+
+Usage: check_delegation_bench.py <bench_delegation.json>
+"""
+
+import json
+import sys
+
+GATED_BYTES = 1 << 20
+
+
+def collect(data, prefix):
+    """{threads: bytes_per_second} for `prefix` benchmarks at GATED_BYTES."""
+    out = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith(prefix + "/") or "bytes_per_second" not in bench:
+            continue
+        tokens = {}
+        for token in name.split("/"):
+            if ":" in token:
+                key, _, value = token.partition(":")
+                tokens[key] = value
+        if int(tokens.get("bytes", -1)) != GATED_BYTES:
+            continue
+        threads = int(tokens.get("threads", 1))
+        out[threads] = bench["bytes_per_second"]
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    batched = collect(data, "BM_DelegatedWriteBatched")
+    per_chunk = collect(data, "BM_DelegatedWritePerChunk")
+    common = sorted(set(batched) & set(per_chunk))
+    if not common:
+        print(f"FAIL: no matching 1 MiB batched/per-chunk results in {sys.argv[1]}")
+        return 1
+
+    threads = common[0]  # Lowest thread count: least scheduler noise.
+    b, c = batched[threads], per_chunk[threads]
+    if b <= 0 or c <= 0:
+        print(f"FAIL: degenerate throughput (batched={b}, per_chunk={c})")
+        return 1
+    if b < c:
+        print(f"FAIL: batched 1 MiB writes ({b / 1e6:.1f} MB/s) slower than per-chunk "
+              f"({c / 1e6:.1f} MB/s) at threads={threads} - batching regressed")
+        return 1
+
+    print(f"OK: 1 MiB writes threads={threads} batched={b / 1e6:.1f} MB/s "
+          f"per_chunk={c / 1e6:.1f} MB/s ({b / c:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,32 @@
 #!/usr/bin/env bash
 # Builds the concurrency-heavy test binaries (delegation pool, callback watchdog, crash
-# explorer, op-ring drainer) under ThreadSanitizer and AddressSanitizer and runs a smoke
-# subset of each.
-# Usage: scripts/run_sanitizers.sh [thread|address]   (default: both, thread first)
+# explorer, op-ring drainer, multi-tenant schedule explorer, fuzz corpus) under
+# ThreadSanitizer and AddressSanitizer and runs a smoke subset of each.
+#
+# Usage: scripts/run_sanitizers.sh [thread|address] [--adversarial]
+#   (no sanitizer: both, thread first)
+#   --adversarial: run the FULL schedule-explorer, fuzz-corpus, and integrity sweeps
+#   instead of the smoke subsets — the scheduled CI job's deep pass.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-sanitizers=("${1:-thread}")
-if [[ $# -eq 0 ]]; then
+adversarial=0
+sanitizers=()
+for arg in "$@"; do
+  case "$arg" in
+    --adversarial) adversarial=1 ;;
+    thread|address) sanitizers+=("$arg") ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+if [[ ${#sanitizers[@]} -eq 0 ]]; then
   sanitizers=(thread address)
 fi
 
 # Smoke subsets: the full suites pass too, but these filters keep a two-sanitizer sweep
 # under a few minutes on one CPU while still exercising every thread-crossing path
-# (parking/wakeup/stealing, worker-fault retry, watchdog abandonment, explorer reboots).
+# (parking/wakeup/stealing, worker-fault retry, watchdog abandonment, explorer reboots,
+# tenant interleaving, verify-and-quarantine).
 delegation_filter='DelegationFaultTest.*:DelegationTest.ConcurrentStandaloneSubmitsFromManyThreads:DelegationTest.*Park*:DelegationTest.*Steal*:DelegationTest.*Batch*'
 explorer_filter='FaultSimKernelTest.*:CrashExplorerTest.AppendHeavyWorkloadCleanAtEveryFence'
 # Every OpRingTest crosses the submitter/drainer boundary (SPSC rings, park/wake, epoch
@@ -21,12 +34,25 @@ explorer_filter='FaultSimKernelTest.*:CrashExplorerTest.AppendHeavyWorkloadClean
 # two-thread ring in isolation.
 ring_filter='OpRingTest.*'
 spsc_filter='SpscRingTest.*'
+# Schedule explorer smoke: determinism + a full clean sweep (both tenants, crash points);
+# fuzz smoke: one seed variant of every corruption class plus the verifier/quarantine
+# bounds tests.
+schedule_filter='ScheduleExplorerTest.GeneratorIsDeterministicAndBounded:ScheduleExplorerTest.CleanKernelSweepsClean'
+fuzz_filter='*FuzzCorpusTest*_v0:VerifierBoundsTest.*:QuarantineBoundsTest.*'
+targets=(delegation_test crash_explorer_test op_ring_test common_test
+         schedule_explorer_test fuzz_corpus_test)
+if [[ $adversarial -eq 1 ]]; then
+  schedule_filter='*'
+  fuzz_filter='*'
+  explorer_filter='*'
+  targets+=(integrity_test)
+fi
 
 for san in "${sanitizers[@]}"; do
   build="$repo/build-$san"
   echo "== TRIO_SANITIZE=$san: configuring $build =="
   cmake -B "$build" -S "$repo" -DTRIO_SANITIZE="$san" >/dev/null
-  cmake --build "$build" -j2 --target delegation_test crash_explorer_test op_ring_test common_test
+  cmake --build "$build" -j2 --target "${targets[@]}"
 
   echo "== TRIO_SANITIZE=$san: delegation_test =="
   "$build/tests/delegation_test" --gtest_filter="$delegation_filter" --gtest_brief=1
@@ -37,6 +63,17 @@ for san in "${sanitizers[@]}"; do
   echo "== TRIO_SANITIZE=$san: op_ring_test =="
   "$build/tests/op_ring_test" --gtest_filter="$ring_filter" --gtest_brief=1
   "$build/tests/common_test" --gtest_filter="$spsc_filter" --gtest_brief=1
+
+  echo "== TRIO_SANITIZE=$san: schedule_explorer_test =="
+  "$build/tests/schedule_explorer_test" --gtest_filter="$schedule_filter" --gtest_brief=1
+
+  echo "== TRIO_SANITIZE=$san: fuzz_corpus_test =="
+  "$build/tests/fuzz_corpus_test" --gtest_filter="$fuzz_filter" --gtest_brief=1
+
+  if [[ $adversarial -eq 1 ]]; then
+    echo "== TRIO_SANITIZE=$san: integrity_test (full corruption sweep) =="
+    "$build/tests/integrity_test" --gtest_brief=1
+  fi
 done
 
-echo "== sanitizer sweep passed: ${sanitizers[*]} =="
+echo "== sanitizer sweep passed: ${sanitizers[*]} (adversarial=$adversarial) =="

@@ -1,5 +1,6 @@
 #include "src/attacks/attacks.h"
 
+#include <cstddef>
 #include <cstring>
 
 namespace trio {
@@ -379,6 +380,169 @@ const Script kScripts[] = {
          (void)fs.RawStore64(&index->entries[0], rng.Range(2, 1u << 28));
        }
        return OkStatus();
+     }},
+    // ---- Fuzz-corpus extension: targeted bit flips, stale pointers, forged identity,
+    // boundary sizes, directory cycles. Each is a distinct corruption class the verifier
+    // must repair or quarantine (never crash or hang on).
+    {"ino_root_duplicate",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Claim to BE the root directory: in-bounds but wrong identity.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       return fs.RawStore64(&d->ino, kRootIno) ? OkStatus() : PermissionDenied("");
+     }},
+    {"ino_low_bitflip",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Single-bit media flip in a CHECKED field (mtime/ctime/generation are unchecked,
+       // so flips there are undetectable by design — this targets identity instead).
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       return fs.RawStore64(&d->ino, d->ino ^ 1) ? OkStatus() : PermissionDenied("");
+     }},
+    {"size_high_bitflip",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // One flipped high bit turns a sane size into ~1TB, far past chain capacity.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       return fs.RawStore64(&d->size, d->size ^ (1ull << 40)) ? OkStatus()
+                                                              : PermissionDenied("");
+     }},
+    {"nlink_bitflip",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       const uint32_t evil = d->nlink ^ 0x4;  // 1 -> 5: no hard links exist.
+       return fs.RawStore(&d->nlink, &evil, sizeof(evil)) ? OkStatus()
+                                                          : PermissionDenied("");
+     }},
+    {"size_capacity_plus_one",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Boundary probe: size == capacity is legal (holes read as zeros); capacity + 1
+       // must be rejected. Off-by-one in the verifier's bound shows up only here.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       uint64_t index_pages = 0;
+       PageNumber page = d->first_index_page;
+       while (page != 0 && index_pages < 64) {
+         ++index_pages;
+         page = reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(page))->next;
+       }
+       const uint64_t capacity = index_pages * kIndexEntriesPerPage * kPageSize;
+       return fs.RawStore64(&d->size, capacity + 1) ? OkStatus() : PermissionDenied("");
+     }},
+    {"forged_owner_ids",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Forge the cached ownership record (uid AND gid, mode untouched): must disagree
+       // with the shadow inode, the kernel-held ground truth.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       const uint32_t uid = d->uid + 4242;
+       const uint32_t gid = d->gid + 4242;
+       return (fs.RawStore(&d->uid, &uid, sizeof(uid)) &&
+               fs.RawStore(&d->gid, &gid, sizeof(gid)))
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"zeroed_header_fields",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Zero everything between ino and name: a "partially torn" dirent whose ino still
+       // claims the slot is live (mode 0 has no valid type).
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       const std::vector<uint8_t> zeros(offsetof(DirentBlock, name) - sizeof(uint64_t), 0);
+       return fs.RawStore(reinterpret_cast<char*>(d) + sizeof(uint64_t), zeros.data(),
+                          zeros.size())
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"name_all_slashes",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       char name[kMaxNameLen] = {};
+       name[0] = name[1] = name[2] = name[3] = '/';
+       const uint16_t len = 4;
+       return (fs.RawStore(d->name, name, sizeof(name)) &&
+               fs.RawStore(&d->name_len, &len, sizeof(len)))
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"index_double_reference",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // The same data page twice in one file: a write through one slot silently aliases
+       // the other.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       if (index->entries[0] == 0) {
+         return InvalidArgument("no data page");
+       }
+       return fs.RawStore64(&index->entries[1], index->entries[0])
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"index_shadow_table_pointer",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Point a data slot at the kernel's shadow inode table: a victim write-back
+       // through this entry would overwrite the ground-truth permission records.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       return fs.RawStore64(&index->entries[0],
+                            SuperblockOf(fs.raw_pool())->shadow_table_page)
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"index_stale_unowned_pointer",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // In-range page that nobody owns — models a stale pointer to a freed page.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       return fs.RawStore64(&index->entries[1],
+                            SuperblockOf(fs.raw_pool())->total_pages - 2)
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
+    {"index_next_self",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Tightest possible chain cycle: the first index page links to itself.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       return fs.RawStore64(&index->next, d->first_index_page) ? OkStatus()
+                                                               : PermissionDenied("");
+     }},
+    {"first_index_foreign_dirent",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // A regular file whose index chain IS a directory dirent page: reading the file
+       // would leak directory metadata, writing it would shred the namespace. The file's
+       // own dirent lives in such a page (owned by its parent), so point at that.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       const PageNumber dirent_page = static_cast<PageNumber>(
+           (reinterpret_cast<char*>(d) - fs.raw_pool().PageAddress(0)) / kPageSize);
+       return fs.RawStore64(&d->first_index_page, dirent_page) ? OkStatus()
+                                                               : PermissionDenied("");
+     }},
+    {"dir_index_cycle",
+     [](MaliciousLibFs& fs, const std::string& p, Rng&) {
+       // Applied to a directory: its dirent-page chain loops, so a naive readdir never
+       // terminates. The verifier's bounded walk must flag it within its deadline.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("directory has no dirent pages");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       return fs.RawStore64(&index->next, d->first_index_page) ? OkStatus()
+                                                               : PermissionDenied("");
      }},
 };
 

@@ -437,18 +437,62 @@ Result<size_t> SimpleKernelFs::Write(Ino ino, const void* buf, size_t count,
   return count;
 }
 
+uint64_t* SimpleKernelFs::SlotOf(KInode* inode, uint64_t index) {
+  if (index < kDirectBlocks) {
+    return &inode->direct[index];
+  }
+  index -= kDirectBlocks;
+  if (index < kPointersPerBlock) {
+    if (inode->indirect == 0) {
+      return nullptr;
+    }
+    return reinterpret_cast<uint64_t*>(pool_.PageAddress(inode->indirect)) + index;
+  }
+  index -= kPointersPerBlock;
+  if (index < kPointersPerBlock * kPointersPerBlock) {
+    if (inode->dindirect == 0) {
+      return nullptr;
+    }
+    auto* level1 = reinterpret_cast<uint64_t*>(pool_.PageAddress(inode->dindirect));
+    const uint64_t slot1 = level1[index / kPointersPerBlock];
+    if (slot1 == 0) {
+      return nullptr;
+    }
+    return reinterpret_cast<uint64_t*>(pool_.PageAddress(slot1)) +
+           index % kPointersPerBlock;
+  }
+  return nullptr;
+}
+
 Status SimpleKernelFs::Truncate(Ino ino, uint64_t size) {
   KInode* inode = InodeOf(ino);
   if (inode == nullptr) {
     return NotFound("no such file");
   }
-  const uint64_t old_blocks = (inode->size + kPageSize - 1) / kPageSize;
+  const uint64_t old_size = inode->size;
+  const uint64_t old_blocks = (old_size + kPageSize - 1) / kPageSize;
   const uint64_t new_blocks = (size + kPageSize - 1) / kPageSize;
   obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&inode->size, size);
   for (uint64_t b = new_blocks; b < old_blocks; ++b) {
-    Result<PageNumber> page = BlockOf(inode, b, false);
+    uint64_t* slot = SlotOf(inode, b);
+    if (slot != nullptr && *slot != 0) {
+      FreeBlock(*slot);
+      // Clear the mapping, not just the block: a dangling pointer would alias the freed
+      // (and possibly reallocated) page if the file later regrows over this index.
+      obs::PersistSpan(pool_, &persist_stats_).CommitStore64(slot, 0);
+    }
+  }
+  if (size < old_size && size % kPageSize != 0) {
+    // Shrink landing mid-block: zero the kept block's tail so a later extension exposes
+    // zeros beyond the new EOF, not the file's old bytes.
+    Result<PageNumber> page = BlockOf(inode, size / kPageSize, false);
     if (page.ok()) {
-      FreeBlock(*page);
+      const uint64_t in_page = size % kPageSize;
+      const std::string zeros(kPageSize - in_page, '\0');
+      obs::PersistSpan span(pool_, &persist_stats_);
+      pool_.Write(pool_.PageAddress(*page) + in_page, zeros.data(), zeros.size());
+      span.Persist(pool_.PageAddress(*page) + in_page, zeros.size());
+      span.Fence();
     }
   }
   if (size == 0) {

@@ -118,6 +118,9 @@ class SimpleKernelFs {
 
   // Data-block address for logical block `index` of `inode`; allocates when `grow`.
   Result<PageNumber> BlockOf(KInode* inode, uint64_t index, bool grow);
+  // Address of the mapping slot for logical block `index`, or nullptr when the slot's
+  // containing pointer block doesn't exist. Never allocates.
+  uint64_t* SlotOf(KInode* inode, uint64_t index);
   Status ForEachDirentBlock(KInode* dir,
                             const std::function<Status(KDirent*, size_t)>& fn);
 

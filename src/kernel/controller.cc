@@ -20,7 +20,7 @@ using controller_internal::WmapSlots;
 
 KernelController::KernelController(NvmPool& pool, KernelConfig config, Clock* clock)
     : pool_(pool), config_(config), clock_(clock) {
-  verifier_ = std::make_unique<IntegrityVerifier>(pool_, *this, *this);
+  verifier_ = std::make_unique<IntegrityVerifier>(pool_, *this, *this, clock_);
   if (config_.start_delegation) {
     StartDelegation();
   }
@@ -238,8 +238,14 @@ Status KernelController::RunRecovery() {
     const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
     request.writer_uid = shadow != nullptr ? shadow->uid : 0;
     request.writer_gid = shadow != nullptr ? shadow->gid : 0;
+    if (config_.verify_timeout_ms != 0) {
+      request.deadline_ns = NowNs() + config_.verify_timeout_ms * 1000000ull;
+    }
     Result<VerifyReport> report = verifier_->Verify(request);
     stats_.verifications.fetch_add(1, std::memory_order_relaxed);
+    if (!report.ok() && report.status().Is(ErrorCode::kTimeout)) {
+      stats_.verify_timeouts.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!report.ok()) {
       TRIO_LOG(kWarn) << "recovery: ino " << ino
                       << " failed verification: " << report.status().ToString()

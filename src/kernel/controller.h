@@ -46,6 +46,17 @@ struct KernelConfig {
   // behavior, with no helper-thread hop on the revoke path).
   bool guard_callbacks = true;
   uint64_t recovery_timeout_ms = 1000;  // Deadline for one LibFS recovery program.
+  // Budget for one integrity verification (0 = unbounded). Enforced cooperatively inside
+  // the verifier's walks (see VerifyRequest::deadline_ns); an overrun is treated exactly
+  // like corruption — the state is unverifiable, so rollback + quarantine.
+  uint64_t verify_timeout_ms = 50;
+  // Quarantined files retained at once; the oldest entry is evicted beyond this (a
+  // malicious tenant must not grow kernel memory without bound by corrupting files).
+  size_t max_quarantined_files = 16;
+  // TEST ONLY: plant a page double-free on ownership transfers that raced a lease
+  // revocation. Exists so the schedule explorer can prove it finds and minimizes a real
+  // cross-tenant interleaving bug; never enable outside tests.
+  bool canary_leak_on_contended_transfer = false;
   // Extra wall-clock grace past the lease deadline before an unresponsive holder's
   // mapping is reclaimed by force.
   uint64_t revoke_grace_ms = 50;
@@ -66,6 +77,10 @@ struct LibFsCallbacks {
   // Crash-recovery program (§4.4): replay/undo this LibFS's journal. Untrusted: the kernel
   // re-verifies all write-mapped files afterwards.
   std::function<void()> recovery;
+  // This LibFS's file failed verification and was impounded (rolled back + quarantined);
+  // the mapping is already gone. The LibFS should drop cached state for `ino` and may
+  // RetrieveQuarantine the condemned images. Must not call back into the kernel.
+  std::function<void(Ino, const Status&)> quarantined;
 };
 
 struct LibFsOptions {
@@ -95,6 +110,9 @@ struct KernelStats {
   // LibFS callbacks abandoned by the deadline watchdog (hung fix/recovery/revoke).
   obs::Counter callback_timeouts;
   obs::Counter forced_releases;  // Leases reclaimed from unresponsive holders.
+  obs::Counter verify_timeouts;  // Verifications that overran verify_timeout_ms.
+  obs::Counter files_quarantined;
+  obs::Counter quarantine_evictions;  // Oldest entries dropped past max_quarantined_files.
   obs::Counter pages_allocated;
   obs::Counter pages_freed;
   // Sharing-cost breakdown (Fig 8): cumulative nanoseconds per phase.
@@ -116,6 +134,9 @@ struct KernelStats {
                         {"revocations", &revocations},
                         {"callback_timeouts", &callback_timeouts},
                         {"forced_releases", &forced_releases},
+                        {"verify_timeouts", &verify_timeouts},
+                        {"files_quarantined", &files_quarantined},
+                        {"quarantine_evictions", &quarantine_evictions},
                         {"pages_allocated", &pages_allocated},
                         {"pages_freed", &pages_freed},
                         {"map_ns", &map_ns},
@@ -135,6 +156,9 @@ struct KernelStats {
     revocations = 0;
     callback_timeouts = 0;
     forced_releases = 0;
+    verify_timeouts = 0;
+    files_quarantined = 0;
+    quarantine_evictions = 0;
     pages_allocated = 0;
     pages_freed = 0;
     map_ns = 0;
@@ -198,6 +222,10 @@ class KernelController : public OwnershipView, public VerifyEnv {
   // Corrupted files quarantined to their offending writer (§4.3: "makes the corrupted file
   // a private file to LibFS A"): raw page images the LibFS can salvage.
   std::vector<std::vector<char>> RetrieveQuarantine(LibFsId libfs, Ino ino);
+  // Inspection: the structured VerifyError status that condemned `ino`, or NotFound if the
+  // ino is not quarantined. (Harnesses assert the taxonomy class without draining images.)
+  Status QuarantineErrorOf(Ino ino) const;
+  size_t QuarantineCount() const;
 
   // ---- OwnershipView (read access for the integrity verifier) ----
   PageState StateOfPage(PageNumber page) const override;
@@ -270,7 +298,7 @@ class KernelController : public OwnershipView, public VerifyEnv {
                                   FileRecord* record);
   Status ApplyReportLocked(FileRecord* record, const VerifyReport& report);
   void RollbackToCheckpointLocked(FileRecord* record);
-  void QuarantineLocked(FileRecord* record);
+  void QuarantineLocked(FileRecord* record, const Status& reason);
   void ResolveOrphansLocked(LibFsRecord* libfs);
   void ReclaimFileLocked(FileRecord* record);  // Frees pages + ino + shadow, drops record.
   // Reclaims `holder`'s mapping of `ino` after its revoke callback overran the lease
@@ -302,8 +330,17 @@ class KernelController : public OwnershipView, public VerifyEnv {
   std::unordered_map<Ino, InoState> ino_states_;           // Absent => free ino.
   std::unordered_map<Ino, FileRecord> records_;
   std::unordered_map<LibFsId, std::unique_ptr<LibFsRecord>> libfses_;
-  std::unordered_map<Ino, std::vector<std::vector<char>>> quarantine_;  // keyed by ino.
-  std::unordered_map<Ino, LibFsId> quarantine_owner_;
+  // One impounded file (§4.3): who corrupted it, the structured verdict, and the raw page
+  // images at condemnation time. `sequence` orders entries for oldest-first eviction.
+  struct QuarantineEntry {
+    LibFsId offender = kNoLibFs;
+    Status error;
+    std::vector<std::vector<char>> images;
+    uint64_t sequence = 0;
+  };
+  std::unordered_map<Ino, QuarantineEntry> quarantine_;
+  uint64_t quarantine_sequence_ = 0;
+  int contended_transfer_depth_ = 0;  // Revocation-driven transfers in flight (mutex_).
   // Per-NUMA-node free lists (per-CPU sharding happens in the LibFS-side allocator cache;
   // the kernel hands out batches).
   std::vector<std::vector<PageNumber>> free_pages_by_node_;

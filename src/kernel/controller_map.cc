@@ -167,10 +167,14 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
       }
       stats_.revocations.fetch_add(1, std::memory_order_relaxed);
       auto revoke = holder_it->second->callbacks.revoke;
+      // Transfers triggered by this revocation (the holder unmaps; verify-and-reconcile
+      // runs) count as contended while we wait — the canary hook keys off this depth.
+      ++contended_transfer_depth_;
       if (!config_.guard_callbacks) {
         lock.unlock();
         revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
         lock.lock();
+        --contended_transfer_depth_;
         continue;  // Re-evaluate from scratch; records may have been reclaimed.
       }
       // Lease enforcement: the holder is trusted to cooperate only until its lease
@@ -185,6 +189,7 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
       lock.unlock();
       const bool completed = callback_guard_.Run(budget_ms, [revoke, ino] { revoke(ino); });
       lock.lock();
+      --contended_transfer_depth_;
       if (!completed) {
         stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
         TRIO_LOG(kWarn) << "revoke of ino " << ino << " from LibFS " << conflict

@@ -14,6 +14,15 @@
 
 namespace trio {
 
+namespace {
+
+// Absolute verifier deadline for one verification pass, from the config budget.
+uint64_t VerifyDeadline(const KernelConfig& config, uint64_t now_ns) {
+  return config.verify_timeout_ms == 0 ? 0 : now_ns + config.verify_timeout_ms * 1000000ull;
+}
+
+}  // namespace
+
 Status KernelController::CommitFile(LibFsId libfs, Ino ino) {
   SyscallScope syscall(stats_, "CommitFile");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
@@ -36,11 +45,15 @@ Status KernelController::CommitFile(LibFsId libfs, Ino ino) {
     request.checkpoint_children = &checkpoint_children;
   }
   const uint64_t v0 = NowNs();
+  request.deadline_ns = VerifyDeadline(config_, v0);
   Result<VerifyReport> report = verifier_->Verify(request);
   stats_.verifications.fetch_add(1, std::memory_order_relaxed);
   stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
   if (!report.ok()) {
     stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
+    if (report.status().Is(ErrorCode::kTimeout)) {
+      stats_.verify_timeouts.fetch_add(1, std::memory_order_relaxed);
+    }
     return report.status();
   }
   TRIO_RETURN_IF_ERROR(ApplyReportLocked(record, *report));
@@ -70,6 +83,7 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
   }
 
   const uint64_t v0 = NowNs();
+  request.deadline_ns = VerifyDeadline(config_, v0);
   Result<VerifyReport> report = verifier_->Verify(request);
   stats_.verifications.fetch_add(1, std::memory_order_relaxed);
   stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
@@ -112,6 +126,7 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
     }
     if (claims_fixed && NowNs() <= deadline) {
       request.dirent = DirentOfLocked(*record);
+      request.deadline_ns = VerifyDeadline(config_, NowNs());
       Result<VerifyReport> retry = verifier_->Verify(request);
       stats_.verifications.fetch_add(1, std::memory_order_relaxed);
       if (retry.ok()) {
@@ -123,9 +138,33 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
   }
 
   // Quarantine the corrupted image for the offender, then roll back to the checkpoint.
-  QuarantineLocked(record);
+  // A verification that overran its deadline lands here too: the state is UNVERIFIED,
+  // which the kernel must treat exactly like corruption rather than accept unchecked.
+  if (failure.Is(ErrorCode::kTimeout)) {
+    stats_.verify_timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+  QuarantineLocked(record, failure);
   RollbackToCheckpointLocked(record);
   stats_.corruptions_rolled_back.fetch_add(1, std::memory_order_relaxed);
+
+  // Tell the offender its file was impounded so it drops cached mappings. Untrusted code:
+  // bounded by the watchdog, and run outside the kernel lock. (Re-find the writer: `me`
+  // may have dangled while the lock was dropped for the fix callback.)
+  auto notify_it = libfses_.find(writer);
+  std::function<void(Ino, const Status&)> notify =
+      notify_it != libfses_.end() ? notify_it->second->callbacks.quarantined : nullptr;
+  if (notify) {
+    lock.unlock();
+    if (config_.guard_callbacks) {
+      if (!callback_guard_.Run(config_.fix_timeout_ms,
+                               [notify, ino, failure] { notify(ino, failure); })) {
+        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      notify(ino, failure);
+    }
+    lock.lock();
+  }
   return failure;
 }
 
@@ -158,6 +197,17 @@ Status KernelController::ApplyReportLocked(FileRecord* record, const VerifyRepor
   }
   record->pages = std::move(new_pages);
   record->first_index_page = DirentOfLocked(*record)->first_index_page;
+
+  // TEST ONLY (see KernelConfig::canary_leak_on_contended_transfer): on a transfer that
+  // raced a lease revocation, leak one still-referenced page back onto the free list. A
+  // later allocation hands it to another tenant => durable cross-file double reference,
+  // which only fsck after a crash sees (the online verifier checks one file at a time).
+  // The schedule explorer exists to find exactly this class of bug.
+  if (config_.canary_leak_on_contended_transfer && contended_transfer_depth_ > 0 &&
+      !record->pages.empty()) {
+    const PageNumber leaked = *std::max_element(record->pages.begin(), record->pages.end());
+    free_pages_by_node_[pool_.NodeOfPage(leaked)].push_back(leaked);
+  }
 
   // Fresh children become live files with shadow inodes and an implicit write grant to
   // their creator (their own pages reconcile at their own first verification).
@@ -314,32 +364,58 @@ Status KernelController::TakeCheckpointLocked(FileRecord* record) {
   return OkStatus();
 }
 
-void KernelController::QuarantineLocked(FileRecord* record) {
-  std::vector<std::vector<char>> images;
+void KernelController::QuarantineLocked(FileRecord* record, const Status& reason) {
+  QuarantineEntry entry;
+  entry.offender = record->writer;
+  entry.error = reason;
+  entry.sequence = ++quarantine_sequence_;
   for (PageNumber page : record->pages) {
     std::vector<char> image(kPageSize);
     std::memcpy(image.data(), pool_.PageAddress(page), kPageSize);
-    images.push_back(std::move(image));
+    entry.images.push_back(std::move(image));
   }
-  quarantine_[record->ino] = std::move(images);
-  quarantine_owner_[record->ino] = record->writer;
+  quarantine_[record->ino] = std::move(entry);
+  stats_.files_quarantined.fetch_add(1, std::memory_order_relaxed);
+
+  // Bound kernel memory: an adversary corrupting file after file must not grow the
+  // quarantine without limit. Evict oldest-first (their salvage window simply closes).
+  while (config_.max_quarantined_files != 0 &&
+         quarantine_.size() > config_.max_quarantined_files) {
+    auto oldest = quarantine_.begin();
+    for (auto it = quarantine_.begin(); it != quarantine_.end(); ++it) {
+      if (it->second.sequence < oldest->second.sequence) {
+        oldest = it;
+      }
+    }
+    quarantine_.erase(oldest);
+    stats_.quarantine_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::vector<char>> KernelController::RetrieveQuarantine(LibFsId libfs, Ino ino) {
   SyscallScope syscall(stats_, "RetrieveQuarantine");
   std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto owner = quarantine_owner_.find(ino);
-  if (owner == quarantine_owner_.end() || owner->second != libfs) {
+  auto it = quarantine_.find(ino);
+  if (it == quarantine_.end() || it->second.offender != libfs) {
     return {};
   }
+  std::vector<std::vector<char>> images = std::move(it->second.images);
+  quarantine_.erase(it);
+  return images;
+}
+
+Status KernelController::QuarantineErrorOf(Ino ino) const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
   auto it = quarantine_.find(ino);
   if (it == quarantine_.end()) {
-    return {};
+    return NotFound("ino not quarantined");
   }
-  std::vector<std::vector<char>> images = std::move(it->second);
-  quarantine_.erase(it);
-  quarantine_owner_.erase(owner);
-  return images;
+  return it->second.error;
+}
+
+size_t KernelController::QuarantineCount() const {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  return quarantine_.size();
 }
 
 void KernelController::RollbackToCheckpointLocked(FileRecord* record) {

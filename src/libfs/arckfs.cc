@@ -39,6 +39,9 @@ LibFsId ArckFs::RegisterWithKernel(KernelController& kernel, const ArckFsConfig&
   options.callbacks.revoke = [this](Ino ino) { RevokeNode(ino); };
   options.callbacks.fix_corruption = config.fix_corruption;
   options.callbacks.recovery = [this] { ReplayJournals(); };
+  options.callbacks.quarantined = [this](Ino ino, const Status& reason) {
+    OnQuarantine(ino, reason);
+  };
   return kernel.RegisterLibFs(options);
 }
 

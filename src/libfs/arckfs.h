@@ -137,6 +137,9 @@ class ArckFs : public FsInterface, private RingPassHooks {
   LibFsId id() const { return libfs_; }
   KernelController& kernel() { return kernel_; }
   LibFsStats& libfs_stats() { return stats_; }
+  // Quarantine notices the kernel delivered: (ino, structured VerifyError status). The
+  // lease is already gone when one arrives; the node's cached state was invalidated.
+  std::vector<std::pair<Ino, Status>> QuarantineNotices();
   // Non-null iff config.ring.enabled: the async submission path into this LibFS.
   OpRingEngine* ring_engine() { return ring_engine_.get(); }
   // Current journal page numbers (persist these to recover after a crash).
@@ -156,6 +159,12 @@ class ArckFs : public FsInterface, private RingPassHooks {
     BravoRwLock op_lock;
     std::atomic<int> map_state{0};  // 0 = unmapped, 1 = read, 2 = write.
     std::atomic<bool> stale{false};
+    // Bumped by RevokeNode under map_mutex. EnsureMapped releases map_mutex across the
+    // kernel MapFile crossing (the kernel may synchronously revoke another tenant, whose
+    // RevokeNode takes ITS node's map_mutex — holding ours would be an ABBA inversion
+    // between two LibFS instances revoking each other); the revision tells it whether a
+    // revoke slipped into that window and the fresh grant must be re-requested.
+    uint64_t map_revision = 0;
     DirentBlock* dirent = nullptr;
 
     // Regular-file auxiliary state (§4.2).
@@ -203,6 +212,11 @@ class ArckFs : public FsInterface, private RingPassHooks {
   void UnlockOp(FileNode* node) { node->op_lock.unlock_shared(); }
   // Revoker-side: quiesce, unmap, drop auxiliary state.
   void RevokeNode(Ino ino);
+  // Kernel-side quarantine notification (may arrive on a watchdog thread, possibly while
+  // this LibFS is itself mid-unmap on the same node): record the notice and mark the node
+  // stale. Deliberately lock-free on the node — staleness makes the next op re-map and
+  // rebuild from the rolled-back core state. Must not call back into the kernel.
+  void OnQuarantine(Ino ino, const Status& reason);
   // The LockForOp acquisition loop (no instrumentation; LockForOp wraps it).
   Status AcquireOpLock(FileNode* node, int level);
 
@@ -282,6 +296,9 @@ class ArckFs : public FsInterface, private RingPassHooks {
 
   std::mutex nodes_mutex_;
   std::unordered_map<Ino, NodePtr> nodes_;
+
+  std::mutex quarantine_mutex_;
+  std::vector<std::pair<Ino, Status>> quarantine_notices_;
 
   // Destroyed first in ~ArckFs (declaration order notwithstanding): the drainer calls
   // back into this object, so it must stop before any other member is torn down.

@@ -41,28 +41,42 @@ void ArckFs::DropNode(Ino ino) {
 
 Status ArckFs::EnsureMapped(FileNode* node, bool write) {
   obs::TraceSpan span("EnsureMapped");
-  std::lock_guard<std::mutex> guard(node->map_mutex);
+  std::unique_lock<std::mutex> guard(node->map_mutex);
   const int need = write ? 2 : 1;
-  if (!node->stale.load(std::memory_order_acquire) &&
-      node->map_state.load(std::memory_order_acquire) >= need) {
+  for (;;) {
+    if (!node->stale.load(std::memory_order_acquire) &&
+        node->map_state.load(std::memory_order_acquire) >= need) {
+      return OkStatus();
+    }
+    const bool was_unmapped =
+        node->map_state.load(std::memory_order_relaxed) == 0 || node->stale.load();
+    const uint64_t revision = node->map_revision;
+    // The kernel crossing runs WITHOUT our node lock: MapFile may synchronously revoke
+    // the conflicting holder, and that holder's RevokeNode takes its own node's
+    // map_mutex — holding ours across the call is an ABBA inversion when two tenants
+    // revoke each other. If a revoke of THIS node lands in the unlocked window the
+    // revision moves and the (now possibly stale) grant is simply requested again.
+    guard.unlock();
+    Result<MapInfo> mapped = kernel_.MapFile(libfs_, node->parent, node->ino, write);
+    guard.lock();
+    TRIO_RETURN_IF_ERROR(mapped.status());
+    if (node->map_revision != revision) {
+      continue;
+    }
+    const MapInfo& info = *mapped;
+    if (info.dirent_page == 0) {
+      node->dirent = &SuperblockOf(pool_)->root;
+    } else {
+      auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(info.dirent_page));
+      node->dirent = &page->slots[info.dirent_slot];
+    }
+    if (was_unmapped) {
+      TRIO_RETURN_IF_ERROR(RebuildAux(node));
+    }
+    node->stale.store(false, std::memory_order_release);
+    node->map_state.store(info.writable ? 2 : 1, std::memory_order_release);
     return OkStatus();
   }
-  const bool was_unmapped =
-      node->map_state.load(std::memory_order_relaxed) == 0 || node->stale.load();
-  TRIO_ASSIGN_OR_RETURN(MapInfo info,
-                        kernel_.MapFile(libfs_, node->parent, node->ino, write));
-  if (info.dirent_page == 0) {
-    node->dirent = &SuperblockOf(pool_)->root;
-  } else {
-    auto* page = reinterpret_cast<DirDataPage*>(pool_.PageAddress(info.dirent_page));
-    node->dirent = &page->slots[info.dirent_slot];
-  }
-  if (was_unmapped) {
-    TRIO_RETURN_IF_ERROR(RebuildAux(node));
-  }
-  node->stale.store(false, std::memory_order_release);
-  node->map_state.store(info.writable ? 2 : 1, std::memory_order_release);
-  return OkStatus();
 }
 
 Status ArckFs::AcquireOpLock(FileNode* node, int level) {
@@ -104,6 +118,7 @@ void ArckFs::RevokeNode(Ino ino) {
     return;
   }
   std::lock_guard<std::mutex> guard(node->map_mutex);
+  ++node->map_revision;  // Invalidate any MapFile grant in flight in EnsureMapped.
   node->stale.store(true, std::memory_order_release);
   node->op_lock.lock();  // Drain in-flight operations.
   if (!config_.sync_data && !node->is_dir) {
@@ -132,6 +147,25 @@ void ArckFs::RevokeNode(Ino ino) {
   node->op_lock.unlock();
   node->stale.store(false, std::memory_order_release);
   stats_.revocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArckFs::OnQuarantine(Ino ino, const Status& reason) {
+  {
+    std::lock_guard<std::mutex> guard(quarantine_mutex_);
+    quarantine_notices_.emplace_back(ino, reason);
+  }
+  NodePtr node = FindNode(ino);
+  if (node != nullptr) {
+    // The kernel already stripped the mapping and rolled the file back; staleness makes
+    // the next op re-map and rebuild auxiliary state from the restored core state. No
+    // drain here: this may run on a watchdog thread while our own unmap holds the node.
+    node->stale.store(true, std::memory_order_release);
+  }
+}
+
+std::vector<std::pair<Ino, Status>> ArckFs::QuarantineNotices() {
+  std::lock_guard<std::mutex> guard(quarantine_mutex_);
+  return quarantine_notices_;
 }
 
 Status ArckFs::RebuildAux(FileNode* node) {

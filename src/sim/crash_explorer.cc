@@ -12,41 +12,6 @@ namespace trio {
 CrashExplorer::CrashExplorer(CrashExplorerOptions options)
     : options_(std::move(options)), injector_(options_.seed) {}
 
-Status CrashExplorer::WalkTree(ArckFs& fs, const std::string& path, TreeSnapshot& out) {
-  Result<std::vector<DirEntryInfo>> entries = fs.ReadDir(path);
-  if (!entries.ok()) {
-    return entries.status();
-  }
-  for (const DirEntryInfo& entry : *entries) {
-    const std::string child =
-        (path == "/") ? "/" + entry.name : path + "/" + entry.name;
-    if (entry.is_dir) {
-      out[child] = "D";
-      TRIO_RETURN_IF_ERROR(WalkTree(fs, child, out));
-      continue;
-    }
-    Result<StatInfo> info = fs.Stat(child);
-    if (!info.ok()) {
-      return info.status();
-    }
-    std::string data(info->size, '\0');
-    Result<Fd> fd = fs.Open(child, OpenFlags::ReadOnly());
-    if (!fd.ok()) {
-      return fd.status();
-    }
-    if (info->size > 0) {
-      Result<size_t> n = fs.Pread(*fd, data.data(), data.size(), 0);
-      if (!n.ok() || *n != data.size()) {
-        (void)fs.Close(*fd);
-        return n.ok() ? Internal("short oracle read of " + child) : n.status();
-      }
-    }
-    TRIO_RETURN_IF_ERROR(fs.Close(*fd));
-    out[child] = "F:" + data;
-  }
-  return OkStatus();
-}
-
 std::vector<size_t> CrashExplorer::SamplePoints(size_t count, size_t cap,
                                                 const char* what) {
   std::vector<size_t> points;
@@ -92,33 +57,12 @@ void CrashExplorer::RecordFailure(CrashExplorerReport& report, size_t fence,
   report.failures.push_back(std::move(failure));
 }
 
-CrashExplorer::BootedFs CrashExplorer::Boot(const char* image, NvmMode mode,
-                                            const std::vector<PageNumber>& journals,
-                                            bool record_recovery) {
-  BootedFs out;
-  out.pool = std::make_unique<NvmPool>(options_.pool_pages, mode);
-  out.pool->LoadImage(image);
-  out.kernel = std::make_unique<KernelController>(*out.pool);
-  out.status = out.kernel->Mount();
-  if (!out.status.ok()) {
-    return out;
-  }
-  out.needed_recovery = out.kernel->NeedsRecovery();
-  // Record from before the ArckFs constructor so mid-recovery crash points cover the
-  // journal replay as well as the kernel's RunRecovery.
-  const bool record = record_recovery && out.needed_recovery;
-  if (record) {
-    out.pool->StartFenceRecording();
-  }
-  ArckFsConfig config;
-  config.recover_journal_pages = journals;
-  out.fs = std::make_unique<ArckFs>(*out.kernel, config);
-  if (out.needed_recovery) {
-    out.status = out.kernel->RunRecovery();
+RemountedFs CrashExplorer::Boot(const char* image, NvmMode mode,
+                                const std::vector<PageNumber>& journals,
+                                bool record_recovery) {
+  RemountedFs out = BootImage(image, options_.pool_pages, mode, journals, record_recovery);
+  if (out.needed_recovery && out.fs != nullptr) {
     stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (record) {
-    out.pool->StopFenceRecording();
   }
   stats_.remounts.fetch_add(1, std::memory_order_relaxed);
   return out;
@@ -133,7 +77,7 @@ void CrashExplorer::CheckPoint(size_t fence, NvmPool& primary,
 
   const NvmMode mode =
       options_.explore_recovery ? NvmMode::kTracking : NvmMode::kFast;
-  BootedFs booted = Boot(image.data(), mode, journals, options_.explore_recovery);
+  RemountedFs booted = Boot(image.data(), mode, journals, options_.explore_recovery);
   if (!booted.status.ok()) {
     RecordFailure(report, fence, SIZE_MAX,
                   "boot/recovery failed: " + booted.status.ToString());
@@ -184,7 +128,7 @@ void CrashExplorer::CheckPoint(size_t fence, NvmPool& primary,
   for (size_t j : inner_points) {
     booted.pool->MaterializeAt(j, inner_image.data());
     stats_.recovery_points_explored.fetch_add(1, std::memory_order_relaxed);
-    BootedFs second = Boot(inner_image.data(), NvmMode::kFast, journals, false);
+    RemountedFs second = Boot(inner_image.data(), NvmMode::kFast, journals, false);
     if (!second.status.ok()) {
       RecordFailure(report, fence, j,
                     "second recovery failed: " + second.status.ToString());

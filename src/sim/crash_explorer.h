@@ -32,6 +32,7 @@
 #include "src/common/result.h"
 #include "src/libfs/arckfs.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/remount.h"
 
 namespace trio {
 
@@ -117,25 +118,14 @@ class CrashExplorer {
   FaultInjector& injector() { return injector_; }
 
  private:
-  using TreeSnapshot = std::map<std::string, std::string>;
-
-  struct BootedFs {
-    std::unique_ptr<NvmPool> pool;
-    std::unique_ptr<KernelController> kernel;
-    std::unique_ptr<ArckFs> fs;
-    Status status;  // Mount / recovery outcome.
-    bool needed_recovery = false;
-  };
-
-  BootedFs Boot(const char* image, NvmMode mode, const std::vector<PageNumber>& journals,
-                bool record_recovery);
+  RemountedFs Boot(const char* image, NvmMode mode, const std::vector<PageNumber>& journals,
+                   bool record_recovery);
   // Checks one outer crash point; empty return = pass, otherwise appends failure records.
   void CheckPoint(size_t fence, NvmPool& primary, const std::vector<PageNumber>& journals,
                   std::vector<char>& image, const Check& check,
                   CrashExplorerReport& report);
   // Evenly spaced sample of [0, count) capped at `cap` (0 = all), first and last kept.
   std::vector<size_t> SamplePoints(size_t count, size_t cap, const char* what);
-  static Status WalkTree(ArckFs& fs, const std::string& path, TreeSnapshot& out);
   void RecordFailure(CrashExplorerReport& report, size_t fence, size_t recovery_fence,
                      std::string what);
 

@@ -1,0 +1,70 @@
+#include "src/sim/remount.h"
+
+namespace trio {
+
+RemountedFs BootImage(const char* image, size_t pool_pages, NvmMode mode,
+                      const std::vector<PageNumber>& journals, bool record_recovery,
+                      const KernelConfig& kernel_config) {
+  RemountedFs out;
+  out.pool = std::make_unique<NvmPool>(pool_pages, mode);
+  out.pool->LoadImage(image);
+  out.kernel = std::make_unique<KernelController>(*out.pool, kernel_config);
+  out.status = out.kernel->Mount();
+  if (!out.status.ok()) {
+    return out;
+  }
+  out.needed_recovery = out.kernel->NeedsRecovery();
+  // Record from before the ArckFs constructor so mid-recovery crash points cover the
+  // journal replay as well as the kernel's RunRecovery.
+  const bool record = record_recovery && out.needed_recovery;
+  if (record) {
+    out.pool->StartFenceRecording();
+  }
+  ArckFsConfig config;
+  config.recover_journal_pages = journals;
+  out.fs = std::make_unique<ArckFs>(*out.kernel, config);
+  if (out.needed_recovery) {
+    out.status = out.kernel->RunRecovery();
+  }
+  if (record) {
+    out.pool->StopFenceRecording();
+  }
+  return out;
+}
+
+Status WalkTree(ArckFs& fs, const std::string& path, TreeSnapshot& out) {
+  Result<std::vector<DirEntryInfo>> entries = fs.ReadDir(path);
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  for (const DirEntryInfo& entry : *entries) {
+    const std::string child =
+        (path == "/") ? "/" + entry.name : path + "/" + entry.name;
+    if (entry.is_dir) {
+      out[child] = "D";
+      TRIO_RETURN_IF_ERROR(WalkTree(fs, child, out));
+      continue;
+    }
+    Result<StatInfo> info = fs.Stat(child);
+    if (!info.ok()) {
+      return info.status();
+    }
+    std::string data(info->size, '\0');
+    Result<Fd> fd = fs.Open(child, OpenFlags::ReadOnly());
+    if (!fd.ok()) {
+      return fd.status();
+    }
+    if (info->size > 0) {
+      Result<size_t> n = fs.Pread(*fd, data.data(), data.size(), 0);
+      if (!n.ok() || *n != data.size()) {
+        (void)fs.Close(*fd);
+        return n.ok() ? Internal("short oracle read of " + child) : n.status();
+      }
+    }
+    TRIO_RETURN_IF_ERROR(fs.Close(*fd));
+    out[child] = "F:" + data;
+  }
+  return OkStatus();
+}
+
+}  // namespace trio

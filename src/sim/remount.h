@@ -1,0 +1,45 @@
+// Shared remount-and-audit harness used by the crash-point and schedule explorers: boot a
+// materialized NVM image (mount + journal replay + recovery) and walk the recovered tree
+// through the POSIX oracle. Factored out so both explorers check recovered images the same
+// way — a divergence between them would make their verdicts incomparable.
+
+#ifndef SRC_SIM_REMOUNT_H_
+#define SRC_SIM_REMOUNT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/libfs/arckfs.h"
+
+namespace trio {
+
+// Path -> "D" for directories, "F:<content>" for files. Ordered so two snapshots compare
+// with operator==.
+using TreeSnapshot = std::map<std::string, std::string>;
+
+struct RemountedFs {
+  std::unique_ptr<NvmPool> pool;
+  std::unique_ptr<KernelController> kernel;
+  std::unique_ptr<ArckFs> fs;
+  Status status;  // Mount / recovery outcome.
+  bool needed_recovery = false;
+};
+
+// Boots `image` into a fresh pool of `pool_pages`: mount, register one default-config
+// ArckFs with `journals` to replay, and run recovery if the image is unclean. With
+// `record_recovery`, fence recording covers the journal replay and RunRecovery (the pool
+// must be kTracking). `kernel_config` applies to the recovery kernel — explorers pass the
+// default so recovered images must be readable without any workload's special modes.
+RemountedFs BootImage(const char* image, size_t pool_pages, NvmMode mode,
+                      const std::vector<PageNumber>& journals, bool record_recovery,
+                      const KernelConfig& kernel_config = {});
+
+// Recursive oracle walk: every directory lists, every file stats and reads back its full
+// size. Any error means the tree is not internally consistent.
+Status WalkTree(ArckFs& fs, const std::string& path, TreeSnapshot& out);
+
+}  // namespace trio
+
+#endif  // SRC_SIM_REMOUNT_H_

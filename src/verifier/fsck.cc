@@ -37,7 +37,12 @@ class FsckRun {
       Problem("G2", d.ino, "invalid file type bits");
       ok = false;
     }
-    if (!is_root && !ValidFileName(d.Name())) {
+    // name_len gates every Name() call: a fuzzed length would otherwise make the
+    // string_view span far past the fixed-size name array.
+    if (d.name_len >= kMaxNameLen) {
+      Problem("G2", d.ino, "name length out of range");
+      ok = false;
+    } else if (!is_root && !ValidFileName(d.Name())) {
       Problem("G2", d.ino, "invalid file name");
       ok = false;
     }
@@ -136,7 +141,10 @@ class FsckRun {
     Status scan = ForEachDirent(
         pool_, dirent->first_index_page,
         [&](DirentBlock* child, PageNumber, size_t) -> Status {
-          if (!names.insert(std::string(child->Name())).second) {
+          // Only a bounded name_len may be turned into a string; CheckFile reports the
+          // out-of-range case.
+          if (child->name_len < kMaxNameLen &&
+              !names.insert(std::string(child->Name())).second) {
             Problem("G2", dirent->ino,
                     "duplicate name '" + std::string(child->Name()) + "'");
           }

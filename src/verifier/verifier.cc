@@ -18,64 +18,100 @@ bool AllZero(const uint8_t* bytes, size_t len) {
   return true;
 }
 
+// The core-state walkers predate the taxonomy and return bare kCorrupted messages;
+// reclassify them so chain failures are structured like every other verify error.
+Status ClassifyWalkerError(const Status& status) {
+  if (status.ok() || VerifyError::IsStructured(status)) {
+    return status;
+  }
+  const VerifyErrorClass cls = status.message().find("cycle") != std::string::npos
+                                   ? VerifyErrorClass::kChainCycle
+                                   : VerifyErrorClass::kBadPagePointer;
+  return VerifyFail(cls, "I2", status.message());
+}
+
 }  // namespace
 
-Status IntegrityVerifier::CheckDirentFields(const DirentBlock& dirent, bool allow_root) const {
+Status IntegrityVerifier::CheckDeadline(const VerifyRequest& request) const {
+  if (request.deadline_ns != 0 && clock_->NowNs() > request.deadline_ns) {
+    stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    return VerifyFail(VerifyErrorClass::kDeadline, "I2",
+                      "verification exceeded its time budget; state unverified");
+  }
+  return OkStatus();
+}
+
+Status IntegrityVerifier::CheckDirentFields(const DirentBlock& dirent,
+                                            bool allow_root) const {
   // I1: file type must be a regular file or a directory.
   const uint32_t type = dirent.mode & kModeTypeMask;
   if (type != kModeRegular && type != kModeDirectory) {
-    return Corrupted("I1: invalid file type");
+    return VerifyFail(VerifyErrorClass::kBadType, "I1", "invalid file type");
+  }
+  // I1: name length must be validated BEFORE Name() constructs a view over the name
+  // bytes — a fuzzed name_len would otherwise read far past the 48-byte array.
+  if (dirent.name_len >= kMaxNameLen) {
+    return VerifyFail(VerifyErrorClass::kBadName, "I1", "name length out of range");
   }
   // I1: valid name. The root's pseudo-name "/" is only legal in the superblock.
   const std::string_view name = dirent.Name();
   if (allow_root && name == "/") {
     // OK.
   } else if (!ValidFileName(name)) {
-    return Corrupted("I1: invalid file name");
-  }
-  if (dirent.name_len >= kMaxNameLen) {
-    return Corrupted("I1: name length out of range");
+    return VerifyFail(VerifyErrorClass::kBadName, "I1", "invalid file name");
   }
   // I1: trailing name bytes beyond name_len must be zero (no hidden payload).
   if (!AllZero(reinterpret_cast<const uint8_t*>(dirent.name) + dirent.name_len,
                kMaxNameLen - dirent.name_len)) {
-    return Corrupted("I1: nonzero bytes after name");
+    return VerifyFail(VerifyErrorClass::kHiddenPayload, "I1", "nonzero bytes after name");
   }
   if (!AllZero(dirent.reserved, sizeof(dirent.reserved)) || dirent.reserved2 != 0) {
-    return Corrupted("I1: reserved fields not zero");
+    return VerifyFail(VerifyErrorClass::kHiddenPayload, "I1", "reserved fields not zero");
   }
   if (dirent.nlink != 1) {
-    return Corrupted("I1: nlink must be 1 (no hard links)");
+    return VerifyFail(VerifyErrorClass::kBadLinkCount, "I1",
+                      "nlink must be 1 (no hard links)");
   }
   // I1: directories carry no size in core state.
   if (type == kModeDirectory && dirent.size != 0) {
-    return Corrupted("I1: directory size must be 0");
+    return VerifyFail(VerifyErrorClass::kBadSize, "I1", "directory size must be 0");
   }
   // I1: ino within table bounds.
   if (dirent.ino >= SuperblockOf(pool_)->max_inodes) {
-    return Corrupted("I1: inode number out of range");
+    return VerifyFail(VerifyErrorClass::kBadInodeNumber, "I1",
+                      "inode number out of range");
   }
   if (dirent.first_index_page != 0 && !ValidFilePage(pool_, dirent.first_index_page)) {
-    return Corrupted("I1: first index page out of range");
+    return VerifyFail(VerifyErrorClass::kBadPagePointer, "I1",
+                      "first index page out of range");
   }
   return OkStatus();
 }
 
-Status IntegrityVerifier::CheckChain(Ino ino, PageNumber first_index_page, LibFsId writer,
+Status IntegrityVerifier::CheckChain(const VerifyRequest& request,
+                                     PageNumber first_index_page,
                                      VerifyReport* report) const {
+  const Ino ino = request.ino;
   std::unordered_set<PageNumber> seen;
   auto check_page = [&](PageNumber page) -> Status {
+    TRIO_RETURN_IF_ERROR(CheckDeadline(request));
+    if (injector_ != nullptr && injector_->ShouldFire(kFaultVerifierMediaRead)) {
+      return VerifyFail(VerifyErrorClass::kMediaFailure, "I2",
+                        "transient media error reading page " + std::to_string(page));
+    }
     // I2: no double references within the file.
     if (!seen.insert(page).second) {
-      return Corrupted("I2: page referenced twice within file");
+      return VerifyFail(VerifyErrorClass::kDoubleReference, "I2",
+                        "page referenced twice within file");
     }
     // I2: page must have been part of this file already, or leased to the writer.
     const PageState state = ownership_.StateOfPage(page);
     const bool owned_by_file = state.state == ResourceState::kOwned && state.owner == ino;
     const bool leased_to_writer =
-        state.state == ResourceState::kLeased && state.lessee == writer;
+        state.state == ResourceState::kLeased && state.lessee == request.writer;
     if (!owned_by_file && !leased_to_writer) {
-      return Corrupted("I2: page neither owned by file nor leased to writer");
+      return VerifyFail(VerifyErrorClass::kForeignPage, "I2",
+                        "page neither owned by file nor leased to writer");
     }
     report->pages.push_back(page);
     stats_.pages_scanned.fetch_add(1, std::memory_order_relaxed);
@@ -84,10 +120,11 @@ Status IntegrityVerifier::CheckChain(Ino ino, PageNumber first_index_page, LibFs
 
   // Walk index pages, then data pages. ForEach* already bound-check page numbers and
   // detect cycles in the index chain.
-  TRIO_RETURN_IF_ERROR(ForEachIndexPage(pool_, first_index_page, check_page));
-  TRIO_RETURN_IF_ERROR(ForEachDataPage(
+  TRIO_RETURN_IF_ERROR(
+      ClassifyWalkerError(ForEachIndexPage(pool_, first_index_page, check_page)));
+  TRIO_RETURN_IF_ERROR(ClassifyWalkerError(ForEachDataPage(
       pool_, first_index_page,
-      [&](uint64_t /*file_page_index*/, PageNumber page) { return check_page(page); }));
+      [&](uint64_t /*file_page_index*/, PageNumber page) { return check_page(page); })));
   return OkStatus();
 }
 
@@ -97,27 +134,41 @@ Result<VerifyReport> IntegrityVerifier::Verify(const VerifyRequest& request) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
     return InvalidArgument("verify request without dirent");
   }
-  Result<VerifyReport> result = request.dirent->IsDirectory() ? VerifyDirectory(request)
-                                                              : VerifyRegular(request);
+  // Transient media faults abort a pass; re-run the whole verification (every pass
+  // re-reads the chain, so a fault that clears on retry costs only the retries).
+  Result<VerifyReport> result = VerifyOnce(request);
+  for (int attempt = 0; attempt < media_read_retries_ && !result.ok(); ++attempt) {
+    if (VerifyError::FromStatus(result.status()).cls != VerifyErrorClass::kMediaFailure) {
+      break;
+    }
+    stats_.media_retries.fetch_add(1, std::memory_order_relaxed);
+    result = VerifyOnce(request);
+  }
   if (!result.ok()) {
     stats_.failures.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }
 
+Result<VerifyReport> IntegrityVerifier::VerifyOnce(const VerifyRequest& request) {
+  return request.dirent->IsDirectory() ? VerifyDirectory(request)
+                                       : VerifyRegular(request);
+}
+
 Result<VerifyReport> IntegrityVerifier::VerifyRegular(const VerifyRequest& request) {
   const DirentBlock& dirent = *request.dirent;
   TRIO_RETURN_IF_ERROR(CheckDirentFields(dirent, /*allow_root=*/false));
   if (!dirent.IsRegular()) {
-    return Corrupted("I1: expected a regular file");
+    return VerifyFail(VerifyErrorClass::kIdentityMismatch, "I1",
+                      "expected a regular file");
   }
   if (dirent.ino != request.ino) {
-    return Corrupted("I1: dirent ino does not match file identity");
+    return VerifyFail(VerifyErrorClass::kIdentityMismatch, "I1",
+                      "dirent ino does not match file identity");
   }
 
   VerifyReport report;
-  TRIO_RETURN_IF_ERROR(CheckChain(request.ino, dirent.first_index_page, request.writer,
-                                  &report));
+  TRIO_RETURN_IF_ERROR(CheckChain(request, dirent.first_index_page, &report));
 
   // I1: size must fit within the capacity of the index chain. Holes read as zeros, so a
   // size larger than the *allocated* pages is fine, but not larger than the chain covers.
@@ -129,7 +180,8 @@ Result<VerifyReport> IntegrityVerifier::VerifyRegular(const VerifyRequest& reque
                                         }));
   const uint64_t capacity = index_pages * kIndexEntriesPerPage * kPageSize;
   if (dirent.size > capacity) {
-    return Corrupted("I1: file size exceeds index chain capacity");
+    return VerifyFail(VerifyErrorClass::kBadSize, "I1",
+                      "file size exceeds index chain capacity");
   }
 
   // I2: the inode number itself.
@@ -138,7 +190,8 @@ Result<VerifyReport> IntegrityVerifier::VerifyRegular(const VerifyRequest& reque
   const bool fresh = ino_state.state == ResourceState::kLeased &&
                      ino_state.lessee == request.writer;
   if (!existing && !fresh) {
-    return Corrupted("I2: inode number neither existing nor leased to writer");
+    return VerifyFail(VerifyErrorClass::kForeignInode, "I2",
+                      "inode number neither existing nor leased to writer");
   }
 
   // I4: permissions. For an existing file the dirent's cached mode/uid/gid must match the
@@ -146,14 +199,17 @@ Result<VerifyReport> IntegrityVerifier::VerifyRegular(const VerifyRequest& reque
   if (existing) {
     const ShadowInode* shadow = ShadowInodeOf(pool_, request.ino);
     if (shadow == nullptr || !shadow->Exists()) {
-      return Corrupted("I4: no shadow inode for existing file");
+      return VerifyFail(VerifyErrorClass::kMissingShadow, "I4",
+                        "no shadow inode for existing file");
     }
     if (shadow->mode != dirent.mode || shadow->uid != dirent.uid || shadow->gid != dirent.gid) {
-      return Corrupted("I4: cached permission differs from shadow inode");
+      return VerifyFail(VerifyErrorClass::kPermissionMismatch, "I4",
+                        "cached permission differs from shadow inode");
     }
   } else {
     if (dirent.uid != request.writer_uid || dirent.gid != request.writer_gid) {
-      return Corrupted("I4: new file not owned by its creator");
+      return VerifyFail(VerifyErrorClass::kOwnershipForgery, "I4",
+                        "new file not owned by its creator");
     }
   }
   return report;
@@ -163,32 +219,37 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
   const DirentBlock& dir = *request.dirent;
   TRIO_RETURN_IF_ERROR(CheckDirentFields(dir, /*allow_root=*/request.ino == kRootIno));
   if (!dir.IsDirectory()) {
-    return Corrupted("I1: expected a directory");
+    return VerifyFail(VerifyErrorClass::kIdentityMismatch, "I1", "expected a directory");
   }
   if (dir.ino != request.ino) {
-    return Corrupted("I1: dirent ino does not match directory identity");
+    return VerifyFail(VerifyErrorClass::kIdentityMismatch, "I1",
+                      "dirent ino does not match directory identity");
   }
 
   VerifyReport report;
-  TRIO_RETURN_IF_ERROR(CheckChain(request.ino, dir.first_index_page, request.writer, &report));
+  TRIO_RETURN_IF_ERROR(CheckChain(request, dir.first_index_page, &report));
 
   // I4 for the directory itself (unless it is brand new).
   const InoState self_state = ownership_.StateOfIno(request.ino);
   if (self_state.state == ResourceState::kOwned || request.ino == kRootIno) {
     const ShadowInode* shadow = ShadowInodeOf(pool_, request.ino);
     if (shadow == nullptr || !shadow->Exists()) {
-      return Corrupted("I4: no shadow inode for existing directory");
+      return VerifyFail(VerifyErrorClass::kMissingShadow, "I4",
+                        "no shadow inode for existing directory");
     }
     if (shadow->mode != dir.mode || shadow->uid != dir.uid || shadow->gid != dir.gid) {
-      return Corrupted("I4: cached directory permission differs from shadow inode");
+      return VerifyFail(VerifyErrorClass::kPermissionMismatch, "I4",
+                        "cached directory permission differs from shadow inode");
     }
   } else if (self_state.state == ResourceState::kLeased &&
              self_state.lessee == request.writer) {
     if (dir.uid != request.writer_uid || dir.gid != request.writer_gid) {
-      return Corrupted("I4: new directory not owned by its creator");
+      return VerifyFail(VerifyErrorClass::kOwnershipForgery, "I4",
+                        "new directory not owned by its creator");
     }
   } else {
-    return Corrupted("I2: directory inode neither existing nor leased to writer");
+    return VerifyFail(VerifyErrorClass::kForeignInode, "I2",
+                      "directory inode neither existing nor leased to writer");
   }
 
   // Scan every live dirent: I1 per entry, duplicate names, and classify each child.
@@ -200,17 +261,20 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
   Status scan = ForEachDirent(
       pool_, dir.first_index_page,
       [&](DirentBlock* entry, PageNumber page, size_t slot) -> Status {
+        TRIO_RETURN_IF_ERROR(CheckDeadline(request));
         TRIO_RETURN_IF_ERROR(CheckDirentFields(*entry, /*allow_root=*/false));
         ++report.live_dirents;
         // I1: "no file shares the same name under one directory".
         std::string name(entry->Name());
         if (!names.insert(name).second) {
-          return Corrupted("I1: duplicate file name in directory");
+          return VerifyFail(VerifyErrorClass::kDuplicateName, "I1",
+                            "duplicate file name in directory");
         }
         name_hashes.insert(HashString(name));
         // I2: no two dirents may claim the same inode number.
         if (!child_inos.insert(entry->ino).second) {
-          return Corrupted("I2: inode number referenced by two dirents");
+          return VerifyFail(VerifyErrorClass::kDuplicateInode, "I2",
+                            "inode number referenced by two dirents");
         }
         present[entry->ino] = true;
 
@@ -220,16 +284,19 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
             // Existing child: I4 cached-permission check.
             const ShadowInode* shadow = ShadowInodeOf(pool_, entry->ino);
             if (shadow == nullptr || !shadow->Exists()) {
-              return Corrupted("I4: existing child has no shadow inode");
+              return VerifyFail(VerifyErrorClass::kMissingShadow, "I4",
+                                "existing child has no shadow inode");
             }
             if (shadow->mode != entry->mode || shadow->uid != entry->uid ||
                 shadow->gid != entry->gid) {
-              return Corrupted("I4: child cached permission differs from shadow inode");
+              return VerifyFail(VerifyErrorClass::kPermissionMismatch, "I4",
+                                "child cached permission differs from shadow inode");
             }
           } else {
             // Owned by another directory: only legal as a rename performed by this writer.
             if (!env_.IsMovePermitted(entry->ino, request.ino, request.writer)) {
-              return Corrupted("I2: child inode belongs to another directory");
+              return VerifyFail(VerifyErrorClass::kCrossDirectory, "I2",
+                                "child inode belongs to another directory");
             }
             report.moved_in.push_back(
                 MovedInChild{entry->ino, state.parent, page, slot});
@@ -238,7 +305,8 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
                    state.lessee == request.writer) {
           // Fresh file created in this write session.
           if (entry->uid != request.writer_uid || entry->gid != request.writer_gid) {
-            return Corrupted("I4: new child not owned by its creator");
+            return VerifyFail(VerifyErrorClass::kOwnershipForgery, "I4",
+                              "new child not owned by its creator");
           }
           NewChildInfo info;
           info.ino = entry->ino;
@@ -252,7 +320,8 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
           info.name = std::move(name);
           report.new_children.push_back(std::move(info));
         } else {
-          return Corrupted("I2: child inode neither existing nor leased to writer");
+          return VerifyFail(VerifyErrorClass::kForeignInode, "I2",
+                            "child inode neither existing nor leased to writer");
         }
         return OkStatus();
       });
@@ -270,7 +339,12 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
       }
       // "The integrity verifier then checks that the deleted child directory is not mapped
       // to any LibFS and has no file under it." (§4.3).
-      TRIO_RETURN_IF_ERROR(env_.CheckRemovedChildDir(child.ino, request.writer));
+      Status removed = env_.CheckRemovedChildDir(child.ino, request.writer);
+      if (!removed.ok() && !VerifyError::IsStructured(removed)) {
+        removed = VerifyFail(VerifyErrorClass::kRemovedDirNotEmpty, "I3",
+                             removed.message());
+      }
+      TRIO_RETURN_IF_ERROR(removed);
     }
   }
   return report;

@@ -25,13 +25,20 @@
 #include <string>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/core/core_state.h"
 #include "src/core/format.h"
 #include "src/core/ownership.h"
 #include "src/nvm/nvm.h"
+#include "src/sim/fault_injector.h"
+#include "src/verifier/verify_error.h"
 
 namespace trio {
+
+// Fault point: a page read taken during verification hits a transient media error. The
+// verifier retries the whole verification (bounded) before reporting kMediaFailure.
+inline constexpr const char kFaultVerifierMediaRead[] = "verifier.media_read";
 
 // What the kernel remembers about a directory's children at checkpoint time (I3 input).
 struct CheckpointChild {
@@ -97,35 +104,57 @@ struct VerifyRequest {
   uint32_t writer_gid = 0;
   // Children of the directory at checkpoint time; empty for regular files or fresh files.
   const std::vector<CheckpointChild>* checkpoint_children = nullptr;
+  // Absolute deadline (clock nanoseconds) for this verification; 0 = unbounded. The
+  // verifier checks it cooperatively inside its page/dirent walks — it runs on the
+  // caller's thread under the kernel lock, so a watchdog thread cannot bound it without
+  // deadlocking against the OwnershipView callbacks. An overrun returns kDeadline
+  // (ErrorCode::kTimeout): the state is UNVERIFIED and the kernel treats it exactly like
+  // corruption (rollback + quarantine) rather than accepting it unchecked.
+  uint64_t deadline_ns = 0;
 };
 
 struct VerifierStats {
   std::atomic<uint64_t> files_verified{0};
   std::atomic<uint64_t> failures{0};
   std::atomic<uint64_t> pages_scanned{0};
+  std::atomic<uint64_t> deadline_exceeded{0};  // Verifications that overran deadline_ns.
+  std::atomic<uint64_t> media_retries{0};      // Re-runs after a transient media fault.
 };
 
 class IntegrityVerifier {
  public:
-  IntegrityVerifier(NvmPool& pool, const OwnershipView& ownership, const VerifyEnv& env)
-      : pool_(pool), ownership_(ownership), env_(env) {}
+  IntegrityVerifier(NvmPool& pool, const OwnershipView& ownership, const VerifyEnv& env,
+                    Clock* clock = SystemClock::Instance())
+      : pool_(pool), ownership_(ownership), env_(env), clock_(clock) {}
 
-  // Returns the report on success, or kCorrupted with a diagnostic on any I1-I4 violation.
+  // Returns the report on success, or a structured VerifyError status (kCorrupted on any
+  // I1-I4 violation, kTimeout past the deadline, kIo after media-retry exhaustion).
   Result<VerifyReport> Verify(const VerifyRequest& request);
 
   VerifierStats& stats() { return stats_; }
 
+  // Attach FaultSim (kFaultVerifierMediaRead) for transient-media testing; nullptr
+  // detaches. A fired fault aborts the current pass; Verify retries the whole pass up to
+  // media_read_retries times before surfacing kMediaFailure.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_media_read_retries(int retries) { media_read_retries_ = retries; }
+
  private:
   Status CheckDirentFields(const DirentBlock& dirent, bool allow_root) const;
   // I2 over the chain rooted at first_index_page. Appends pages to report->pages.
-  Status CheckChain(Ino ino, PageNumber first_index_page, LibFsId writer,
+  Status CheckChain(const VerifyRequest& request, PageNumber first_index_page,
                     VerifyReport* report) const;
+  Status CheckDeadline(const VerifyRequest& request) const;
+  Result<VerifyReport> VerifyOnce(const VerifyRequest& request);
   Result<VerifyReport> VerifyRegular(const VerifyRequest& request);
   Result<VerifyReport> VerifyDirectory(const VerifyRequest& request);
 
   NvmPool& pool_;
   const OwnershipView& ownership_;
   const VerifyEnv& env_;
+  Clock* clock_;
+  FaultInjector* injector_ = nullptr;
+  int media_read_retries_ = 3;
   mutable VerifierStats stats_;  // Counters bump inside const check helpers.
 };
 

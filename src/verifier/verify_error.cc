@@ -1,0 +1,122 @@
+#include "src/verifier/verify_error.h"
+
+namespace trio {
+
+const char* VerifyErrorClassName(VerifyErrorClass cls) {
+  switch (cls) {
+    case VerifyErrorClass::kUnclassified: return "unclassified";
+    case VerifyErrorClass::kBadType: return "bad_type";
+    case VerifyErrorClass::kBadName: return "bad_name";
+    case VerifyErrorClass::kHiddenPayload: return "hidden_payload";
+    case VerifyErrorClass::kBadLinkCount: return "bad_link_count";
+    case VerifyErrorClass::kBadSize: return "bad_size";
+    case VerifyErrorClass::kBadInodeNumber: return "bad_inode_number";
+    case VerifyErrorClass::kBadPagePointer: return "bad_page_pointer";
+    case VerifyErrorClass::kChainCycle: return "chain_cycle";
+    case VerifyErrorClass::kDoubleReference: return "double_reference";
+    case VerifyErrorClass::kForeignPage: return "foreign_page";
+    case VerifyErrorClass::kForeignInode: return "foreign_inode";
+    case VerifyErrorClass::kDuplicateInode: return "duplicate_inode";
+    case VerifyErrorClass::kCrossDirectory: return "cross_directory";
+    case VerifyErrorClass::kDuplicateName: return "duplicate_name";
+    case VerifyErrorClass::kIdentityMismatch: return "identity_mismatch";
+    case VerifyErrorClass::kRemovedDirNotEmpty: return "removed_dir_not_empty";
+    case VerifyErrorClass::kPermissionMismatch: return "permission_mismatch";
+    case VerifyErrorClass::kOwnershipForgery: return "ownership_forgery";
+    case VerifyErrorClass::kMissingShadow: return "missing_shadow";
+    case VerifyErrorClass::kDeadline: return "deadline";
+    case VerifyErrorClass::kMediaFailure: return "media_failure";
+  }
+  return "unclassified";
+}
+
+namespace {
+
+constexpr VerifyErrorClass kAllClasses[] = {
+    VerifyErrorClass::kBadType,
+    VerifyErrorClass::kBadName,
+    VerifyErrorClass::kHiddenPayload,
+    VerifyErrorClass::kBadLinkCount,
+    VerifyErrorClass::kBadSize,
+    VerifyErrorClass::kBadInodeNumber,
+    VerifyErrorClass::kBadPagePointer,
+    VerifyErrorClass::kChainCycle,
+    VerifyErrorClass::kDoubleReference,
+    VerifyErrorClass::kForeignPage,
+    VerifyErrorClass::kForeignInode,
+    VerifyErrorClass::kDuplicateInode,
+    VerifyErrorClass::kCrossDirectory,
+    VerifyErrorClass::kDuplicateName,
+    VerifyErrorClass::kIdentityMismatch,
+    VerifyErrorClass::kRemovedDirNotEmpty,
+    VerifyErrorClass::kPermissionMismatch,
+    VerifyErrorClass::kOwnershipForgery,
+    VerifyErrorClass::kMissingShadow,
+    VerifyErrorClass::kDeadline,
+    VerifyErrorClass::kMediaFailure,
+};
+
+ErrorCode CodeFor(VerifyErrorClass cls) {
+  switch (cls) {
+    case VerifyErrorClass::kDeadline:
+      return ErrorCode::kTimeout;
+    case VerifyErrorClass::kMediaFailure:
+      return ErrorCode::kIo;
+    default:
+      return ErrorCode::kCorrupted;
+  }
+}
+
+}  // namespace
+
+Status VerifyError::ToStatus() const {
+  std::string message = "[";
+  message += invariant;
+  message += '/';
+  message += VerifyErrorClassName(cls);
+  message += "] ";
+  message += detail;
+  return Status(CodeFor(cls), message);
+}
+
+VerifyError VerifyError::FromStatus(const Status& status) {
+  VerifyError error;
+  const std::string& message = status.message();
+  const size_t slash = message.find('/');
+  const size_t close = message.find("] ");
+  if (message.empty() || message[0] != '[' || slash == std::string::npos ||
+      close == std::string::npos || slash > close) {
+    error.detail = message;
+    return error;
+  }
+  const std::string_view invariant(message.data() + 1, slash - 1);
+  const std::string_view slug(message.data() + slash + 1, close - slash - 1);
+  for (VerifyErrorClass cls : kAllClasses) {
+    if (slug == VerifyErrorClassName(cls)) {
+      error.cls = cls;
+      break;
+    }
+  }
+  if (error.cls == VerifyErrorClass::kUnclassified) {
+    error.detail = message;
+    return error;
+  }
+  error.invariant = std::string(invariant);
+  error.detail = message.substr(close + 2);
+  return error;
+}
+
+bool VerifyError::IsStructured(const Status& status) {
+  return FromStatus(status).cls != VerifyErrorClass::kUnclassified;
+}
+
+Status VerifyFail(VerifyErrorClass cls, std::string_view invariant,
+                  std::string_view detail) {
+  VerifyError error;
+  error.cls = cls;
+  error.invariant = std::string(invariant);
+  error.detail = std::string(detail);
+  return error.ToStatus();
+}
+
+}  // namespace trio

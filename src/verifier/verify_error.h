@@ -1,0 +1,81 @@
+// Structured taxonomy for integrity-verification failures. Every failure the online
+// verifier (verifier.h) or the kernel's verify-and-reconcile path produces is classified
+// into a VerifyErrorClass and carried inside the ordinary Status message with a parseable
+// "[<invariant>/<class>] " prefix, so:
+//
+//   - callers that only know Status keep working (the code is still kCorrupted /
+//     kTimeout / kIo);
+//   - harnesses (fuzz corpus, crash explorer, quarantine inspection) can recover the
+//     class with VerifyError::FromStatus and assert on it;
+//   - the quarantine records WHY a file was impounded, not just that it was.
+//
+// The class list covers each distinct way the I1-I4 invariants can fail plus the two
+// non-corruption outcomes (verification deadline exceeded, media read failure after
+// retries). kUnclassified is the parse-failure sentinel, never produced by the verifier.
+
+#ifndef SRC_VERIFIER_VERIFY_ERROR_H_
+#define SRC_VERIFIER_VERIFY_ERROR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace trio {
+
+enum class VerifyErrorClass : uint8_t {
+  kUnclassified = 0,
+  // I1: field validity.
+  kBadType,            // Mode type bits neither regular nor directory.
+  kBadName,            // Invalid characters, bad length, or embedded NUL.
+  kHiddenPayload,      // Nonzero bytes after the name or in reserved fields.
+  kBadLinkCount,       // nlink != 1 (no hard links in ArckFS).
+  kBadSize,            // Size exceeds chain capacity / directory size nonzero.
+  kBadInodeNumber,     // Inode number outside the shadow table.
+  kBadPagePointer,     // Index/first page outside the file region.
+  // I2: resource ownership.
+  kChainCycle,         // Index chain loops (walker cycle detection).
+  kDoubleReference,    // Page referenced twice within one file.
+  kForeignPage,        // Page neither owned by the file nor leased to the writer.
+  kForeignInode,       // Inode neither existing nor leased to the writer.
+  kDuplicateInode,     // Two dirents claim one inode number.
+  kCrossDirectory,     // Child inode belongs to another directory (illegal move).
+  // I1 (namespace) / I3.
+  kDuplicateName,      // Two live dirents share a name in one directory.
+  kIdentityMismatch,   // Dirent ino/type does not match the verified identity.
+  kRemovedDirNotEmpty, // Deleted child directory still mapped or non-empty.
+  // I4: permissions.
+  kPermissionMismatch, // Cached mode/uid/gid differ from the shadow inode.
+  kOwnershipForgery,   // New file/child not owned by its creator.
+  kMissingShadow,      // Live file without a shadow inode.
+  // Bounded-verification outcomes (not corruption per se; still unverifiable states).
+  kDeadline,           // Verification exceeded its time budget.
+  kMediaFailure,       // Transient media read fault persisted past all retries.
+};
+
+// Stable lowercase slug ("foreign_page", ...). Round-trips through FromStatus.
+const char* VerifyErrorClassName(VerifyErrorClass cls);
+
+struct VerifyError {
+  VerifyErrorClass cls = VerifyErrorClass::kUnclassified;
+  std::string invariant;  // "I1".."I4" (online), "G1".."G6" (fsck), or "" unclassified.
+  std::string detail;
+
+  // kCorrupted for corruption classes, kTimeout for kDeadline, kIo for kMediaFailure;
+  // message = "[<invariant>/<slug>] <detail>".
+  Status ToStatus() const;
+  // Parses a status produced by ToStatus/VerifyFail. Unparseable messages yield
+  // kUnclassified with the whole message as detail.
+  static VerifyError FromStatus(const Status& status);
+  // True when `status` carries a structured verify-error prefix.
+  static bool IsStructured(const Status& status);
+};
+
+// One-line helper for verifier check sites: VerifyFail(kForeignPage, "I2", "...").
+Status VerifyFail(VerifyErrorClass cls, std::string_view invariant,
+                  std::string_view detail);
+
+}  // namespace trio
+
+#endif  // SRC_VERIFIER_VERIFY_ERROR_H_

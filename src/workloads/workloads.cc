@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/libfs/op_ring.h"
 
 namespace trio {
 
@@ -46,6 +47,42 @@ Result<WorkloadStats> FioWorkload::Run(int thread, uint64_t ops) {
   TRIO_ASSIGN_OR_RETURN(Fd fd, fs_.Open(PathFor(thread), flags));
   std::vector<char> buffer(config_.block_size, 'f');
   const uint64_t blocks = std::max<uint64_t>(1, config_.file_size / config_.block_size);
+  if (config_.use_ring && !config_.is_read) {
+    if (config_.ring == nullptr) {
+      (void)fs_.Close(fd);
+      return InvalidArgument("use_ring set but FioConfig::ring is null");
+    }
+    // All SQEs of a burst share one payload buffer: the ring only reads it, and it stays
+    // live until every CQE of the burst has been reaped below.
+    const size_t burst = std::max<size_t>(1, config_.ring_burst);
+    std::vector<Sqe> sqes(burst);
+    for (uint64_t done = 0; done < ops;) {
+      const size_t n = static_cast<size_t>(std::min<uint64_t>(burst, ops - done));
+      for (size_t j = 0; j < n; ++j) {
+        const uint64_t block = config_.random ? rng.Below(blocks) : (done + j) % blocks;
+        Sqe& sqe = sqes[j];
+        sqe = Sqe{};
+        sqe.op = Sqe::Op::kPwrite;
+        sqe.fd = fd;
+        sqe.buf = buffer.data();
+        sqe.len = static_cast<uint32_t>(buffer.size());
+        sqe.offset = block * config_.block_size;
+      }
+      config_.ring->SubmitBurst(sqes.data(), n);
+      for (size_t j = 0; j < n; ++j) {
+        const Cqe cqe = config_.ring->WaitCompletion();
+        if (!cqe.ok()) {
+          (void)fs_.Close(fd);
+          return Status(cqe.code(), "ring pwrite failed");
+        }
+        stats.bytes_written += static_cast<uint64_t>(cqe.result);
+        ++stats.ops;
+      }
+      done += n;
+    }
+    TRIO_RETURN_IF_ERROR(fs_.Close(fd));
+    return stats;
+  }
   for (uint64_t i = 0; i < ops; ++i) {
     const uint64_t block = config_.random ? rng.Below(blocks) : i % blocks;
     const uint64_t offset = block * config_.block_size;

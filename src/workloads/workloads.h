@@ -24,6 +24,8 @@
 
 namespace trio {
 
+class OpRingEngine;
+
 struct WorkloadStats {
   uint64_t ops = 0;
   uint64_t bytes_read = 0;
@@ -40,6 +42,12 @@ struct FioConfig {
   bool is_read = true;
   bool random = false;
   uint64_t seed = 1;
+  // Route writes through the async op ring in bursts of `ring_burst` SQEs (one drainer
+  // wake per burst). Reads stay synchronous — the ring has no read op. `ring` must be
+  // the engine of the same LibFS instance as `fs_` and outlive the workload.
+  bool use_ring = false;
+  size_t ring_burst = 16;
+  OpRingEngine* ring = nullptr;
 };
 
 class FioWorkload {

@@ -11,6 +11,7 @@
 #include "src/common/random.h"
 #include "src/kernel/controller.h"
 #include "src/libfs/arckfs.h"
+#include "tests/test_seed.h"
 
 namespace trio {
 namespace {
@@ -114,7 +115,7 @@ TEST_F(ArckFsTest, LargeFileCrossesIndexPages) {
   // > 511 data pages forces a second index page (2.5 MiB > 511 * 4 KiB).
   const size_t size = 650 * kPageSize;
   std::string data(size, '\0');
-  Rng rng(42);
+  Rng rng(TestSeed());
   for (auto& c : data) {
     c = static_cast<char>('a' + rng.Below(26));
   }

@@ -14,6 +14,7 @@
 #include "src/common/range_lock.h"
 #include "src/common/result.h"
 #include "src/common/rwlock.h"
+#include "tests/test_seed.h"
 #include "src/common/spinlock.h"
 #include "src/common/status.h"
 
@@ -86,16 +87,16 @@ TEST(ResultTest, MoveOnlyValue) {
 }
 
 TEST(RngTest, DeterministicForSeed) {
-  Rng a(123);
-  Rng b(123);
+  Rng a(TestSeed());
+  Rng b(TestSeed());
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.Next(), b.Next());
   }
 }
 
 TEST(RngTest, DifferentSeedsDiffer) {
-  Rng a(1);
-  Rng b(2);
+  Rng a(TestSeed());
+  Rng b(TestSeed() + 1);
   int same = 0;
   for (int i = 0; i < 64; ++i) {
     same += a.Next() == b.Next() ? 1 : 0;
@@ -104,14 +105,14 @@ TEST(RngTest, DifferentSeedsDiffer) {
 }
 
 TEST(RngTest, BelowStaysInRange) {
-  Rng rng(7);
+  Rng rng(TestSeed());
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(rng.Below(17), 17u);
   }
 }
 
 TEST(RngTest, RangeInclusive) {
-  Rng rng(9);
+  Rng rng(TestSeed() + 1);
   std::set<uint64_t> seen;
   for (int i = 0; i < 1000; ++i) {
     uint64_t v = rng.Range(3, 5);
@@ -123,7 +124,7 @@ TEST(RngTest, RangeInclusive) {
 }
 
 TEST(RngTest, NextDoubleInUnitInterval) {
-  Rng rng(11);
+  Rng rng(TestSeed() + 2);
   for (int i = 0; i < 1000; ++i) {
     double d = rng.NextDouble();
     EXPECT_GE(d, 0.0);

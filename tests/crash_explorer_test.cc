@@ -499,5 +499,65 @@ TEST(FaultSimKernelTest, UnresponsiveLeaseHolderIsForciblyReleased) {
   DrainAbandonedCallbacks(latch);
 }
 
+TEST(FaultSimKernelTest, ForcedReleaseRacingLeaseReacquire) {
+  // While a contender's map is mid-ForceReleaseLocked (the holder's revoke callback is
+  // hung and the kernel lock is dropped around the guarded wait), the original holder
+  // concurrently re-acquires the same lease. Both calls must return, nobody deadlocks,
+  // and the kernel's ownership state stays consistent no matter which racer wins.
+  NvmPool pool(kPoolPages, NvmMode::kFast);
+  FormatOptions format;
+  format.max_inodes = 256;
+  TRIO_CHECK_OK(Format(pool, format));
+  KernelConfig config;
+  config.lease_ms = 10;
+  config.revoke_grace_ms = 10;
+  KernelController kernel(pool, config);
+  TRIO_CHECK_OK(kernel.Mount());
+
+  auto latch = std::make_shared<SharedLatch>();
+  LibFsOptions holder_options;
+  holder_options.callbacks.revoke = [latch](Ino) { latch->Wait(); };
+  const LibFsId holder = kernel.RegisterLibFs(holder_options);
+  ASSERT_TRUE(kernel.MapRoot(holder, /*write=*/true).ok());
+
+  const LibFsId contender = kernel.RegisterLibFs(LibFsOptions{});
+  const auto start = std::chrono::steady_clock::now();
+  Result<MapInfo> contender_grant = InvalidArgument("not run");
+  std::thread contending([&] {
+    contender_grant = kernel.MapRoot(contender, /*write=*/true);
+  });
+  // Land the re-acquire inside the contender's guarded revoke wait (the kernel lock is
+  // released there). Exact interleaving does not matter for the invariants below — under
+  // sanizer-slowed schedules this may also land before or after the force.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Result<MapInfo> holder_regrant = kernel.MapRoot(holder, /*write=*/true);
+  contending.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  // The contender cannot be starved by the hung holder: its map must have resolved, by
+  // force if necessary.
+  ASSERT_TRUE(contender_grant.ok()) << contender_grant.status().ToString();
+  EXPECT_TRUE(contender_grant->writable);
+  // The holder's concurrent re-acquire either won a (possibly later-revoked) grant or
+  // failed cleanly — it must not corrupt the writer bookkeeping.
+  if (holder_regrant.ok()) {
+    EXPECT_TRUE(holder_regrant->writable);
+  }
+  EXPECT_GE(kernel.stats().forced_releases.load(), 1u);
+
+  // Exactly one of the racers holds the write lease now; its unmap succeeds, the loser's
+  // reports no mapping. Either way the root is releasable and the image stays clean.
+  const Status unmap_holder = kernel.UnmapFile(holder, kRootIno);
+  const Status unmap_contender = kernel.UnmapFile(contender, kRootIno);
+  EXPECT_TRUE(unmap_holder.ok() || unmap_contender.ok())
+      << unmap_holder.ToString() << " / " << unmap_contender.ToString();
+  Result<FsckReport> fsck = RunFsck(pool);
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->Clean()) << fsck->problems.front().detail;
+
+  DrainAbandonedCallbacks(latch);
+}
+
 }  // namespace
 }  // namespace trio

@@ -222,7 +222,7 @@ TEST_F(CrashTest, TruncateShrinkAtomicSize) {
 TEST_F(CrashTest, RandomWorkloadAlwaysRemountsClean) {
   // Property: after a crash at any fence point of a mixed workload, the file system
   // mounts, recovers, and the whole tree walks without error.
-  Rng rng(2026);
+  Rng rng(TestSeed());
   SweepCrashPoints(
       [&] {
         TRIO_CHECK_OK(fs_->Mkdir("/w"));

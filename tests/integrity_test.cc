@@ -234,7 +234,7 @@ TEST_P(CorruptionSweepTest, DetectedAndRecovered) {
   const std::string name = CorruptionScenarioName(scenario);
 
   // dir-targeted scripts corrupt a directory's metadata; everything else hits a file.
-  const bool dir_target = name == "dir_size_nonzero";
+  const bool dir_target = name == "dir_size_nonzero" || name == "dir_index_cycle";
   std::string path;
   if (dir_target) {
     TRIO_CHECK_OK(victim_->Mkdir("/swept"));

@@ -1,12 +1,17 @@
 // Shared seed source for randomized crash/fault tests. Every Rng handed to
 // SimulateCrash or a FaultInjector derives from TestSeed(), which is logged once and can
 // be overridden with TRIO_TEST_SEED=<n> — so any randomized failure replays exactly from
-// the seed printed by the failing run.
+// the seed printed by the failing run. Including this header also registers a gtest
+// listener that reprints the effective seed under every FAILED test, so the replay
+// command is visible right next to the failure instead of buried at the top of the log.
 
 #ifndef TESTS_TEST_SEED_H_
 #define TESTS_TEST_SEED_H_
 
+#include <gtest/gtest.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/common/logging.h"
@@ -24,6 +29,30 @@ inline uint64_t TestSeed() {
   return seed;
 }
 
+namespace test_seed_internal {
+
+// Printed once per failed test (not per failed assertion) so the replay incantation is
+// adjacent to the [ FAILED ] line.
+class SeedOnFailurePrinter : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      std::printf("[  SEED    ] replay with TRIO_TEST_SEED=%llu %s.%s\n",
+                  static_cast<unsigned long long>(TestSeed()), info.test_suite_name(),
+                  info.name());
+      std::fflush(stdout);
+    }
+  }
+};
+
+// One registration per binary (inline variable), run before main; gtest keeps listeners
+// appended before InitGoogleTest.
+inline const bool seed_printer_registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedOnFailurePrinter);
+  return true;
+}();
+
+}  // namespace test_seed_internal
 }  // namespace trio
 
 #endif  // TESTS_TEST_SEED_H_

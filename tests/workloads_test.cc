@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "src/baselines/fs_factory.h"
+#include "src/core/core_state.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+#include "src/libfs/op_ring.h"
 #include "src/workloads/workloads.h"
 
 namespace trio {
@@ -88,6 +92,54 @@ TEST_P(WorkloadsTest, VarmailDeepDirectoryVariant) {
 
 INSTANTIATE_TEST_SUITE_P(Systems, WorkloadsTest,
                          ::testing::Values("ArckFS", "NOVA", "FPFS"));
+
+// S1: fio writes routed through the op ring. The burst path must produce the same
+// stats as the synchronous path, actually go through the ring (engine counters move),
+// and leave bytes readable afterwards.
+TEST(FioRingTest, WritesRouteThroughOpRingBursts) {
+  NvmPool pool(4096, NvmMode::kFast);
+  ASSERT_TRUE(Format(pool, FormatOptions{}).ok());
+  KernelController kernel(pool);
+  ASSERT_TRUE(kernel.Mount().ok());
+  ArckFsConfig fs_config;
+  fs_config.ring.enabled = true;
+  fs_config.ring.depth = 16;
+  ArckFs fs(kernel, fs_config);
+  ASSERT_NE(fs.ring_engine(), nullptr);
+
+  FioConfig config;
+  config.file_size = 64 * 4096;
+  config.block_size = 4096;
+  config.is_read = false;
+  config.random = true;
+  config.use_ring = true;
+  config.ring_burst = 8;
+  config.ring = fs.ring_engine();
+  FioWorkload fio(fs, config);
+  ASSERT_TRUE(fio.Prepare(1).ok());
+
+  const uint64_t submitted_before = fs.ring_engine()->stats().submitted.load();
+  Result<WorkloadStats> stats = fio.Run(0, 100);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->ops, 100u);
+  EXPECT_EQ(stats->bytes_written, 100u * 4096);
+  EXPECT_GE(fs.ring_engine()->stats().submitted.load() - submitted_before, 100u);
+
+  // Reads ignore use_ring (no ring read op) and still see the written file.
+  config.is_read = true;
+  FioWorkload reader(fs, config);
+  Result<WorkloadStats> read_stats = reader.Run(0, 10);
+  ASSERT_TRUE(read_stats.ok()) << read_stats.status().ToString();
+  EXPECT_EQ(read_stats->bytes_read, 10u * 4096);
+
+  // A misconfigured ring path fails loudly instead of silently running synchronous.
+  config.is_read = false;
+  config.ring = nullptr;
+  FioWorkload broken(fs, config);
+  Result<WorkloadStats> bad = broken.Run(0, 1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+}
 
 TEST(FxMarkMeta, NamesAndSharedness) {
   EXPECT_STREQ(FxMarkBenchName(FxMarkBench::kMWCM), "MWCM");
