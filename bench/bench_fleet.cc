@@ -1,0 +1,234 @@
+// Fleet-scale controller benchmarks: many LibFS tenants over ONE sharded kernel,
+// Zipfian-shared files, with the legacy configuration (controller_shards=1,
+// lockfree_lookup=off — every grant lookup funnels through one mutex, the pre-shard
+// controller) as the baseline. BM_GrantLookup is the CI-gated pair: the 8-shard
+// lock-free configuration must beat the 1-shard legacy one on items_per_second
+// (scripts/check_fleet_bench.py). BM_FleetChurn runs the full fleet op mix (Zipfian
+// reads + private writes + cross-shard renames) to exercise the two-phase path under
+// load and to measure the fast-hit rate.
+//
+// After the benchmarks the binary calibrates a sim::FleetProfile from the live harness
+// (fast-path and locked-path lookup latency, measured hit rate) and prints the
+// extrapolation toward millions of clients — the per-shard-cost projection the shard
+// refactor is sized against. Run with --benchmark_out=BENCH_fleet.json
+// --benchmark_out_format=json to track the trajectory across PRs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/core_state.h"
+#include "src/kernel/controller.h"
+#include "src/libfs/arckfs.h"
+#include "src/sim/fleet.h"
+#include "src/workloads/workloads.h"
+
+namespace trio {
+namespace {
+
+constexpr size_t kPoolPages = 1 << 13;
+constexpr int kTenants = 8;
+constexpr int kSharedFiles = 64;
+
+struct FleetHarness {
+  explicit FleetHarness(int shards) {
+    pool = std::make_unique<NvmPool>(kPoolPages);
+    FormatOptions options;
+    options.max_inodes = 4096;
+    TRIO_CHECK_OK(Format(*pool, options));
+    KernelConfig config;
+    config.controller_shards = static_cast<size_t>(shards);
+    // shards == 1 is the legacy controller: one lock domain, no lock-free fast path.
+    config.lockfree_lookup = shards > 1;
+    kernel = std::make_unique<KernelController>(*pool, config);
+    TRIO_CHECK_OK(kernel->Mount());
+
+    FleetConfig fleet;
+    fleet.tenants = kTenants;
+    fleet.shared_files = kSharedFiles;
+    workload = std::make_unique<FleetWorkload>(*kernel, fleet);
+    TRIO_CHECK_OK(workload->Prepare());
+
+    // Resolve the shared inos and warm every tenant's read grant, so LookupGrant has a
+    // grant to revalidate (fast path when the cache is on, locked fallback when off).
+    for (int f = 0; f < kSharedFiles; ++f) {
+      Result<StatInfo> info =
+          workload->tenant(0).Stat("/fleet_shared/f" + std::to_string(f));
+      TRIO_CHECK_OK(info.status());
+      shared_inos.push_back(info->ino);
+    }
+    for (int t = 0; t < kTenants; ++t) {
+      tenant_ids.push_back(workload->tenant(t).id());
+      for (int f = 0; f < kSharedFiles; ++f) {
+        char byte;
+        Result<Fd> fd =
+            workload->tenant(t).Open("/fleet_shared/f" + std::to_string(f),
+                                     OpenFlags::ReadOnly());
+        TRIO_CHECK_OK(fd.status());
+        TRIO_CHECK_OK(workload->tenant(t).Pread(*fd, &byte, 1, 0).status());
+        TRIO_CHECK_OK(workload->tenant(t).Close(*fd));
+      }
+    }
+  }
+
+  std::unique_ptr<NvmPool> pool;
+  std::unique_ptr<KernelController> kernel;
+  std::unique_ptr<FleetWorkload> workload;
+  std::vector<Ino> shared_inos;
+  std::vector<LibFsId> tenant_ids;
+};
+
+FleetHarness& HarnessFor(int shards) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<FleetHarness>> harnesses;
+  std::lock_guard<std::mutex> guard(mu);
+  std::unique_ptr<FleetHarness>& slot = harnesses[shards];
+  if (slot == nullptr) {
+    slot = std::make_unique<FleetHarness>(shards);
+  }
+  return *slot;
+}
+
+// ---- The CI-gated pair: grant revalidation throughput, legacy vs sharded ----
+
+void BM_GrantLookup(benchmark::State& state) {
+  FleetHarness& harness = HarnessFor(static_cast<int>(state.range(0)));
+  const int tenant = state.thread_index() % kTenants;
+  Rng rng(123 + static_cast<uint64_t>(tenant));
+  Zipfian zipf(kSharedFiles, 0.99);
+  for (auto _ : state) {
+    const uint64_t rank = zipf.Next(rng);
+    Result<MapInfo> grant = harness.kernel->LookupGrant(
+        harness.tenant_ids[static_cast<size_t>(tenant)], harness.shared_inos[rank]);
+    if (!grant.ok()) {
+      state.SkipWithError(("LookupGrant failed: " + grant.status().ToString()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(grant);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    KernelStats& stats = harness.kernel->stats();
+    state.counters["fast_hits"] =
+        static_cast<double>(stats.grant_fast_hits.load());
+    state.counters["fast_misses"] =
+        static_cast<double>(stats.grant_fast_misses.load());
+    state.counters["lock_contended"] =
+        static_cast<double>(stats.shard_lock_contended.load());
+  }
+}
+BENCHMARK(BM_GrantLookup)
+    ->ArgNames({"shards"})
+    ->Arg(1)
+    ->Arg(8)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+
+// ---- Full fleet mix: Zipfian reads + private writes + cross-shard renames ----
+
+void BM_FleetChurn(benchmark::State& state) {
+  FleetHarness& harness = HarnessFor(static_cast<int>(state.range(0)));
+  const int tenant = state.thread_index() % kTenants;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Status status = harness.workload->Op(tenant, i++);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    KernelStats& stats = harness.kernel->stats();
+    state.counters["cross_shard_acquires"] =
+        static_cast<double>(stats.cross_shard_acquires.load());
+  }
+}
+BENCHMARK(BM_FleetChurn)
+    ->ArgNames({"shards"})
+    ->Arg(1)
+    ->Arg(8)
+    ->Threads(4)
+    ->UseRealTime();
+
+// ---- Extrapolation: measured per-shard costs -> millions of clients ----
+
+double MeasureLookupUs(FleetHarness& harness, int iters) {
+  Rng rng(7);
+  Zipfian zipf(kSharedFiles, 0.99);
+  const double t0 = bench::NowSeconds();
+  for (int i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(harness.kernel->LookupGrant(
+        harness.tenant_ids[0], harness.shared_inos[zipf.Next(rng)]));
+  }
+  return (bench::NowSeconds() - t0) * 1e6 / iters;
+}
+
+}  // namespace
+
+void PrintFleetExtrapolation() {
+  FleetHarness& sharded = HarnessFor(8);
+  FleetHarness& legacy = HarnessFor(1);
+  const double fast_us = MeasureLookupUs(sharded, 200000);
+  // With the cache off every lookup takes the (single) shard mutex, so the whole locked
+  // lookup approximates the time under the mutex.
+  const double locked_us = MeasureLookupUs(legacy, 50000);
+
+  KernelStats& stats = sharded.kernel->stats();
+  const double hits = static_cast<double>(stats.grant_fast_hits.load());
+  const double misses = static_cast<double>(stats.grant_fast_misses.load());
+  const double hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.95;
+
+  sim::MachineModel machine;  // The paper's 224-core testbed.
+  bench::Table table("Fleet extrapolation (measured per-shard costs, " +
+                     std::to_string(machine.cores) + "-core machine model)");
+  table.SetHeader({"config", "shards", "clients", "Mops/s", "bound"});
+  struct Config {
+    const char* name;
+    int shards;
+    double hit_rate;
+  };
+  const Config configs[] = {
+      {"legacy one-mutex", 1, 0.0},
+      {"sharded lock-free", 8, hit_rate},
+      {"sharded lock-free", 64, hit_rate},
+  };
+  for (const Config& config : configs) {
+    for (uint64_t clients : {64ull, 4096ull, 65536ull, 1048576ull, 4194304ull}) {
+      sim::FleetProfile profile;
+      profile.fast_lookup_us = fast_us;
+      profile.locked_lookup_us = locked_us;
+      profile.fast_hit_rate = config.hit_rate;
+      profile.shard_serial_us = locked_us;
+      profile.shards = config.shards;
+      const sim::FleetPoint point = sim::ExtrapolateFleet(machine, profile, clients);
+      char mops[32];
+      std::snprintf(mops, sizeof(mops), "%.2f", point.ops_per_sec / 1e6);
+      table.AddRow({config.name, std::to_string(config.shards),
+                    std::to_string(clients), mops, point.bound});
+    }
+  }
+  table.Print();
+  std::printf("calibration: fast=%.3fus locked=%.3fus hit_rate=%.3f\n", fast_us,
+              locked_us, hit_rate);
+}
+
+}  // namespace trio
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  trio::PrintFleetExtrapolation();
+  return 0;
+}

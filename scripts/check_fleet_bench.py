@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""CI gate for the sharded-controller fleet bench.
+
+Reads a bench_fleet --benchmark_out JSON and checks the property the shard refactor
+exists for: grant-lookup throughput with 8 shards + the lock-free fast path must beat
+the legacy one-big-mutex configuration (shards:1, cache off) at the same thread count.
+The comparison is a RATIO of two runs on the same machine in the same process, so it is
+robust to absolute machine speed; the fast-path hit counters are additionally required
+to be live so a silently-disabled cache cannot pass on lock-overhead noise alone.
+
+Usage: check_fleet_bench.py <bench_fleet.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    items = {}  # shards -> best items_per_second across thread counts
+    fast_hits = 0.0
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "GrantLookup" not in name or "items_per_second" not in bench:
+            continue
+        for token in name.split("/"):
+            if token.startswith("shards:"):
+                shards = int(token.split(":")[1])
+                rate = bench["items_per_second"]
+                items[shards] = max(items.get(shards, 0.0), rate)
+                if shards > 1:
+                    fast_hits = max(fast_hits, bench.get("fast_hits", 0.0))
+
+    missing = [s for s in (1, 8) if s not in items]
+    if missing:
+        print(f"FAIL: no GrantLookup result for shards {missing} in {sys.argv[1]}")
+        return 1
+
+    legacy, sharded = items[1], items[8]
+    if legacy <= 0 or sharded <= 0:
+        print(f"FAIL: degenerate throughput (shards1={legacy}, shards8={sharded})")
+        return 1
+    if not sharded > legacy:
+        print(f"FAIL: 8-shard lookup rate ({sharded:.0f}/s) not above the one-mutex "
+              f"baseline ({legacy:.0f}/s) - shard scale-out is broken")
+        return 1
+    if fast_hits <= 0:
+        print("FAIL: sharded run recorded zero grant_fast_hits - the lock-free "
+              "fast path never engaged")
+        return 1
+
+    print(f"OK: grant lookups/s shards1={legacy:.0f} shards8={sharded:.0f} "
+          f"({sharded / legacy:.2f}x), fast_hits={fast_hits:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

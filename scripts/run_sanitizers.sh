@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds the concurrency-heavy test binaries (delegation pool, callback watchdog, crash
-# explorer, op-ring drainer, multi-tenant schedule explorer, fuzz corpus) under
+# explorer, op-ring drainer, multi-tenant schedule explorer, fuzz corpus, fleet) under
 # ThreadSanitizer and AddressSanitizer and runs a smoke subset of each.
 #
 # Usage: scripts/run_sanitizers.sh [thread|address] [--adversarial]
@@ -39,8 +39,12 @@ spsc_filter='SpscRingTest.*'
 # bounds tests.
 schedule_filter='ScheduleExplorerTest.GeneratorIsDeterministicAndBounded:ScheduleExplorerTest.CleanKernelSweepsClean'
 fuzz_filter='*FuzzCorpusTest*_v0:VerifierBoundsTest.*:QuarantineBoundsTest.*'
+# Fleet suite: 64 tenants over the sharded controller, concurrent cross-shard renames,
+# revoke/force-release canaries, cross-shard forgeries — the shard refactor's
+# thread-crossing paths. Small enough to run whole under both sanitizers.
+fleet_filter='FleetTest.*'
 targets=(delegation_test crash_explorer_test op_ring_test common_test
-         schedule_explorer_test fuzz_corpus_test)
+         schedule_explorer_test fuzz_corpus_test fleet_test)
 if [[ $adversarial -eq 1 ]]; then
   schedule_filter='*'
   fuzz_filter='*'
@@ -69,6 +73,9 @@ for san in "${sanitizers[@]}"; do
 
   echo "== TRIO_SANITIZE=$san: fuzz_corpus_test =="
   "$build/tests/fuzz_corpus_test" --gtest_filter="$fuzz_filter" --gtest_brief=1
+
+  echo "== TRIO_SANITIZE=$san: fleet_test =="
+  "$build/tests/fleet_test" --gtest_filter="$fleet_filter" --gtest_brief=1
 
   if [[ $adversarial -eq 1 ]]; then
     echo "== TRIO_SANITIZE=$san: integrity_test (full corruption sweep) =="

@@ -239,6 +239,93 @@ Status MaliciousLibFs::AttackReservedBytes(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-shard trust-boundary attacks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// First free dirent slot in a directory's data pages (nullptr if none).
+DirentBlock* FindFreeDirentSlot(NvmPool& pool, PageNumber first_index_page) {
+  DirentBlock* found = nullptr;
+  (void)ForEachDataPage(pool, first_index_page, [&](uint64_t, PageNumber p) -> Status {
+    if (found != nullptr) {
+      return OkStatus();
+    }
+    auto* page = reinterpret_cast<DirDataPage*>(pool.PageAddress(p));
+    for (uint32_t s = 0; s < kDirentsPerPage; ++s) {
+      if (page->slots[s].IsFree()) {
+        found = &page->slots[s];
+        break;
+      }
+    }
+    return OkStatus();
+  });
+  return found;
+}
+
+}  // namespace
+
+Result<DirentBlock> MaliciousLibFs::ReadVictimDirent(const std::string& victim_path,
+                                                     bool write_map_parent) {
+  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(victim_path));
+  if (components.empty()) {
+    return InvalidArgument("victim must not be the root");
+  }
+  SplitParent parts;
+  parts.leaf = std::move(components.back());
+  components.pop_back();
+  parts.parent = std::move(components);
+  TRIO_ASSIGN_OR_RETURN(NodePtr parent, ResolveDir(parts.parent));
+  // write_map_parent makes a later cross-directory claim "permitted": the kernel's
+  // two-phase cross-shard check accepts a moved-in child iff this LibFS write-maps the
+  // child's old parent. A read map deliberately leaves the claim unauthorized.
+  TRIO_RETURN_IF_ERROR(LockForOp(parent.get(), write_map_parent ? 2 : 1));
+  Result<DirSlot> slot = FindEntry(parent.get(), parts.leaf);
+  UnlockOp(parent.get());
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  return *SlotPointer(*slot);
+}
+
+Status MaliciousLibFs::ForgeChildClaim(const std::string& dir_path,
+                                       const DirentBlock& forged) {
+  TRIO_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(dir_path));
+  TRIO_ASSIGN_OR_RETURN(NodePtr dir, ResolveDir(components));
+  TRIO_RETURN_IF_ERROR(LockForOp(dir.get(), 2));
+  UnlockOp(dir.get());
+  DirentBlock* slot = FindFreeDirentSlot(pool_, dir->dirent->first_index_page);
+  if (slot == nullptr) {
+    return InvalidArgument("no free dirent slot in the attacker directory");
+  }
+  if (!RawStore(slot, &forged, sizeof(forged))) {
+    return PermissionDenied("MMU blocked the store");
+  }
+  return OkStatus();
+}
+
+Status MaliciousLibFs::AttackCrossShardForeignClaim(const std::string& dir_path,
+                                                    const std::string& victim_path) {
+  // Copy the victim's dirent verbatim — every cached field matches the shadow inode, so
+  // only the cross-shard ownership walk can tell this claim from a real rename.
+  TRIO_ASSIGN_OR_RETURN(DirentBlock forged,
+                        ReadVictimDirent(victim_path, /*write_map_parent=*/false));
+  return ForgeChildClaim(dir_path, forged);
+}
+
+Status MaliciousLibFs::AttackMovedInPermissionLift(const std::string& dir_path,
+                                                   const std::string& victim_path) {
+  // Holding the old parent's write map makes the move itself legitimate; the attack is
+  // the smuggled chmod — lifted permission bits and root ownership in the cached copy.
+  TRIO_ASSIGN_OR_RETURN(DirentBlock forged,
+                        ReadVictimDirent(victim_path, /*write_map_parent=*/true));
+  forged.mode |= 0777;
+  forged.uid = 0;
+  forged.gid = 0;
+  return ForgeChildClaim(dir_path, forged);
+}
+
+// ---------------------------------------------------------------------------
 // Scripted corruption sweep
 // ---------------------------------------------------------------------------
 

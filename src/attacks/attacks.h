@@ -66,6 +66,32 @@ class MaliciousLibFs : public ArckFs {
   // (11) Hidden payload in reserved dirent bytes.
   Status AttackReservedBytes(const std::string& path);
 
+  // ---- Cross-shard trust-boundary attacks: the controller's per-inode shard map means
+  // a directory and a child it claims usually live under DIFFERENT shard locks; these
+  // forge directory state whose validation needs the ordered two-phase cross-shard
+  // read (IsMovePermitted / ApplyReport), probing that sharding did not open seams the
+  // one-big-mutex controller never had. ----
+
+  // (12) Forge a dirent in an attacker-owned directory claiming the file at
+  // `victim_path` — a file whose real parent the attacker does NOT write-map. The
+  // forged fields copy the shadow inode exactly, so only the cross-directory ownership
+  // check (I2, evaluated across two shards) can catch it.
+  Status AttackCrossShardForeignClaim(const std::string& dir_path,
+                                      const std::string& victim_path);
+  // (13) Permission lift smuggled through a "legitimate" rename: the attacker DOES
+  // write-map the victim's parent (so the cross-directory move is permitted), but the
+  // forged dirent lifts the cached mode/uid. I4 must hold for moved-in children too —
+  // a rename is not a chmod.
+  Status AttackMovedInPermissionLift(const std::string& dir_path,
+                                     const std::string& victim_path);
+
+  // Shared plumbing for the cross-shard forgeries: snapshot a victim's dirent (read- or
+  // write-mapping its parent), and raw-store a crafted dirent into a free slot of an
+  // attacker-owned directory.
+  Result<DirentBlock> ReadVictimDirent(const std::string& victim_path,
+                                       bool write_map_parent);
+  Status ForgeChildClaim(const std::string& dir_path, const DirentBlock& forged);
+
   // Direct access outside any grant must fault: returns true if the MMU blocked it.
   bool ProbeUnmappedPageFaults();
 };

@@ -1,10 +1,15 @@
 // KernelController lifecycle, mount/recovery, resource leasing, permission changes, the
-// write-map log, and ownership views. The implementation is split across three
-// translation units behind the single KernelController class:
+// write-map log, ownership views, and the shard plumbing (shard index map, busy-waiters,
+// the striped page-ownership table). The implementation is split across three translation
+// units behind the single KernelController class:
 //   controller.cc        — this file
-//   controller_map.cc    — map/unmap/sharing and lease revocation
+//   controller_map.cc    — map/unmap/sharing, grant cache, and lease revocation
 //   controller_verify.cc — verify/reconcile, checkpoint/rollback, quarantine, reclaim
 // Every LibFS-callable entry point opens a SyscallScope (see syscall_boundary.h).
+//
+// Locking: see the hierarchy in controller.h. Shard mutexes are PLAIN mutexes; the
+// verifier and every LibFS callback run with no shard held (in-flight verifications pin
+// their record with FileRecord::busy instead), so there is no reentrancy to forgive.
 
 #include "src/kernel/controller.h"
 
@@ -16,10 +21,114 @@
 
 namespace trio {
 
+using controller_internal::PackStateLessee;
+using controller_internal::UnpackStateLessee;
 using controller_internal::WmapSlots;
+
+thread_local uint64_t ShardRank::held_mask_ = 0;
+
+// ---------------------------------------------------------------------------
+// PageOwnershipTable
+// ---------------------------------------------------------------------------
+
+void PageOwnershipTable::Reset(size_t stripes, size_t cache_slots) {
+  size_t cap = 1;
+  while (cap < stripes) {
+    cap <<= 1;
+  }
+  stripes_.clear();
+  stripes_.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  stripe_mask_ = cap - 1;
+  cache_.Reset(cache_slots);
+}
+
+PageState PageOwnershipTable::Get(PageNumber page) const {
+  uint64_t w[2];
+  if (cache_.Lookup(page, w)) {
+    PageState state;
+    UnpackStateLessee(w[0], &state.state, &state.lessee);
+    state.owner = w[1];
+    return state;
+  }
+  const Stripe& stripe = *stripes_[StripeIndexOf(page)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.map.find(page);
+  const PageState state = it == stripe.map.end() ? PageState{} : it->second;
+  // Populate under the stripe lock ("free" caches too): the write-through rule keeps the
+  // cache coherent because every mutation of this stripe also stores before unlocking.
+  const uint64_t words[2] = {PackStateLessee(state.state, state.lessee), state.owner};
+  cache_.Store(page, words);
+  return state;
+}
+
+void PageOwnershipTable::Set(PageNumber page, const PageState& state) {
+  Stripe& stripe = *stripes_[StripeIndexOf(page)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  stripe.map[page] = state;
+  const uint64_t words[2] = {PackStateLessee(state.state, state.lessee), state.owner};
+  cache_.Store(page, words);
+}
+
+void PageOwnershipTable::Erase(PageNumber page) {
+  Stripe& stripe = *stripes_[StripeIndexOf(page)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  stripe.map.erase(page);
+  const uint64_t words[2] = {PackStateLessee(ResourceState::kFree, kNoLibFs), kInvalidIno};
+  cache_.Store(page, words);
+}
+
+bool PageOwnershipTable::Contains(PageNumber page) const {
+  const Stripe& stripe = *stripes_[StripeIndexOf(page)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  return stripe.map.count(page) != 0;
+}
+
+bool PageOwnershipTable::EraseIfLeasedBy(PageNumber page, LibFsId libfs) {
+  Stripe& stripe = *stripes_[StripeIndexOf(page)];
+  std::lock_guard<std::mutex> guard(stripe.mu);
+  auto it = stripe.map.find(page);
+  if (it == stripe.map.end() || it->second.state != ResourceState::kLeased ||
+      it->second.lessee != libfs) {
+    return false;
+  }
+  stripe.map.erase(it);
+  const uint64_t words[2] = {PackStateLessee(ResourceState::kFree, kNoLibFs), kInvalidIno};
+  cache_.Store(page, words);
+  return true;
+}
+
+void PageOwnershipTable::Clear() {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> guard(stripe->mu);
+    stripe->map.clear();
+  }
+  cache_.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / shard plumbing
+// ---------------------------------------------------------------------------
 
 KernelController::KernelController(NvmPool& pool, KernelConfig config, Clock* clock)
     : pool_(pool), config_(config), clock_(clock) {
+  size_t shards = std::max<size_t>(1, std::min(config_.controller_shards,
+                                               ShardRank::kMaxShards));
+  size_t cap = 1;
+  while (cap < shards) {
+    cap <<= 1;
+  }
+  shards_.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = cap - 1;
+  const size_t cache_slots = config_.lockfree_lookup ? config_.ownership_cache_slots : 0;
+  page_table_.Reset(cap, cache_slots);
+  ino_cache_.Reset(cache_slots);
+  grant_cache_.Reset(cache_slots);
   verifier_ = std::make_unique<IntegrityVerifier>(pool_, *this, *this, clock_);
   if (config_.start_delegation) {
     StartDelegation();
@@ -34,22 +143,86 @@ void KernelController::StartDelegation() {
   }
 }
 
+KernelController::FileRecord* KernelController::WaitNotBusyLocked(
+    Shard& shard, std::unique_lock<std::mutex>& lk, Ino ino) {
+  for (;;) {
+    FileRecord* record = FindRecordLocked(shard, ino);
+    if (record == nullptr || !record->busy) {
+      return record;
+    }
+    shard.cv.wait(lk);
+  }
+}
+
+std::shared_ptr<KernelController::LibFsRecord> KernelController::FindLibFs(
+    LibFsId id) const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  auto it = libfses_.find(id);
+  return it == libfses_.end() ? nullptr : it->second;
+}
+
+std::vector<ShardMutex*> KernelController::ShardMutexesFor(
+    const std::vector<size_t>& indices) const {
+  std::vector<ShardMutex*> mutexes;
+  mutexes.reserve(indices.size());
+  for (size_t i : indices) {
+    mutexes.push_back(&shards_[i]->mu);
+  }
+  return mutexes;
+}
+
+std::vector<size_t> KernelController::AllShardIndices() const {
+  std::vector<size_t> indices(shards_.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  return indices;
+}
+
+void KernelController::SetInoStateLocked(Shard& shard, Ino ino, const InoState& state) {
+  shard.ino_states[ino] = state;
+  const uint64_t words[2] = {PackStateLessee(state.state, state.lessee), state.parent};
+  ino_cache_.Store(ino, words);
+}
+
+void KernelController::EraseInoStateLocked(Shard& shard, Ino ino) {
+  shard.ino_states.erase(ino);
+  const uint64_t words[2] = {PackStateLessee(ResourceState::kFree, kNoLibFs), kInvalidIno};
+  ino_cache_.Store(ino, words);
+}
+
+void KernelController::ReleasePageToFree(PageNumber page) {
+  page_table_.Erase(page);
+  std::lock_guard<std::mutex> guard(alloc_mu_);
+  free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+}
+
 // ---------------------------------------------------------------------------
 // Mount / unmount / recovery
 // ---------------------------------------------------------------------------
 
 Status KernelController::Mount() {
   TRIO_RETURN_IF_ERROR(CheckSuperblock(pool_));
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  // Acquire-all: mount rebuilds every table, so it is the one operation that freezes the
+  // whole controller (ascending order, like every multi-shard acquire).
+  const std::vector<size_t> all = AllShardIndices();
+  OrderedShardSpan span(ShardMutexesFor(all), all);
   Superblock* sb = SuperblockOf(pool_);
   needs_recovery_ = sb->clean_shutdown == 0;
 
-  page_states_.clear();
-  ino_states_.clear();
-  records_.clear();
-  free_pages_by_node_.assign(pool_.topology().num_nodes, {});
-  free_inos_.clear();
-  next_ino_ = kRootIno + 1;
+  for (auto& shard : shards_) {
+    shard->records.clear();
+    shard->ino_states.clear();
+  }
+  page_table_.Clear();
+  ino_cache_.Clear();
+  grant_cache_.Clear();
+  {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    free_pages_by_node_.assign(pool_.topology().num_nodes, {});
+    free_inos_.clear();
+    next_ino_ = kRootIno + 1;
+  }
 
   // The ownership tables are auxiliary state (§3.2): rebuild them by walking the core
   // state from the root.
@@ -62,9 +235,12 @@ Status KernelController::Mount() {
   }
 
   // Everything in the file region not owned by a file is free.
-  for (PageNumber p = sb->file_region_page; p < sb->total_pages; ++p) {
-    if (page_states_.find(p) == page_states_.end()) {
-      free_pages_by_node_[pool_.NodeOfPage(p)].push_back(p);
+  {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    for (PageNumber p = sb->file_region_page; p < sb->total_pages; ++p) {
+      if (seen_pages.count(p) == 0) {
+        free_pages_by_node_[pool_.NodeOfPage(p)].push_back(p);
+      }
     }
   }
 
@@ -111,11 +287,14 @@ Status KernelController::ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_p
   }
 
   for (PageNumber p : record.pages) {
-    page_states_[p] = PageState{ResourceState::kOwned, kNoLibFs, ino};
+    page_table_.Set(p, PageState{ResourceState::kOwned, kNoLibFs, ino});
   }
-  ino_states_[ino] = InoState{ResourceState::kOwned, kNoLibFs, parent};
-  if (ino >= next_ino_) {
-    next_ino_ = ino + 1;
+  SetInoStateLocked(ShardOf(ino), ino, InoState{ResourceState::kOwned, kNoLibFs, parent});
+  {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    if (ino >= next_ino_) {
+      next_ino_ = ino + 1;
+    }
   }
 
   // Adopt files that were created but never reconciled before a crash: give them a shadow
@@ -148,7 +327,7 @@ Status KernelController::ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_p
         });
   }
 
-  records_[ino] = std::move(record);
+  ShardOf(ino).records[ino] = std::move(record);
   if (!walk.ok()) {
     return walk;
   }
@@ -156,9 +335,11 @@ Status KernelController::ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_p
 }
 
 Status KernelController::Unmount() {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  if (!libfses_.empty()) {
-    return Busy("LibFSes still registered");
+  {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    if (!libfses_.empty()) {
+      return Busy("LibFSes still registered");
+    }
   }
   Superblock* sb = SuperblockOf(pool_);
   const uint64_t clean = 1;
@@ -169,10 +350,11 @@ Status KernelController::Unmount() {
 }
 
 Status KernelController::RunRecovery() {
-  // Phase 1: untrusted LibFS recovery programs (journal undo), outside the kernel lock.
+  // Phase 1: untrusted LibFS recovery programs (journal undo). No controller locks: the
+  // programs may call back into any syscall.
   std::vector<std::function<void()>> programs;
   {
-    std::unique_lock<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> guard(registry_mu_);
     for (auto& [id, libfs] : libfses_) {
       if (libfs->callbacks.recovery) {
         programs.push_back(libfs->callbacks.recovery);
@@ -209,14 +391,16 @@ Status KernelController::RunRecovery() {
   // recovery leaves the obligations on media, so a second RunRecovery redoes them and
   // converges — verification is read-only and removal of an already-removed file is a
   // no-op.
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
   Superblock* sb = SuperblockOf(pool_);
   std::vector<Ino> to_verify;
   auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(sb->wmap_log_page));
   const bool overflow = pool_.Load64(&sb->wmap_log_overflow) != 0;
   if (overflow || program_timed_out) {
-    for (const auto& [ino, record] : records_) {
-      to_verify.push_back(ino);
+    for (size_t si = 0; si < shards_.size(); ++si) {
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      for (const auto& [ino, record] : shards_[si]->records) {
+        to_verify.push_back(ino);
+      }
     }
   }
   for (size_t i = 0; i < WmapSlots(pool_); ++i) {
@@ -227,24 +411,41 @@ Status KernelController::RunRecovery() {
   std::sort(to_verify.begin(), to_verify.end());
   to_verify.erase(std::unique(to_verify.begin(), to_verify.end()), to_verify.end());
   for (Ino ino : to_verify) {
-    FileRecord* record = RecordOf(ino);
-    if (record == nullptr) {
-      continue;
-    }
+    const size_t si = ShardIndexOf(ino);
     VerifyRequest request;
-    request.ino = ino;
-    request.dirent = DirentOfLocked(*record);
-    request.writer = kNoLibFs;
-    const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
-    request.writer_uid = shadow != nullptr ? shadow->uid : 0;
-    request.writer_gid = shadow != nullptr ? shadow->gid : 0;
-    if (config_.verify_timeout_ms != 0) {
-      request.deadline_ns = NowNs() + config_.verify_timeout_ms * 1000000ull;
+    {
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      FileRecord* record = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+      if (record == nullptr) {
+        continue;
+      }
+      record->busy = true;  // Pin across the (lock-free) verification below.
+      request.ino = ino;
+      request.dirent = DirentOfLocked(*record);
+      request.writer = kNoLibFs;
+      const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+      request.writer_uid = shadow != nullptr ? shadow->uid : 0;
+      request.writer_gid = shadow != nullptr ? shadow->gid : 0;
+      if (config_.verify_timeout_ms != 0) {
+        request.deadline_ns = NowNs() + config_.verify_timeout_ms * 1000000ull;
+      }
     }
     Result<VerifyReport> report = verifier_->Verify(request);
     stats_.verifications.fetch_add(1, std::memory_order_relaxed);
     if (!report.ok() && report.status().Is(ErrorCode::kTimeout)) {
       stats_.verify_timeouts.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      FileRecord* record = FindRecordLocked(*shards_[si], ino);
+      if (record != nullptr) {
+        record->busy = false;
+        if (!report.ok() && ino != kRootIno) {
+          DirentBlock* dirent = DirentOfLocked(*record);
+          obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&dirent->ino, kInvalidIno);
+        }
+      }
+      shards_[si]->cv.notify_all();
     }
     if (!report.ok()) {
       TRIO_LOG(kWarn) << "recovery: ino " << ino
@@ -252,9 +453,7 @@ Status KernelController::RunRecovery() {
                       << (ino != kRootIno ? "; removing"
                                           : "; root cannot be removed — left for fsck");
       if (ino != kRootIno) {
-        DirentBlock* dirent = DirentOfLocked(*record);
-        obs::PersistSpan(pool_, &persist_stats_).CommitStore64(&dirent->ino, kInvalidIno);
-        ReclaimFileLocked(record);
+        ReclaimTree(ino);
       }
     }
   }
@@ -263,7 +462,13 @@ Status KernelController::RunRecovery() {
   // clearing its shadow inode (removal is two persists) leaves a live shadow no tree
   // entry references — exactly fsck's G6 orphan. Any live shadow without a record is one.
   for (Ino ino = kRootIno + 1; ino < sb->max_inodes; ++ino) {
-    if (records_.count(ino) != 0) {
+    bool known;
+    {
+      const size_t si = ShardIndexOf(ino);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      known = shards_[si]->records.count(ino) != 0;
+    }
+    if (known) {
       continue;
     }
     ShadowInode* shadow = ShadowInodeOf(pool_, ino);
@@ -276,14 +481,17 @@ Status KernelController::RunRecovery() {
   }
 
   // All obligations discharged: retire the log.
-  obs::PersistSpan span(pool_, &persist_stats_);
-  for (size_t i = 0; i < WmapSlots(pool_); ++i) {
-    if (log[i] != kInvalidIno) {
-      span.CommitStore64(&log[i], kInvalidIno);
+  {
+    std::lock_guard<std::mutex> guard(wmap_mu_);
+    obs::PersistSpan span(pool_, &persist_stats_);
+    for (size_t i = 0; i < WmapSlots(pool_); ++i) {
+      if (log[i] != kInvalidIno) {
+        span.CommitStore64(&log[i], kInvalidIno);
+      }
     }
-  }
-  if (overflow) {
-    span.CommitStore64(&sb->wmap_log_overflow, 0);
+    if (overflow) {
+      span.CommitStore64(&sb->wmap_log_overflow, 0);
+    }
   }
   needs_recovery_ = false;
   return OkStatus();
@@ -295,14 +503,17 @@ Status KernelController::RunRecovery() {
 
 LibFsId KernelController::RegisterLibFs(const LibFsOptions& options) {
   SyscallScope syscall(stats_, "RegisterLibFs");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  const LibFsId id = next_libfs_id_++;
-  auto record = std::make_unique<LibFsRecord>();
-  record->id = id;
+  auto record = std::make_shared<LibFsRecord>();
   record->uid = options.uid;
   record->gid = options.gid;
   record->callbacks = options.callbacks;
-  libfses_[id] = std::move(record);
+  LibFsId id;
+  {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    id = next_libfs_id_++;
+    record->id = id;
+    libfses_[id] = std::move(record);
+  }
   // Every LibFS can read the superblock.
   mmu_.Grant(id, 0, PagePerm::kRead);
   return id;
@@ -310,68 +521,96 @@ LibFsId KernelController::RegisterLibFs(const LibFsOptions& options) {
 
 void KernelController::UnregisterLibFs(LibFsId libfs) {
   SyscallScope syscall(stats_, "UnregisterLibFs");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto it = libfses_.find(libfs);
-  if (it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return;
   }
-  LibFsRecord* record = it->second.get();
 
-  // Release read mappings.
-  for (Ino ino : std::vector<Ino>(record->read_mapped.begin(), record->read_mapped.end())) {
-    FileRecord* file = RecordOf(ino);
+  // Release read mappings (page permissions fall with RevokeAll below).
+  std::vector<Ino> reads;
+  {
+    std::lock_guard<std::mutex> guard(me->mu);
+    reads.assign(me->read_mapped.begin(), me->read_mapped.end());
+    me->read_mapped.clear();
+  }
+  for (Ino ino : reads) {
+    const size_t si = ShardIndexOf(ino);
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* file = FindRecordLocked(*shards_[si], ino);
     if (file != nullptr) {
       file->readers.erase(libfs);
     }
+    grant_cache_.Erase(ino);
   }
-  record->read_mapped.clear();
 
   // Release write mappings: verify and reconcile each. Directories first: their
   // verification resolves renamed-in children (so a renamed file's record points at its
   // current dirent before the file is verified) and registers freshly created children as
   // implicit write grants — which is why this drains in rounds until nothing is left.
-  while (!record->write_mapped.empty()) {
-    std::vector<Ino> ordered;
-    ordered.reserve(record->write_mapped.size());
-    for (Ino ino : record->write_mapped) {
-      const FileRecord* file = RecordOf(ino);
-      if (file != nullptr && file->is_dir) {
-        ordered.push_back(ino);
-      }
+  for (;;) {
+    std::vector<Ino> snapshot;
+    {
+      std::lock_guard<std::mutex> guard(me->mu);
+      snapshot.assign(me->write_mapped.begin(), me->write_mapped.end());
     }
-    for (Ino ino : record->write_mapped) {
-      const FileRecord* file = RecordOf(ino);
-      if (file == nullptr || !file->is_dir) {
-        ordered.push_back(ino);
-      }
+    if (snapshot.empty()) {
+      break;
     }
-    for (Ino ino : ordered) {
-      FileRecord* file = RecordOf(ino);
-      if (file != nullptr && file->writer == libfs) {
-        (void)VerifyAndReconcileLocked(lock, file);
-        file = RecordOf(ino);
-        if (file != nullptr) {
-          file->writer = kNoLibFs;
-          file->checkpoint.reset();
+    std::stable_partition(snapshot.begin(), snapshot.end(), [&](Ino ino) {
+      const size_t si = ShardIndexOf(ino);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      const FileRecord* file = FindRecordLocked(*shards_[si], ino);
+      return file != nullptr && file->is_dir;
+    });
+    for (Ino ino : snapshot) {
+      bool is_writer = false;
+      {
+        const size_t si = ShardIndexOf(ino);
+        ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+        FileRecord* file = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+        if (file != nullptr && file->writer == libfs) {
+          file->busy = true;
+          is_writer = true;
         }
-        WmapLogRemove(ino);
       }
-      record->write_mapped.erase(ino);
+      if (is_writer) {
+        (void)VerifyAndReconcile(ino);
+        FinishWriteRelease(libfs, ino, me);
+      } else {
+        std::lock_guard<std::mutex> guard(me->mu);
+        me->write_mapped.erase(ino);
+      }
     }
   }
-  ResolveOrphansLocked(record);
+  ResolveOrphans(me);
 
   // Return leases.
-  for (PageNumber page : record->leased_pages) {
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+  std::vector<PageNumber> leased_pages;
+  std::vector<Ino> leased_inos;
+  {
+    std::lock_guard<std::mutex> guard(me->mu);
+    leased_pages.assign(me->leased_pages.begin(), me->leased_pages.end());
+    leased_inos.assign(me->leased_inos.begin(), me->leased_inos.end());
+    me->leased_pages.clear();
+    me->leased_inos.clear();
   }
-  for (Ino ino : record->leased_inos) {
-    ino_states_.erase(ino);
+  for (PageNumber page : leased_pages) {
+    ReleasePageToFree(page);
+  }
+  for (Ino ino : leased_inos) {
+    {
+      const size_t si = ShardIndexOf(ino);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      EraseInoStateLocked(*shards_[si], ino);
+    }
+    std::lock_guard<std::mutex> guard(alloc_mu_);
     free_inos_.push_back(ino);
   }
   mmu_.RevokeAll(libfs);
-  libfses_.erase(it);
+  {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    libfses_.erase(libfs);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -381,41 +620,47 @@ void KernelController::UnregisterLibFs(LibFsId libfs) {
 Status KernelController::AllocPages(LibFsId libfs, size_t count, int node_hint,
                                     std::vector<PageNumber>* out) {
   SyscallScope syscall(stats_, "AllocPages");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto it = libfses_.find(libfs);
-  if (it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
-  LibFsRecord* record = it->second.get();
-  const int nodes = static_cast<int>(free_pages_by_node_.size());
-  const int node = node_hint >= 0 && node_hint < nodes ? node_hint : 0;
   std::vector<PageNumber> granted;
   granted.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     PageNumber page = kInvalidPage;
-    for (int attempt = 0; attempt < nodes; ++attempt) {
-      auto& free_list = free_pages_by_node_[(node + attempt) % nodes];
-      if (!free_list.empty()) {
-        page = free_list.back();
-        free_list.pop_back();
-        break;
+    {
+      std::lock_guard<std::mutex> guard(alloc_mu_);
+      const int nodes = static_cast<int>(free_pages_by_node_.size());
+      const int node = node_hint >= 0 && node_hint < nodes ? node_hint : 0;
+      for (int attempt = 0; attempt < nodes; ++attempt) {
+        auto& free_list = free_pages_by_node_[(node + attempt) % nodes];
+        if (!free_list.empty()) {
+          page = free_list.back();
+          free_list.pop_back();
+          break;
+        }
       }
     }
     if (page == kInvalidPage) {
       // All-or-nothing: roll back what this call handed out.
       for (PageNumber p : granted) {
-        record->leased_pages.erase(p);
-        page_states_.erase(p);
-        mmu_.Revoke(libfs, p);
-        free_pages_by_node_[pool_.NodeOfPage(p)].push_back(p);
+        {
+          std::lock_guard<std::mutex> guard(me->mu);
+          me->leased_pages.erase(p);
+        }
+        mmu_.Revoke(libfs, p, PagePerm::kReadWrite);
+        ReleasePageToFree(p);
         stats_.pages_allocated.fetch_sub(1, std::memory_order_relaxed);
       }
       return NoSpace("out of NVM pages");
     }
     // Zero before leasing: a freed page must not leak another user's data.
     pool_.Set(pool_.PageAddress(page), 0, kPageSize);
-    page_states_[page] = PageState{ResourceState::kLeased, libfs, kInvalidIno};
-    record->leased_pages.insert(page);
+    page_table_.Set(page, PageState{ResourceState::kLeased, libfs, kInvalidIno});
+    {
+      std::lock_guard<std::mutex> guard(me->mu);
+      me->leased_pages.insert(page);
+    }
     mmu_.Grant(libfs, page, PagePerm::kReadWrite);
     granted.push_back(page);
     stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
@@ -426,33 +671,49 @@ Status KernelController::AllocPages(LibFsId libfs, size_t count, int node_hint,
 
 Status KernelController::FreePages(LibFsId libfs, const std::vector<PageNumber>& pages) {
   SyscallScope syscall(stats_, "FreePages");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto it = libfses_.find(libfs);
-  if (it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
-  LibFsRecord* record = it->second.get();
   for (PageNumber page : pages) {
-    auto state_it = page_states_.find(page);
-    if (state_it == page_states_.end()) {
-      return InvalidArgument("freeing a page that is not allocated");
-    }
-    PageState& state = state_it->second;
+    const PageState state = page_table_.Get(page);
     if (state.state == ResourceState::kLeased && state.lessee == libfs) {
-      record->leased_pages.erase(page);
+      if (!page_table_.EraseIfLeasedBy(page, libfs)) {
+        return InvalidArgument("freeing a page that is not allocated");
+      }
+      {
+        std::lock_guard<std::mutex> guard(me->mu);
+        me->leased_pages.erase(page);
+      }
+      mmu_.Revoke(libfs, page, PagePerm::kReadWrite);
+      {
+        std::lock_guard<std::mutex> guard(alloc_mu_);
+        free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+      }
+      stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
     } else if (state.state == ResourceState::kOwned) {
-      FileRecord* file = RecordOf(state.owner);
-      if (file == nullptr || file->writer != libfs) {
+      // The page belongs to a file: only its current writer may free it. Lock the owning
+      // file's shard and re-validate (ownership may have moved while unlocked).
+      const size_t si = ShardIndexOf(state.owner);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      FileRecord* file = WaitNotBusyLocked(*shards_[si], sl.lock(), state.owner);
+      const PageState now = page_table_.Get(page);
+      if (file == nullptr || now.state != ResourceState::kOwned ||
+          now.owner != state.owner) {
+        return PermissionDenied("page not freeable by caller");
+      }
+      if (file->writer != libfs) {
         return PermissionDenied("freeing a page of a file not write-mapped by caller");
       }
       file->pages.erase(page);
+      mmu_.Revoke(libfs, page, PagePerm::kReadWrite);
+      ReleasePageToFree(page);
+      stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+    } else if (state.state == ResourceState::kFree) {
+      return InvalidArgument("freeing a page that is not allocated");
     } else {
       return PermissionDenied("page not freeable by caller");
     }
-    mmu_.Revoke(libfs, page);
-    page_states_.erase(state_it);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
-    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
   }
   return OkStatus();
 }
@@ -465,30 +726,49 @@ Result<Ino> KernelController::AllocIno(LibFsId libfs) {
 
 Status KernelController::AllocInos(LibFsId libfs, size_t count, std::vector<Ino>* out) {
   SyscallScope syscall(stats_, "AllocInos");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto it = libfses_.find(libfs);
-  if (it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
   std::vector<Ino> granted;
   granted.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     Ino ino = kInvalidIno;
-    if (!free_inos_.empty()) {
-      ino = free_inos_.back();
-      free_inos_.pop_back();
-    } else if (next_ino_ < SuperblockOf(pool_)->max_inodes) {
-      ino = next_ino_++;
-    } else {
+    {
+      std::lock_guard<std::mutex> guard(alloc_mu_);
+      if (!free_inos_.empty()) {
+        ino = free_inos_.back();
+        free_inos_.pop_back();
+      } else if (next_ino_ < SuperblockOf(pool_)->max_inodes) {
+        ino = next_ino_++;
+      }
+    }
+    if (ino == kInvalidIno) {
       for (Ino undo : granted) {
-        ino_states_.erase(undo);
-        it->second->leased_inos.erase(undo);
+        {
+          const size_t si = ShardIndexOf(undo);
+          ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+          EraseInoStateLocked(*shards_[si], undo);
+        }
+        {
+          std::lock_guard<std::mutex> guard(me->mu);
+          me->leased_inos.erase(undo);
+        }
+        std::lock_guard<std::mutex> guard(alloc_mu_);
         free_inos_.push_back(undo);
       }
       return NoSpace("out of inode numbers");
     }
-    ino_states_[ino] = InoState{ResourceState::kLeased, libfs, kInvalidIno};
-    it->second->leased_inos.insert(ino);
+    {
+      const size_t si = ShardIndexOf(ino);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      SetInoStateLocked(*shards_[si], ino,
+                        InoState{ResourceState::kLeased, libfs, kInvalidIno});
+    }
+    {
+      std::lock_guard<std::mutex> guard(me->mu);
+      me->leased_inos.insert(ino);
+    }
     granted.push_back(ino);
   }
   out->insert(out->end(), granted.begin(), granted.end());
@@ -497,18 +777,25 @@ Status KernelController::AllocInos(LibFsId libfs, size_t count, std::vector<Ino>
 
 Status KernelController::FreeIno(LibFsId libfs, Ino ino) {
   SyscallScope syscall(stats_, "FreeIno");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto it = libfses_.find(libfs);
-  if (it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
-  auto state_it = ino_states_.find(ino);
-  if (state_it == ino_states_.end() || state_it->second.state != ResourceState::kLeased ||
-      state_it->second.lessee != libfs) {
-    return InvalidArgument("ino not leased to caller");
+  {
+    const size_t si = ShardIndexOf(ino);
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    auto it = shards_[si]->ino_states.find(ino);
+    if (it == shards_[si]->ino_states.end() ||
+        it->second.state != ResourceState::kLeased || it->second.lessee != libfs) {
+      return InvalidArgument("ino not leased to caller");
+    }
+    EraseInoStateLocked(*shards_[si], ino);
   }
-  it->second->leased_inos.erase(ino);
-  ino_states_.erase(state_it);
+  {
+    std::lock_guard<std::mutex> guard(me->mu);
+    me->leased_inos.erase(ino);
+  }
+  std::lock_guard<std::mutex> guard(alloc_mu_);
   free_inos_.push_back(ino);
   return OkStatus();
 }
@@ -519,17 +806,18 @@ Status KernelController::FreeIno(LibFsId libfs, Ino ino) {
 
 Status KernelController::Chmod(LibFsId libfs, Ino ino, uint32_t perm_bits) {
   SyscallScope syscall(stats_, "Chmod");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
-  FileRecord* record = RecordOf(ino);
+  const size_t si = ShardIndexOf(ino);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  FileRecord* record = FindRecordLocked(*shards_[si], ino);
   ShadowInode* shadow = ShadowInodeOf(pool_, ino);
   if (record == nullptr || shadow == nullptr || !shadow->Exists()) {
     return NotFound("no such file");
   }
-  if (libfs_it->second->uid != 0 && libfs_it->second->uid != shadow->uid) {
+  if (me->uid != 0 && me->uid != shadow->uid) {
     return PermissionDenied("only the owner may chmod");
   }
   ShadowInode updated = *shadow;
@@ -541,20 +829,24 @@ Status KernelController::Chmod(LibFsId libfs, Ino ino, uint32_t perm_bits) {
   DirentBlock* dirent = DirentOfLocked(*record);
   pool_.Write(&dirent->mode, &updated.mode, sizeof(updated.mode));
   span.PersistNow(&dirent->mode, sizeof(updated.mode));
+  // Cached grants were issued under the old mode; force the next lookup through the
+  // slow path's AccessAllowed check.
+  grant_cache_.Erase(ino);
   return OkStatus();
 }
 
 Status KernelController::Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gid) {
   SyscallScope syscall(stats_, "Chown");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
-  if (libfs_it->second->uid != 0) {
+  if (me->uid != 0) {
     return PermissionDenied("only root may chown");
   }
-  FileRecord* record = RecordOf(ino);
+  const size_t si = ShardIndexOf(ino);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  FileRecord* record = FindRecordLocked(*shards_[si], ino);
   ShadowInode* shadow = ShadowInodeOf(pool_, ino);
   if (record == nullptr || shadow == nullptr || !shadow->Exists()) {
     return NotFound("no such file");
@@ -569,6 +861,7 @@ Status KernelController::Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gi
   pool_.Write(&dirent->uid, &updated.uid, sizeof(updated.uid));
   pool_.Write(&dirent->gid, &updated.gid, sizeof(updated.gid));
   span.PersistNow(&dirent->uid, sizeof(uint32_t) * 2);
+  grant_cache_.Erase(ino);
   return OkStatus();
 }
 
@@ -577,30 +870,36 @@ Status KernelController::Chown(LibFsId libfs, Ino ino, uint32_t uid, uint32_t gi
 // ---------------------------------------------------------------------------
 
 PageState KernelController::StateOfPage(PageNumber page) const {
-  // mutex_ is recursive: the verifier calls this on the kernel's own thread mid-verify.
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  // Lock-free when the page cache hits; one stripe mutex otherwise. The verifier calls
+  // this mid-verify from a thread that holds NO shard lock (the busy protocol), so there
+  // is no reentrancy here any more — just an ordinary leaf-level read.
   if (page < FileRegionStart(pool_)) {
     return PageState{ResourceState::kReserved, kNoLibFs, kInvalidIno};
   }
-  auto it = page_states_.find(page);
-  if (it == page_states_.end()) {
-    return PageState{};
-  }
-  return it->second;
+  return page_table_.Get(page);
 }
 
 InoState KernelController::StateOfIno(Ino ino) const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto it = ino_states_.find(ino);
-  if (it == ino_states_.end()) {
-    return InoState{};
+  uint64_t w[2];
+  if (ino_cache_.Lookup(ino, w)) {
+    InoState state;
+    UnpackStateLessee(w[0], &state.state, &state.lessee);
+    state.parent = w[1];
+    return state;
   }
-  return it->second;
+  const size_t si = ShardIndexOf(ino);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  auto it = shards_[si]->ino_states.find(ino);
+  const InoState state = it == shards_[si]->ino_states.end() ? InoState{} : it->second;
+  const uint64_t words[2] = {PackStateLessee(state.state, state.lessee), state.parent};
+  ino_cache_.Store(ino, words);
+  return state;
 }
 
 Status KernelController::CheckRemovedChildDir(Ino child, LibFsId writer) const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  const FileRecord* record = RecordOf(child);
+  const size_t si = ShardIndexOf(child);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  const FileRecord* record = FindRecordLocked(*shards_[si], child);
   if (record == nullptr) {
     return OkStatus();  // Already reclaimed.
   }
@@ -620,18 +919,47 @@ Status KernelController::CheckRemovedChildDir(Ino child, LibFsId writer) const {
 }
 
 bool KernelController::IsMovePermitted(Ino child, Ino new_parent, LibFsId writer) const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  const FileRecord* record = RecordOf(child);
-  if (record == nullptr) {
-    return false;
+  (void)new_parent;
+  std::shared_ptr<LibFsRecord> me = FindLibFs(writer);
+  if (me != nullptr) {
+    std::lock_guard<std::mutex> guard(me->mu);
+    if (me->pending_orphans.count(child) != 0) {
+      return true;
+    }
   }
-  auto libfs_it = libfses_.find(writer);
-  if (libfs_it != libfses_.end() &&
-      libfs_it->second->pending_orphans.count(child) != 0) {
-    return true;
+  // Two-phase cross-shard read: discover the old parent under the child's shard, then
+  // take {child, old parent} in ascending order and re-validate the edge (a concurrent
+  // rename may have moved the child between the phases).
+  for (;;) {
+    Ino parent = kInvalidIno;
+    {
+      const size_t si = ShardIndexOf(child);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      const FileRecord* record = FindRecordLocked(*shards_[si], child);
+      if (record == nullptr) {
+        return false;
+      }
+      parent = record->parent;
+    }
+    if (parent == kInvalidIno) {
+      return false;  // The root does not move.
+    }
+    const std::vector<size_t> set =
+        SortedShardSet({ShardIndexOf(child), ShardIndexOf(parent)});
+    if (set.size() > 1) {
+      stats_.cross_shard_acquires.fetch_add(1, std::memory_order_relaxed);
+    }
+    OrderedShardSpan span(ShardMutexesFor(set), set);
+    const FileRecord* record = FindRecordLocked(ShardOf(child), child);
+    if (record == nullptr) {
+      return false;
+    }
+    if (record->parent != parent) {
+      continue;  // Raced a rename; rediscover the parent.
+    }
+    const FileRecord* old_parent = FindRecordLocked(ShardOf(parent), parent);
+    return old_parent != nullptr && old_parent->writer == writer;
   }
-  const FileRecord* old_parent = RecordOf(record->parent);
-  return old_parent != nullptr && old_parent->writer == writer;
 }
 
 // ---------------------------------------------------------------------------
@@ -639,6 +967,7 @@ bool KernelController::IsMovePermitted(Ino child, Ino new_parent, LibFsId writer
 // ---------------------------------------------------------------------------
 
 void KernelController::WmapLogAdd(Ino ino) {
+  std::lock_guard<std::mutex> guard(wmap_mu_);
   auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(SuperblockOf(pool_)->wmap_log_page));
   const size_t slots = WmapSlots(pool_);
   for (size_t i = 0; i < slots; ++i) {
@@ -661,6 +990,7 @@ void KernelController::WmapLogAdd(Ino ino) {
 }
 
 void KernelController::WmapLogRemove(Ino ino) {
+  std::lock_guard<std::mutex> guard(wmap_mu_);
   auto* log = reinterpret_cast<uint64_t*>(pool_.PageAddress(SuperblockOf(pool_)->wmap_log_page));
   for (size_t i = 0; i < WmapSlots(pool_); ++i) {
     if (pool_.Load64(&log[i]) == ino) {
@@ -675,7 +1005,7 @@ void KernelController::WmapLogRemove(Ino ino) {
 // ---------------------------------------------------------------------------
 
 size_t KernelController::FreePageCount() const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> guard(alloc_mu_);
   size_t total = 0;
   for (const auto& list : free_pages_by_node_) {
     total += list.size();
@@ -684,14 +1014,16 @@ size_t KernelController::FreePageCount() const {
 }
 
 bool KernelController::IsWriteMapped(Ino ino) const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  const FileRecord* record = RecordOf(ino);
+  const size_t si = ShardIndexOf(ino);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  const FileRecord* record = FindRecordLocked(*shards_[si], ino);
   return record != nullptr && record->writer != kNoLibFs;
 }
 
 Result<Ino> KernelController::ParentOf(Ino ino) const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  const FileRecord* record = RecordOf(ino);
+  const size_t si = ShardIndexOf(ino);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  const FileRecord* record = FindRecordLocked(*shards_[si], ino);
   if (record == nullptr) {
     return NotFound("no such file");
   }

@@ -8,18 +8,43 @@
 // In the paper this is a Linux kernel module; here it is an in-process object. Every public
 // entry point models one user->kernel crossing and is counted in stats().syscalls, which
 // the cost models in src/sim consume.
+//
+// Scale-out (DESIGN.md §4.10): the controller is SHARDED. File records and ino states are
+// partitioned by hash(ino) into `controller_shards` shards, each guarded by a plain
+// (non-recursive) mutex; page ownership lives in a separately striped table with 64-page
+// range affinity; read-mostly ownership and grant lookups take a lock-free seqlock-cache
+// fast path. Cross-shard operations (renames across shards, reconciliation that touches
+// children in other shards) use a two-phase protocol: collect the shard set, then acquire
+// in ascending index order (enforced at runtime by ShardRank).
+//
+// Lock hierarchy (acquire strictly downward; each level optional):
+//   shard mutexes (ascending index only)
+//     -> per-LibFS record mutex (at most one at a time)
+//       -> alloc_mu_ (free pages / free inos / next_ino_)
+//       -> page-table stripe mutexes
+//       -> quarantine_mu_ / wmap_mu_
+//       -> MmuSim internal mutex (leaf)
+// registry_mu_ protects the LibFS registry only and is never held across any other
+// acquisition (lookups copy out a shared_ptr). LibFS callbacks and the integrity verifier
+// ALWAYS run with no shard held (ShardRank::AssertNoneHeld); in-flight verifications pin
+// their file with a per-record `busy` flag instead of holding a lock, and waiters sleep on
+// the shard's condition variable.
 
 #ifndef SRC_KERNEL_CONTROLLER_H_
 #define SRC_KERNEL_CONTROLLER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -29,6 +54,7 @@
 #include "src/core/ownership.h"
 #include "src/kernel/delegation.h"
 #include "src/kernel/mmu_sim.h"
+#include "src/kernel/shard.h"
 #include "src/kernel/watchdog.h"
 #include "src/obs/stats.h"
 #include "src/verifier/verifier.h"
@@ -64,6 +90,16 @@ struct KernelConfig {
   // Thresholds, ring sizing, spin/park and stealing knobs for the delegation pool
   // (§4.5); benchmarks sweep these through here.
   DelegationConfig delegation;
+  // Controller shards (rounded up to a power of two, clamped to [1, 64]). 1 reproduces
+  // the legacy one-big-mutex controller; the fleet bench gates 8 > 1.
+  size_t controller_shards = 8;
+  // Lock-free seqlock-cache fast path for StateOfPage/StateOfIno/LookupGrant on the
+  // syscall boundary. Off = every lookup goes through the shard/stripe mutexes (the
+  // legacy read path; the fleet bench's 1-shard baseline).
+  bool lockfree_lookup = true;
+  // Slots per seqlock cache (rounded up to a power of two). Direct-mapped; collisions
+  // only cost fast-path misses.
+  size_t ownership_cache_slots = 4096;
 };
 
 // Callbacks a LibFS registers with the kernel controller.
@@ -115,6 +151,13 @@ struct KernelStats {
   obs::Counter quarantine_evictions;  // Oldest entries dropped past max_quarantined_files.
   obs::Counter pages_allocated;
   obs::Counter pages_freed;
+  // Sharding telemetry: lock-free grant-lookup hits/misses on the syscall boundary,
+  // shard-mutex acquisitions that found the lock held, and multi-shard (two-phase)
+  // acquisitions.
+  obs::Counter grant_fast_hits;
+  obs::Counter grant_fast_misses;
+  obs::Counter shard_lock_contended;
+  obs::Counter cross_shard_acquires;
   // Sharing-cost breakdown (Fig 8): cumulative nanoseconds per phase.
   obs::Counter map_ns;
   obs::Counter unmap_ns;
@@ -139,6 +182,10 @@ struct KernelStats {
                         {"quarantine_evictions", &quarantine_evictions},
                         {"pages_allocated", &pages_allocated},
                         {"pages_freed", &pages_freed},
+                        {"grant_fast_hits", &grant_fast_hits},
+                        {"grant_fast_misses", &grant_fast_misses},
+                        {"shard_lock_contended", &shard_lock_contended},
+                        {"cross_shard_acquires", &cross_shard_acquires},
                         {"map_ns", &map_ns},
                         {"unmap_ns", &unmap_ns},
                         {"verify_ns", &verify_ns},
@@ -161,6 +208,10 @@ struct KernelStats {
     quarantine_evictions = 0;
     pages_allocated = 0;
     pages_freed = 0;
+    grant_fast_hits = 0;
+    grant_fast_misses = 0;
+    shard_lock_contended = 0;
+    cross_shard_acquires = 0;
     map_ns = 0;
     unmap_ns = 0;
     verify_ns = 0;
@@ -170,6 +221,33 @@ struct KernelStats {
 
  private:
   obs::ScopedRegistration reg_;
+};
+
+// Page-number -> PageState, striped by 64-page runs (an allocation's pages land on one
+// stripe; independent files contend on different stripes) with a lock-free seqlock-cache
+// read path. A cache entry is an authoritative snapshot INCLUDING "free": Set/Erase write
+// through under the stripe lock, so the cache may forget but never lies.
+class PageOwnershipTable {
+ public:
+  void Reset(size_t stripes, size_t cache_slots);
+  PageState Get(PageNumber page) const;  // Lock-free fast path; populates on miss.
+  void Set(PageNumber page, const PageState& state);
+  void Erase(PageNumber page);
+  bool Contains(PageNumber page) const;
+  // Atomically erase iff currently leased by `libfs`. Returns whether it fired.
+  bool EraseIfLeasedBy(PageNumber page, LibFsId libfs);
+  void Clear();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<PageNumber, PageState> map;
+  };
+  size_t StripeIndexOf(PageNumber page) const { return (page >> 6) & stripe_mask_; }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  size_t stripe_mask_ = 0;
+  mutable SeqlockCache<2> cache_;
 };
 
 class KernelController : public OwnershipView, public VerifyEnv {
@@ -211,6 +289,10 @@ class KernelController : public OwnershipView, public VerifyEnv {
   // least a read mapping of the parent).
   Result<MapInfo> MapFile(LibFsId libfs, Ino parent, Ino ino, bool write);
   Status UnmapFile(LibFsId libfs, Ino ino);
+  // Revalidate an existing grant without a full MapFile. Lock-free when the seqlock grant
+  // cache hits (the scalable syscall-boundary read path); falls back to one shard lock.
+  // NotFound if the caller holds no suitable grant — callers then MapFile as usual.
+  Result<MapInfo> LookupGrant(LibFsId libfs, Ino ino);
   // Verify now and replace the checkpoint with the current (valid) state, keeping the
   // write grant (§4.3 "commit call").
   Status CommitFile(LibFsId libfs, Ino ino);
@@ -243,6 +325,7 @@ class KernelController : public OwnershipView, public VerifyEnv {
   void StartDelegation();
   Clock* clock() { return clock_; }
   const KernelConfig& config() const { return config_; }
+  size_t shard_count() const { return shards_.size(); }
 
   // Test/inspection helpers.
   size_t FreePageCount() const;
@@ -269,13 +352,20 @@ class KernelController : public OwnershipView, public VerifyEnv {
     std::unordered_set<LibFsId> readers;
     uint64_t lease_deadline_ns = 0;
     std::unique_ptr<FileCheckpointData> checkpoint;
+    // Verification in flight: the record is pinned (no release/reclaim/grant may touch
+    // it) while its writer's work is verified OUTSIDE the shard lock. Waiters sleep on
+    // the shard cv. This replaces the recursive-mutex reentry the verifier used to need.
+    bool busy = false;
   };
 
   struct LibFsRecord {
     LibFsId id = kNoLibFs;
-    uint32_t uid = 0;
-    uint32_t gid = 0;
-    LibFsCallbacks callbacks;
+    uint32_t uid = 0;             // Immutable after registration.
+    uint32_t gid = 0;             // Immutable after registration.
+    LibFsCallbacks callbacks;     // Immutable after registration.
+    // `mu` guards the five sets below. Rank: after shard mutexes; at most one LibFS
+    // record mutex held at a time; nothing else is acquired under it.
+    std::mutex mu;
     std::unordered_set<PageNumber> leased_pages;
     std::unordered_set<Ino> leased_inos;
     std::unordered_set<Ino> write_mapped;
@@ -285,26 +375,71 @@ class KernelController : public OwnershipView, public VerifyEnv {
     std::unordered_set<Ino> pending_orphans;
   };
 
-  // All private methods below require mutex_ held unless noted.
-  DirentBlock* DirentOfLocked(const FileRecord& record);
-  FileRecord* RecordOf(Ino ino);
-  const FileRecord* RecordOf(Ino ino) const;
+  struct Shard {
+    ShardMutex mu;
+    std::condition_variable cv;  // Signalled when a record's busy flag clears.
+    std::unordered_map<Ino, FileRecord> records;
+    std::unordered_map<Ino, InoState> ino_states;
+  };
+
+  // Naming discipline (enforceable now that shard mutexes are non-recursive):
+  //   *Locked        — caller holds the shard lock(s) covering every ino the method
+  //                    touches (single shard, an OrderedShardSpan, or all shards).
+  //   everything else — must be entered with NO shard lock held; acquires what it needs.
+  // ShardRank aborts on any violation of the ascending-acquire order at runtime.
+
+  // ---- shard plumbing (controller.cc) ----
+  size_t ShardIndexOf(Ino ino) const {
+    return static_cast<size_t>((ino * 0x9e3779b97f4a7c15ull) >> 32) & shard_mask_;
+  }
+  Shard& ShardOf(Ino ino) const { return *shards_[ShardIndexOf(ino)]; }
+  static FileRecord* FindRecordLocked(Shard& shard, Ino ino);
+  // Blocks on the shard cv until `ino`'s record is not busy; returns the re-found record
+  // (nullptr if it vanished while waiting). `lk` is the shard lock, held on entry/exit.
+  FileRecord* WaitNotBusyLocked(Shard& shard, std::unique_lock<std::mutex>& lk, Ino ino);
+  std::shared_ptr<LibFsRecord> FindLibFs(LibFsId id) const;
+  std::vector<ShardMutex*> ShardMutexesFor(const std::vector<size_t>& indices) const;
+  std::vector<size_t> AllShardIndices() const;
+  void SetInoStateLocked(Shard& shard, Ino ino, const InoState& state);
+  void EraseInoStateLocked(Shard& shard, Ino ino);
+  void ReleasePageToFree(PageNumber page);  // Table erase + free-list push (alloc_mu_).
+
+  // ---- mapping / grants (controller_map.cc) ----
+  DirentBlock* DirentOfLocked(const FileRecord& record) const;
   Status TakeCheckpointLocked(FileRecord* record);
   void GrantFilePagesLocked(LibFsId libfs, const FileRecord& record, bool write);
-  void RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record);
-  // Runs verification + reconciliation for a file whose write session is ending.
-  // Releases and re-acquires mutex_ around LibFS callbacks. Returns the verify status.
-  Status VerifyAndReconcileLocked(std::unique_lock<std::recursive_mutex>& lock,
-                                  FileRecord* record);
-  Status ApplyReportLocked(FileRecord* record, const VerifyReport& report);
-  void RollbackToCheckpointLocked(FileRecord* record);
-  void QuarantineLocked(FileRecord* record, const Status& reason);
-  void ResolveOrphansLocked(LibFsRecord* libfs);
-  void ReclaimFileLocked(FileRecord* record);  // Frees pages + ino + shadow, drops record.
+  // Releases the MMU references this LibFS's mapping of `record` holds. `write` names the
+  // mapping strength being torn down (the MMU refcounts per strength; see MmuSim).
+  void RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record, bool write);
+  void PublishGrantLocked(const FileRecord& record, LibFsId holder, bool writable);
+  // Lock-free grant revalidation against the seqlock cache. nullopt = miss.
+  std::optional<MapInfo> TryFastGrant(LibFsId libfs, Ino ino, bool write);
+  // Tear down `libfs`'s write session on `ino`: clear writer/checkpoint, release MMU
+  // refs, drop the grant cache entry and wmap log slot, clear busy, resolve orphans if
+  // the session quiesced. PRE: this thread set `busy` on the record; no locks held.
+  void FinishWriteRelease(LibFsId libfs, Ino ino,
+                          const std::shared_ptr<LibFsRecord>& me);
   // Reclaims `holder`'s mapping of `ino` after its revoke callback overran the lease
   // deadline: verify-and-reconcile (writers), revoke MMU grants, drop the lease.
-  void ForceReleaseLocked(std::unique_lock<std::recursive_mutex>& lock, Ino ino,
-                          LibFsId holder);
+  void ForceRelease(Ino ino, LibFsId holder);
+
+  // ---- verification / safety (controller_verify.cc) ----
+  // Verify `ino`'s write session and reconcile (or fix/quarantine/rollback on failure).
+  // PRE: this thread set `busy` on the record; no locks held. The caller still owns the
+  // writer teardown (FinishWriteRelease) afterwards.
+  Status VerifyAndReconcile(Ino ino);
+  // Apply a verification report. Phase-two of the cross-shard protocol: acquires the
+  // shard of `ino` plus the shards of every child the report names, ascending.
+  Status ApplyReport(Ino ino, const VerifyReport& report);
+  void RollbackToCheckpointLocked(FileRecord* record);
+  void QuarantineLocked(FileRecord* record, const Status& reason);
+  // Self-locking subtree reclaim (leaf-first; waits out busy records). PRE: no locks
+  // held and this thread does not itself hold `busy` on anything in the subtree.
+  void ReclaimTree(Ino ino);
+  void ReclaimOne(Ino ino);
+  void ResolveOrphans(const std::shared_ptr<LibFsRecord>& libfs);
+
+  // ---- lifecycle internals (controller.cc) ----
   Status ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_page, size_t dirent_slot,
                         const DirentBlock& dirent, std::unordered_set<PageNumber>* seen_pages,
                         std::unordered_set<Ino>* seen_inos);
@@ -316,39 +451,59 @@ class KernelController : public OwnershipView, public VerifyEnv {
   KernelConfig config_;
   Clock* clock_;
   MmuSim mmu_;
-  KernelStats stats_;
+  // mutable: const read paths (StateOf*, VerifyEnv, inspection) count contention/hits.
+  mutable KernelStats stats_;
   // Persistence accounting for every PersistSpan the controller opens (layer "kernel").
   obs::PersistStats persist_stats_{"kernel"};
   std::unique_ptr<IntegrityVerifier> verifier_;
   std::unique_ptr<DelegationPool> delegation_;
   CallbackGuard callback_guard_;  // Deadline watchdog for untrusted LibFS callbacks.
 
-  // Recursive: the verifier calls back into OwnershipView/VerifyEnv methods on the same
-  // thread while the kernel drives it under this lock.
-  mutable std::recursive_mutex mutex_;
-  std::unordered_map<PageNumber, PageState> page_states_;  // Absent => free file page.
-  std::unordered_map<Ino, InoState> ino_states_;           // Absent => free ino.
-  std::unordered_map<Ino, FileRecord> records_;
-  std::unordered_map<LibFsId, std::unique_ptr<LibFsRecord>> libfses_;
+  // Sharded ownership state. unique_ptr: Shard holds a condition_variable (immovable).
+  // mutable: const read paths (StateOf*, VerifyEnv) still take shard locks.
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  PageOwnershipTable page_table_;
+  mutable SeqlockCache<2> ino_cache_;    // ino -> packed InoState.
+  mutable SeqlockCache<3> grant_cache_;  // ino -> packed grant (one holder).
+
+  // LibFS registry. registry_mu_ is never held across any other lock acquisition;
+  // lookups copy the shared_ptr out.
+  mutable std::mutex registry_mu_;
+  std::unordered_map<LibFsId, std::shared_ptr<LibFsRecord>> libfses_;
+  LibFsId next_libfs_id_ = 1;
+
   // One impounded file (§4.3): who corrupted it, the structured verdict, and the raw page
-  // images at condemnation time. `sequence` orders entries for oldest-first eviction.
+  // images at condemnation time. `sequence` orders entries for oldest-first eviction;
+  // fifo_ is the eviction queue (stale entries — retrieved or re-quarantined — are
+  // skipped lazily, keeping eviction O(1) amortized instead of an O(n) rescan per
+  // insert).
   struct QuarantineEntry {
     LibFsId offender = kNoLibFs;
     Status error;
     std::vector<std::vector<char>> images;
     uint64_t sequence = 0;
   };
+  mutable std::mutex quarantine_mu_;
   std::unordered_map<Ino, QuarantineEntry> quarantine_;
+  std::deque<std::pair<uint64_t, Ino>> quarantine_fifo_;  // (sequence, ino), oldest first.
   uint64_t quarantine_sequence_ = 0;
-  int contended_transfer_depth_ = 0;  // Revocation-driven transfers in flight (mutex_).
-  // Per-NUMA-node free lists (per-CPU sharding happens in the LibFS-side allocator cache;
-  // the kernel hands out batches).
+
+  // Revocation-driven transfers in flight (the canary hook reads this racily by design —
+  // the schedule explorer drives it single-threaded, where it is exact).
+  std::atomic<int> contended_transfer_depth_{0};
+
+  // Free resources. Per-NUMA-node free page lists (per-CPU sharding happens in the
+  // LibFS-side allocator cache; the kernel hands out batches).
+  mutable std::mutex alloc_mu_;
   std::vector<std::vector<PageNumber>> free_pages_by_node_;
   Ino next_ino_ = 2;
   std::vector<Ino> free_inos_;
-  LibFsId next_libfs_id_ = 1;
+
+  std::mutex wmap_mu_;  // Serializes write-map log read-modify-write cycles.
+
   bool mounted_ = false;
-  bool needs_recovery_ = false;
+  bool needs_recovery_ = false;  // Mount/RunRecovery/Unmount are single-threaded.
 };
 
 }  // namespace trio

@@ -1,7 +1,19 @@
 // KernelController mapping and sharing: file record lookup, page-permission grants and
-// revocation, MapFile/UnmapFile with lease-based revocation of conflicting holders, and
-// forced release of unresponsive LibFSes. Part of the KernelController split; see
-// controller.cc for the TU map.
+// revocation (reference counted in MmuSim), MapFile/UnmapFile with lease-based revocation
+// of conflicting holders, the lock-free LookupGrant fast path, and forced release of
+// unresponsive LibFSes. Part of the KernelController split; see controller.cc for the TU
+// map.
+//
+// Grant/revoke pairing (the refcount contract with MmuSim):
+//   AllocPages          +RW per leased page      FreePages(leased)      -RW
+//   MapFile(write)      +RW per owned page       FinishWriteRelease     -RW per owned page
+//                       +RW dirent page                                 -RW dirent page
+//   MapFile(read)       +RO per owned page       UnmapFile(read)        -RO per owned page
+//                       +RO dirent page                                 -RO dirent page
+//   reconcile: leased page becomes owned — its lease ref is CONSUMED by the write
+//   teardown's per-page release (the page is in record.pages by then); new children's
+//   implicit write grants add +RW on their dirent page (their pages carry lease refs).
+// A read mapping upgraded to write releases its RO refs before the RW grant.
 
 #include "src/kernel/controller.h"
 
@@ -11,18 +23,15 @@
 namespace trio {
 
 using controller_internal::AccessAllowed;
+using controller_internal::PackGrantWord;
+using controller_internal::UnpackGrantWord;
 
-KernelController::FileRecord* KernelController::RecordOf(Ino ino) {
-  auto it = records_.find(ino);
-  return it == records_.end() ? nullptr : &it->second;
+KernelController::FileRecord* KernelController::FindRecordLocked(Shard& shard, Ino ino) {
+  auto it = shard.records.find(ino);
+  return it == shard.records.end() ? nullptr : &it->second;
 }
 
-const KernelController::FileRecord* KernelController::RecordOf(Ino ino) const {
-  auto it = records_.find(ino);
-  return it == records_.end() ? nullptr : &it->second;
-}
-
-DirentBlock* KernelController::DirentOfLocked(const FileRecord& record) {
+DirentBlock* KernelController::DirentOfLocked(const FileRecord& record) const {
   if (record.dirent_page == 0) {
     return &SuperblockOf(pool_)->root;
   }
@@ -43,46 +52,120 @@ void KernelController::GrantFilePagesLocked(LibFsId libfs, const FileRecord& rec
   }
 }
 
-void KernelController::RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record) {
+void KernelController::RevokeFilePagesLocked(LibFsId libfs, const FileRecord& record,
+                                             bool write) {
+  const PagePerm perm = write ? PagePerm::kReadWrite : PagePerm::kRead;
   for (PageNumber page : record.pages) {
-    // Leave leased pages mapped; only revoke the file's own pages.
-    auto it = page_states_.find(page);
-    if (it != page_states_.end() && it->second.state == ResourceState::kLeased &&
-        it->second.lessee == libfs) {
+    // Leave leased pages mapped; only release the file's own pages.
+    const PageState state = page_table_.Get(page);
+    if (state.state == ResourceState::kLeased && state.lessee == libfs) {
       continue;
     }
-    mmu_.Revoke(libfs, page);
+    mmu_.Revoke(libfs, page, perm);
   }
-  if (record.dirent_page == 0) {
-    return;
+  if (record.dirent_page != 0) {
+    // Refcounted: dropping THIS mapping's dirent reference cannot strip a sibling
+    // mapping's justification, so the old cross-file "strongest surviving permission"
+    // rescan (which read every other record this LibFS had mapped — a cross-shard walk
+    // the one-big-mutex silently permitted) is gone.
+    mmu_.Revoke(libfs, record.dirent_page, perm);
   }
-  // The dirent page is shared with the parent directory and sibling files; recompute the
-  // strongest permission still justified by this LibFS's other mappings.
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
-    mmu_.Revoke(libfs, record.dirent_page);
-    return;
+}
+
+void KernelController::PublishGrantLocked(const FileRecord& record, LibFsId holder,
+                                          bool writable) {
+  const uint64_t words[3] = {record.dirent_page,
+                             PackGrantWord(holder, record.dirent_slot, writable),
+                             record.lease_deadline_ns};
+  grant_cache_.Store(record.ino, words);
+}
+
+std::optional<MapInfo> KernelController::TryFastGrant(LibFsId libfs, Ino ino, bool write) {
+  uint64_t w[3];
+  if (!grant_cache_.Lookup(ino, w)) {
+    return std::nullopt;
   }
-  const LibFsRecord& lr = *libfs_it->second;
-  PagePerm perm = PagePerm::kNone;
-  auto consider = [&](Ino ino, PagePerm candidate) {
-    const FileRecord* other = RecordOf(ino);
-    if (other == nullptr || other->ino == record.ino) {
-      return;
+  LibFsId holder;
+  size_t dirent_slot;
+  bool writable;
+  UnpackGrantWord(w[1], &holder, &dirent_slot, &writable);
+  if (holder != libfs) {
+    return std::nullopt;
+  }
+  if (write && !writable) {
+    return std::nullopt;
+  }
+  // Write grants are leases: past the deadline the holder may have been revoked, so only
+  // the locked path (which renews) may answer. Read grants don't expire.
+  if (writable && NowNs() >= w[2]) {
+    return std::nullopt;
+  }
+  MapInfo info;
+  info.dirent_page = static_cast<PageNumber>(w[0]);
+  info.dirent_slot = dirent_slot;
+  info.writable = writable;
+  info.lease_deadline_ns = writable ? w[2] : 0;
+  // first_index_page is read fresh from the NVM dirent (it moves on reconcile; the cache
+  // word would go stale). Lock-free NVM reads are the LibFS's normal operating condition.
+  const DirentBlock* dirent =
+      info.dirent_page == 0
+          ? &SuperblockOf(pool_)->root
+          : &reinterpret_cast<DirDataPage*>(pool_.PageAddress(info.dirent_page))
+                 ->slots[dirent_slot];
+  info.first_index_page = dirent->first_index_page;
+  return info;
+}
+
+Result<MapInfo> KernelController::LookupGrant(LibFsId libfs, Ino ino) {
+  SyscallScope syscall(stats_, "LookupGrant");
+  const uint64_t t0 = NowNs();
+  // Fast path: lock-free revalidation against the seqlock grant cache. Asking for the
+  // strength we already hold: try write first (a write grant also satisfies reads).
+  if (std::optional<MapInfo> fast = TryFastGrant(libfs, ino, /*write=*/false)) {
+    stats_.grant_fast_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    return *fast;
+  }
+  stats_.grant_fast_misses.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
+    return InvalidArgument("unknown LibFS");
+  }
+  const size_t si = ShardIndexOf(ino);
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  FileRecord* record = FindRecordLocked(*shards_[si], ino);
+  if (record == nullptr) {
+    return NotFound("no such file");
+  }
+  // Shadow-inode re-check: permissions may have changed since the grant (Chmod/Chown
+  // invalidate the cache precisely so stale grants funnel through this check).
+  const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+  if (shadow == nullptr || !shadow->Exists()) {
+    return NotFound("file has no shadow inode");
+  }
+  if (record->writer == libfs) {
+    if (!AccessAllowed(*shadow, me->uid, me->gid, /*write=*/true)) {
+      return PermissionDenied("access denied by shadow inode");
     }
-    const bool touches = other->pages.count(record.dirent_page) != 0 ||
-                         other->dirent_page == record.dirent_page;
-    if (touches && static_cast<int>(candidate) > static_cast<int>(perm)) {
-      perm = candidate;
+    record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+    PublishGrantLocked(*record, libfs, /*writable=*/true);
+    MapInfo info{record->dirent_page, record->dirent_slot, true,
+                 record->lease_deadline_ns, DirentOfLocked(*record)->first_index_page};
+    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    return info;
+  }
+  if (record->readers.count(libfs) != 0 && record->writer == kNoLibFs) {
+    if (!AccessAllowed(*shadow, me->uid, me->gid, /*write=*/false)) {
+      return PermissionDenied("access denied by shadow inode");
     }
-  };
-  for (Ino ino : lr.write_mapped) {
-    consider(ino, PagePerm::kReadWrite);
+    PublishGrantLocked(*record, libfs, /*writable=*/false);
+    MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
+                 DirentOfLocked(*record)->first_index_page};
+    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    return info;
   }
-  for (Ino ino : lr.read_mapped) {
-    consider(ino, PagePerm::kRead);
-  }
-  mmu_.Grant(libfs, record.dirent_page, perm);  // kNone erases.
+  return NotFound("no grant held");
 }
 
 Result<MapInfo> KernelController::MapRoot(LibFsId libfs, bool write) {
@@ -91,174 +174,253 @@ Result<MapInfo> KernelController::MapRoot(LibFsId libfs, bool write) {
 
 Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bool write) {
   SyscallScope syscall(stats_, "MapFile");
+  (void)parent;
   const uint64_t t0 = NowNs();
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
 
+  const size_t si = ShardIndexOf(ino);
+  // Holder of the last COMPLETED revoke callback: if the next round finds the very same
+  // conflict, the holder no longer believes it holds the file (e.g. its node state is
+  // long torn down while we carry an implicit grant from a parent commit) or refuses to
+  // cooperate. Either way another callback cannot help — reclaim by force. Without this
+  // a cooperative-but-amnesiac holder stalls a mapper on no-op revokes forever, past any
+  // lease deadline.
+  LibFsId already_revoked = kNoLibFs;
   while (true) {
-    FileRecord* record = RecordOf(ino);
-    if (record == nullptr) {
-      return NotFound("no such file");
-    }
-    LibFsRecord* me = libfses_.find(libfs)->second.get();
-
-    // Permission check against the shadow inode (ground truth).
-    const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
-    if (shadow == nullptr || !shadow->Exists()) {
-      return NotFound("file has no shadow inode");
-    }
-    if (!AccessAllowed(*shadow, me->uid, me->gid, write)) {
-      return PermissionDenied("access denied by shadow inode");
-    }
-
-    // Already mapped suitably?
-    if (record->writer == libfs) {
-      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
-      MapInfo info{record->dirent_page, record->dirent_slot, true, record->lease_deadline_ns,
-                   DirentOfLocked(*record)->first_index_page};
-      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-      return info;
-    }
-    if (!write && record->readers.count(libfs) != 0 && record->writer == kNoLibFs) {
-      MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
-                   DirentOfLocked(*record)->first_index_page};
-      stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-      return info;
-    }
-
-    // Conflicts: a writer blocks everyone; readers block a writer (§3.2: concurrent read
-    // XOR exclusive write). Leases bound how long a holder can stall us; the holder is
-    // asked to release via its revoke callback.
+    // Conflict handling that must run unlocked (revoke callbacks, dead-writer
+    // verification) is staged out of the locked section and re-evaluated from scratch.
+    enum class Pending { kNone, kDeadWriter, kRevoke, kForce };
+    Pending pending = Pending::kNone;
     LibFsId conflict = kNoLibFs;
-    if (record->writer != kNoLibFs && record->writer != libfs) {
-      conflict = record->writer;
-    } else if (write) {
-      for (LibFsId reader : record->readers) {
-        if (reader != libfs) {
-          conflict = reader;
-          break;
+    std::shared_ptr<LibFsRecord> holder;
+    std::function<void(Ino)> revoke;
+    uint64_t lease_end = 0;
+
+    {
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      FileRecord* record = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+      if (record == nullptr) {
+        return NotFound("no such file");
+      }
+
+      // Permission check against the shadow inode (ground truth).
+      const ShadowInode* shadow = ShadowInodeOf(pool_, ino);
+      if (shadow == nullptr || !shadow->Exists()) {
+        return NotFound("file has no shadow inode");
+      }
+      if (!AccessAllowed(*shadow, me->uid, me->gid, write)) {
+        return PermissionDenied("access denied by shadow inode");
+      }
+
+      // Already mapped suitably?
+      if (record->writer == libfs) {
+        record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+        PublishGrantLocked(*record, libfs, /*writable=*/true);
+        MapInfo info{record->dirent_page, record->dirent_slot, true,
+                     record->lease_deadline_ns, DirentOfLocked(*record)->first_index_page};
+        stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+        return info;
+      }
+      if (!write && record->readers.count(libfs) != 0 && record->writer == kNoLibFs) {
+        MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
+                     DirentOfLocked(*record)->first_index_page};
+        stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+        return info;
+      }
+
+      // Conflicts: a writer blocks everyone; readers block a writer (§3.2: concurrent
+      // read XOR exclusive write). Leases bound how long a holder can stall us; the
+      // holder is asked to release via its revoke callback.
+      if (record->writer != kNoLibFs && record->writer != libfs) {
+        conflict = record->writer;
+      } else if (write) {
+        for (LibFsId reader : record->readers) {
+          if (reader != libfs) {
+            conflict = reader;
+            break;
+          }
         }
       }
-    }
 
-    if (conflict != kNoLibFs) {
-      auto holder_it = libfses_.find(conflict);
-      if (holder_it == libfses_.end() || !holder_it->second->callbacks.revoke) {
+      if (conflict == kNoLibFs) {
+        // Grant, entirely under this one shard lock.
+        if (write) {
+          if (record->readers.erase(libfs) > 0) {
+            // Upgrading our own read mapping: release the RO references before granting
+            // RW ones (refcounted MMU — the old absolute-overwrite Grant hid this).
+            {
+              std::lock_guard<std::mutex> guard(me->mu);
+              me->read_mapped.erase(ino);
+            }
+            RevokeFilePagesLocked(libfs, *record, /*write=*/false);
+          }
+          const uint64_t c0 = NowNs();
+          Status checkpoint_status = TakeCheckpointLocked(record);
+          stats_.checkpoint_ns.fetch_add(NowNs() - c0, std::memory_order_relaxed);
+          if (!checkpoint_status.ok()) {
+            return checkpoint_status;
+          }
+          record->writer = libfs;
+          record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+          {
+            std::lock_guard<std::mutex> guard(me->mu);
+            me->write_mapped.insert(ino);
+          }
+          WmapLogAdd(ino);
+        } else {
+          record->readers.insert(libfs);
+          std::lock_guard<std::mutex> guard(me->mu);
+          me->read_mapped.insert(ino);
+        }
+        GrantFilePagesLocked(libfs, *record, write);
+        PublishGrantLocked(*record, libfs, write);
+        stats_.maps.fetch_add(1, std::memory_order_relaxed);
+        MapInfo info{record->dirent_page, record->dirent_slot, write,
+                     write ? record->lease_deadline_ns : 0,
+                     DirentOfLocked(*record)->first_index_page};
+        stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+        return info;
+      }
+
+      holder = FindLibFs(conflict);
+      if (holder == nullptr || !holder->callbacks.revoke) {
         // Dead or unresponsive holder: force the release ourselves.
         if (record->writer == conflict) {
-          (void)VerifyAndReconcileLocked(lock, record);
-          record->writer = kNoLibFs;
-          record->checkpoint.reset();
-          WmapLogRemove(ino);
-          if (holder_it != libfses_.end()) {
-            holder_it->second->write_mapped.erase(ino);
-          }
+          record->busy = true;  // Pin for the verification staged below.
+          pending = Pending::kDeadWriter;
         } else {
           record->readers.erase(conflict);
-          if (holder_it != libfses_.end()) {
-            holder_it->second->read_mapped.erase(ino);
+          if (holder != nullptr) {
+            std::lock_guard<std::mutex> guard(holder->mu);
+            holder->read_mapped.erase(ino);
           }
+          grant_cache_.Erase(ino);
+          continue;  // Re-evaluate (more readers may remain).
         }
-        continue;
+      } else if (conflict == already_revoked) {
+        pending = Pending::kForce;
+      } else {
+        revoke = holder->callbacks.revoke;
+        lease_end = record->lease_deadline_ns;
+        pending = Pending::kRevoke;
+        // NOTE: busy is NOT set here. The holder's revoke callback calls UnmapFile,
+        // which must be able to claim the record itself.
       }
-      stats_.revocations.fetch_add(1, std::memory_order_relaxed);
-      auto revoke = holder_it->second->callbacks.revoke;
-      // Transfers triggered by this revocation (the holder unmaps; verify-and-reconcile
-      // runs) count as contended while we wait — the canary hook keys off this depth.
-      ++contended_transfer_depth_;
-      if (!config_.guard_callbacks) {
-        lock.unlock();
-        revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
-        lock.lock();
-        --contended_transfer_depth_;
-        continue;  // Re-evaluate from scratch; records may have been reclaimed.
-      }
-      // Lease enforcement: the holder is trusted to cooperate only until its lease
-      // expires. Wait for the revoke callback at most until the lease deadline (plus
-      // grace), then reclaim the mapping by force — an unresponsive holder cannot stall
-      // a conflicting mapper beyond its lease.
-      const uint64_t now = NowNs();
-      const uint64_t lease_end = record->lease_deadline_ns;
-      const uint64_t remaining_ms =
-          lease_end > now ? (lease_end - now + 999999ull) / 1000000ull : 0;
-      const uint64_t budget_ms = remaining_ms + config_.revoke_grace_ms;
-      lock.unlock();
-      const bool completed = callback_guard_.Run(budget_ms, [revoke, ino] { revoke(ino); });
-      lock.lock();
-      --contended_transfer_depth_;
-      if (!completed) {
-        stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
-        TRIO_LOG(kWarn) << "revoke of ino " << ino << " from LibFS " << conflict
-                        << " overran the lease deadline; forcing release";
-        ForceReleaseLocked(lock, ino, conflict);
-      }
-      continue;  // Re-evaluate from scratch; records may have been reclaimed.
+    }  // shard lock released
+
+    if (pending == Pending::kDeadWriter) {
+      (void)VerifyAndReconcile(ino);
+      FinishWriteRelease(conflict, ino, holder);
+      continue;
+    }
+    if (pending == Pending::kForce) {
+      ShardRank::AssertNoneHeld();
+      ForceRelease(ino, conflict);
+      continue;
     }
 
-    // Grant.
-    if (write) {
-      // Readers of this same LibFS upgrading: drop the read mapping.
-      record->readers.erase(libfs);
-      me->read_mapped.erase(ino);
-      const uint64_t c0 = NowNs();
-      Status checkpoint_status = TakeCheckpointLocked(record);
-      stats_.checkpoint_ns.fetch_add(NowNs() - c0, std::memory_order_relaxed);
-      if (!checkpoint_status.ok()) {
-        return checkpoint_status;
-      }
-      record->writer = libfs;
-      record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
-      me->write_mapped.insert(ino);
-      WmapLogAdd(ino);
-    } else {
-      record->readers.insert(libfs);
-      me->read_mapped.insert(ino);
+    // Pending::kRevoke — ask the holder to release; transfers triggered by this
+    // revocation count as contended while we wait (the canary hook keys off this depth).
+    ShardRank::AssertNoneHeld();
+    stats_.revocations.fetch_add(1, std::memory_order_relaxed);
+    contended_transfer_depth_.fetch_add(1, std::memory_order_relaxed);
+    if (!config_.guard_callbacks) {
+      revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
+      contended_transfer_depth_.fetch_sub(1, std::memory_order_relaxed);
+      already_revoked = conflict;
+      continue;  // Re-evaluate from scratch; records may have been reclaimed.
     }
-    GrantFilePagesLocked(libfs, *record, write);
-    stats_.maps.fetch_add(1, std::memory_order_relaxed);
-    MapInfo info{record->dirent_page, record->dirent_slot, write,
-                 write ? record->lease_deadline_ns : 0,
-                 DirentOfLocked(*record)->first_index_page};
-    stats_.map_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
-    return info;
+    // Lease enforcement: the holder is trusted to cooperate only until its lease
+    // expires. Wait for the revoke callback at most until the lease deadline (plus
+    // grace), then reclaim the mapping by force — an unresponsive holder cannot stall
+    // a conflicting mapper beyond its lease.
+    const uint64_t now = NowNs();
+    const uint64_t remaining_ms =
+        lease_end > now ? (lease_end - now + 999999ull) / 1000000ull : 0;
+    const uint64_t budget_ms = remaining_ms + config_.revoke_grace_ms;
+    const Ino revoke_ino = ino;
+    auto revoke_fn = revoke;
+    const bool completed =
+        callback_guard_.Run(budget_ms, [revoke_fn, revoke_ino] { revoke_fn(revoke_ino); });
+    contended_transfer_depth_.fetch_sub(1, std::memory_order_relaxed);
+    if (!completed) {
+      stats_.callback_timeouts.fetch_add(1, std::memory_order_relaxed);
+      TRIO_LOG(kWarn) << "revoke of ino " << ino << " from LibFS " << conflict
+                      << " overran the lease deadline; forcing release";
+      ForceRelease(ino, conflict);
+    } else {
+      already_revoked = conflict;
+    }
+    // Re-evaluate from scratch; records may have been reclaimed.
   }
 }
 
-void KernelController::ForceReleaseLocked(std::unique_lock<std::recursive_mutex>& lock,
-                                          Ino ino, LibFsId holder) {
-  FileRecord* record = RecordOf(ino);
-  if (record == nullptr) {
-    return;
-  }
-  auto holder_it = libfses_.find(holder);
-  if (record->writer == holder) {
-    // Same teardown as a cooperative unmap: the holder's work is verified (and rolled
-    // back if corrupt) before the lease is handed on. The holder itself gets no say.
-    (void)VerifyAndReconcileLocked(lock, record);
-    record = RecordOf(ino);
+void KernelController::FinishWriteRelease(LibFsId libfs, Ino ino,
+                                          const std::shared_ptr<LibFsRecord>& me) {
+  const size_t si = ShardIndexOf(ino);
+  {
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = FindRecordLocked(*shards_[si], ino);
     if (record != nullptr) {
       record->writer = kNoLibFs;
       record->checkpoint.reset();
-      if (holder_it != libfses_.end()) {
-        RevokeFilePagesLocked(holder, *record);
+      if (me != nullptr) {
+        // An unregistered holder's references already fell with RevokeAll.
+        RevokeFilePagesLocked(libfs, *record, /*write=*/true);
       }
+      grant_cache_.Erase(ino);
+      record->busy = false;
     }
-    WmapLogRemove(ino);
-    if (holder_it != libfses_.end()) {
-      holder_it->second->write_mapped.erase(ino);
-      if (holder_it->second->write_mapped.empty()) {
-        ResolveOrphansLocked(holder_it->second.get());
+    shards_[si]->cv.notify_all();
+  }
+  WmapLogRemove(ino);
+  if (me != nullptr) {
+    bool quiesced;
+    {
+      std::lock_guard<std::mutex> guard(me->mu);
+      me->write_mapped.erase(ino);
+      quiesced = me->write_mapped.empty();
+    }
+    if (quiesced) {
+      ResolveOrphans(me);
+    }
+  }
+}
+
+void KernelController::ForceRelease(Ino ino, LibFsId holder) {
+  std::shared_ptr<LibFsRecord> holder_record = FindLibFs(holder);
+  const size_t si = ShardIndexOf(ino);
+  bool writer_path = false;
+  {
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+    if (record == nullptr) {
+      return;
+    }
+    if (record->writer == holder) {
+      // Same teardown as a cooperative unmap: the holder's work is verified (and rolled
+      // back if corrupt) before the lease is handed on. The holder itself gets no say.
+      record->busy = true;
+      writer_path = true;
+    } else if (record->readers.erase(holder) > 0) {
+      if (holder_record != nullptr) {
+        {
+          std::lock_guard<std::mutex> guard(holder_record->mu);
+          holder_record->read_mapped.erase(ino);
+        }
+        RevokeFilePagesLocked(holder, *record, /*write=*/false);
       }
+      grant_cache_.Erase(ino);
+    } else {
+      return;
     }
-  } else if (record->readers.erase(holder) > 0) {
-    if (holder_it != libfses_.end()) {
-      holder_it->second->read_mapped.erase(ino);
-    }
-    RevokeFilePagesLocked(holder, *record);
+  }
+  if (writer_path) {
+    (void)VerifyAndReconcile(ino);
+    FinishWriteRelease(holder, ino, holder_record);
   }
   stats_.forced_releases.fetch_add(1, std::memory_order_relaxed);
 }
@@ -266,38 +428,39 @@ void KernelController::ForceReleaseLocked(std::unique_lock<std::recursive_mutex>
 Status KernelController::UnmapFile(LibFsId libfs, Ino ino) {
   SyscallScope syscall(stats_, "UnmapFile");
   const uint64_t t0 = NowNs();
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  auto libfs_it = libfses_.find(libfs);
-  if (libfs_it == libfses_.end()) {
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
     return InvalidArgument("unknown LibFS");
   }
-  LibFsRecord* me = libfs_it->second.get();
-  FileRecord* record = RecordOf(ino);
-  if (record == nullptr) {
-    me->write_mapped.erase(ino);
-    me->read_mapped.erase(ino);
-    return NotFound("no such file");
+  const size_t si = ShardIndexOf(ino);
+  bool writer_path = false;
+  {
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+    if (record == nullptr) {
+      std::lock_guard<std::mutex> guard(me->mu);
+      me->write_mapped.erase(ino);
+      me->read_mapped.erase(ino);
+      return NotFound("no such file");
+    }
+    if (record->writer == libfs) {
+      record->busy = true;  // Verification runs below, outside the lock.
+      writer_path = true;
+    } else if (record->readers.erase(libfs) > 0) {
+      {
+        std::lock_guard<std::mutex> guard(me->mu);
+        me->read_mapped.erase(ino);
+      }
+      RevokeFilePagesLocked(libfs, *record, /*write=*/false);
+      grant_cache_.Erase(ino);
+    } else {
+      return InvalidArgument("file not mapped by caller");
+    }
   }
-
   Status result = OkStatus();
-  if (record->writer == libfs) {
-    result = VerifyAndReconcileLocked(lock, record);
-    record = RecordOf(ino);  // Reconciliation/rollback never erases it, but be safe.
-    if (record != nullptr) {
-      record->writer = kNoLibFs;
-      record->checkpoint.reset();
-      RevokeFilePagesLocked(libfs, *record);
-    }
-    me->write_mapped.erase(ino);
-    WmapLogRemove(ino);
-    if (me->write_mapped.empty()) {
-      ResolveOrphansLocked(me);
-    }
-  } else if (record->readers.erase(libfs) > 0) {
-    me->read_mapped.erase(ino);
-    RevokeFilePagesLocked(libfs, *record);
-  } else {
-    return InvalidArgument("file not mapped by caller");
+  if (writer_path) {
+    result = VerifyAndReconcile(ino);
+    FinishWriteRelease(libfs, ino, me);
   }
   stats_.unmaps.fetch_add(1, std::memory_order_relaxed);
   stats_.unmap_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);

@@ -2,6 +2,12 @@
 // report application (page/ino reconciliation, new children, renames, deletions),
 // checkpointing, quarantine, and rollback. Part of the KernelController split; see
 // controller.cc for the TU map.
+//
+// Verification runs with NO shard lock held: the caller pins the record with
+// FileRecord::busy under its shard lock, releases the lock, verifies, then applies the
+// report under the two-phase cross-shard span. The busy pin keeps release/reclaim/grant
+// paths off the record (they wait on the shard cv), which is what the recursive mutex
+// used to paper over by letting the verifier re-enter the controller on the same thread.
 
 #include "src/kernel/controller.h"
 
@@ -25,82 +31,111 @@ uint64_t VerifyDeadline(const KernelConfig& config, uint64_t now_ns) {
 
 Status KernelController::CommitFile(LibFsId libfs, Ino ino) {
   SyscallScope syscall(stats_, "CommitFile");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
-  FileRecord* record = RecordOf(ino);
-  if (record == nullptr || record->writer != libfs) {
-    return InvalidArgument("file not write-mapped by caller");
+  std::shared_ptr<LibFsRecord> me = FindLibFs(libfs);
+  if (me == nullptr) {
+    return InvalidArgument("unknown LibFS");
   }
+  const size_t si = ShardIndexOf(ino);
+  VerifyRequest request;
+  std::vector<CheckpointChild> checkpoint_children;
+  {
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+    if (record == nullptr || record->writer != libfs) {
+      return InvalidArgument("file not write-mapped by caller");
+    }
+    record->busy = true;
+    request.ino = ino;
+    request.dirent = DirentOfLocked(*record);
+    request.writer = libfs;
+    request.writer_uid = me->uid;
+    request.writer_gid = me->gid;
+    if (record->checkpoint != nullptr) {
+      checkpoint_children = record->checkpoint->children;
+      request.checkpoint_children = &checkpoint_children;
+    }
+  }
+
   // Verify the current state without the corruption-handling fallback: a failed commit
   // simply leaves the old checkpoint in force (§4.3).
-  VerifyRequest request;
-  request.ino = ino;
-  request.dirent = DirentOfLocked(*record);
-  request.writer = libfs;
-  LibFsRecord* me = libfses_.find(libfs)->second.get();
-  request.writer_uid = me->uid;
-  request.writer_gid = me->gid;
-  std::vector<CheckpointChild> checkpoint_children;
-  if (record->checkpoint != nullptr) {
-    checkpoint_children = record->checkpoint->children;
-    request.checkpoint_children = &checkpoint_children;
-  }
+  ShardRank::AssertNoneHeld();
   const uint64_t v0 = NowNs();
   request.deadline_ns = VerifyDeadline(config_, v0);
   Result<VerifyReport> report = verifier_->Verify(request);
   stats_.verifications.fetch_add(1, std::memory_order_relaxed);
   stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
+
+  Status result = OkStatus();
   if (!report.ok()) {
     stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
     if (report.status().Is(ErrorCode::kTimeout)) {
       stats_.verify_timeouts.fetch_add(1, std::memory_order_relaxed);
     }
-    return report.status();
+    result = report.status();
+  } else {
+    result = ApplyReport(ino, *report);
   }
-  TRIO_RETURN_IF_ERROR(ApplyReportLocked(record, *report));
-  return TakeCheckpointLocked(record);
+
+  ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+  FileRecord* record = FindRecordLocked(*shards_[si], ino);
+  if (record != nullptr) {
+    if (result.ok()) {
+      result = TakeCheckpointLocked(record);
+    }
+    record->busy = false;
+  }
+  shards_[si]->cv.notify_all();
+  return result;
 }
 
-Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursive_mutex>& lock,
-                                                  FileRecord* record) {
-  const Ino ino = record->ino;
-  const LibFsId writer = record->writer;
-  auto libfs_it = libfses_.find(writer);
-  if (libfs_it == libfses_.end()) {
+Status KernelController::VerifyAndReconcile(Ino ino) {
+  const size_t si = ShardIndexOf(ino);
+  VerifyRequest request;
+  std::vector<CheckpointChild> checkpoint_children;
+  LibFsId writer = kNoLibFs;
+  {
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = FindRecordLocked(*shards_[si], ino);
+    if (record == nullptr) {
+      return Internal("record vanished under busy pin");
+    }
+    writer = record->writer;
+    request.ino = ino;
+    request.dirent = DirentOfLocked(*record);
+    request.writer = writer;
+    if (record->checkpoint != nullptr) {
+      checkpoint_children = record->checkpoint->children;
+      request.checkpoint_children = &checkpoint_children;
+    }
+  }
+  std::shared_ptr<LibFsRecord> me = FindLibFs(writer);
+  if (me == nullptr) {
     return Internal("writer vanished");
   }
-  LibFsRecord* me = libfs_it->second.get();
-
-  VerifyRequest request;
-  request.ino = ino;
-  request.dirent = DirentOfLocked(*record);
-  request.writer = writer;
   request.writer_uid = me->uid;
   request.writer_gid = me->gid;
-  std::vector<CheckpointChild> checkpoint_children;
-  if (record->checkpoint != nullptr) {
-    checkpoint_children = record->checkpoint->children;
-    request.checkpoint_children = &checkpoint_children;
-  }
 
+  ShardRank::AssertNoneHeld();
   const uint64_t v0 = NowNs();
   request.deadline_ns = VerifyDeadline(config_, v0);
   Result<VerifyReport> report = verifier_->Verify(request);
   stats_.verifications.fetch_add(1, std::memory_order_relaxed);
   stats_.verify_ns.fetch_add(NowNs() - v0, std::memory_order_relaxed);
   if (report.ok()) {
-    return ApplyReportLocked(record, *report);
+    return ApplyReport(ino, *report);
   }
 
   stats_.verify_failures.fetch_add(1, std::memory_order_relaxed);
   Status failure = report.status();
   TRIO_LOG(kInfo) << "verification failed for ino " << ino << ": " << failure.ToString();
 
-  // §4.3: "ArckFS notifies LibFS A to fix the corruption with a timeout."
+  // §4.3: "ArckFS notifies LibFS A to fix the corruption with a timeout." The callback
+  // runs with no locks held (ShardRank would abort otherwise); the busy pin keeps the
+  // record stable underneath it.
   auto fix = me->callbacks.fix_corruption;
   if (fix) {
     const uint64_t deadline = NowNs() + config_.fix_timeout_ms * 1000000ull;
     bool claims_fixed = false;
-    lock.unlock();
     if (config_.guard_callbacks) {
       // fix_timeout_ms is a real deadline, not an honor-system check: the callback runs
       // on a watchdog thread and a hang is abandoned, escalating to rollback below. The
@@ -119,19 +154,22 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
     } else {
       claims_fixed = fix(ino, failure);
     }
-    lock.lock();
-    record = RecordOf(ino);
-    if (record == nullptr) {
-      return failure;
-    }
     if (claims_fixed && NowNs() <= deadline) {
-      request.dirent = DirentOfLocked(*record);
+      {
+        // Re-read the dirent location: a concurrent parent reconcile may have moved it.
+        ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+        FileRecord* record = FindRecordLocked(*shards_[si], ino);
+        if (record == nullptr) {
+          return failure;
+        }
+        request.dirent = DirentOfLocked(*record);
+      }
       request.deadline_ns = VerifyDeadline(config_, NowNs());
       Result<VerifyReport> retry = verifier_->Verify(request);
       stats_.verifications.fetch_add(1, std::memory_order_relaxed);
       if (retry.ok()) {
         stats_.corruptions_fixed_by_libfs.fetch_add(1, std::memory_order_relaxed);
-        return ApplyReportLocked(record, *retry);
+        return ApplyReport(ino, *retry);
       }
       failure = retry.status();
     }
@@ -143,18 +181,22 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
   if (failure.Is(ErrorCode::kTimeout)) {
     stats_.verify_timeouts.fetch_add(1, std::memory_order_relaxed);
   }
-  QuarantineLocked(record, failure);
-  RollbackToCheckpointLocked(record);
+  {
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = FindRecordLocked(*shards_[si], ino);
+    if (record != nullptr) {
+      QuarantineLocked(record, failure);
+      RollbackToCheckpointLocked(record);
+      grant_cache_.Erase(ino);
+    }
+  }
   stats_.corruptions_rolled_back.fetch_add(1, std::memory_order_relaxed);
 
   // Tell the offender its file was impounded so it drops cached mappings. Untrusted code:
-  // bounded by the watchdog, and run outside the kernel lock. (Re-find the writer: `me`
-  // may have dangled while the lock was dropped for the fix callback.)
-  auto notify_it = libfses_.find(writer);
-  std::function<void(Ino, const Status&)> notify =
-      notify_it != libfses_.end() ? notify_it->second->callbacks.quarantined : nullptr;
+  // bounded by the watchdog, and run outside every lock.
+  auto notify = me->callbacks.quarantined;
   if (notify) {
-    lock.unlock();
+    ShardRank::AssertNoneHeld();
     if (config_.guard_callbacks) {
       if (!callback_guard_.Run(config_.fix_timeout_ms,
                                [notify, ino, failure] { notify(ino, failure); })) {
@@ -163,158 +205,254 @@ Status KernelController::VerifyAndReconcileLocked(std::unique_lock<std::recursiv
     } else {
       notify(ino, failure);
     }
-    lock.lock();
   }
   return failure;
 }
 
-Status KernelController::ApplyReportLocked(FileRecord* record, const VerifyReport& report) {
-  LibFsRecord* writer =
-      record->writer != kNoLibFs ? libfses_.find(record->writer)->second.get() : nullptr;
-
-  // Pages: adopt newly referenced leased pages, free no-longer-referenced owned pages.
-  std::unordered_set<PageNumber> new_pages(report.pages.begin(), report.pages.end());
-  for (PageNumber page : record->pages) {
-    if (new_pages.count(page) != 0) {
-      continue;
-    }
-    // Dropped from the file (truncate / shrink): back to the free pool.
-    if (record->writer != kNoLibFs) {
-      mmu_.Revoke(record->writer, page);
-    }
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
-    stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
-  }
-  for (PageNumber page : new_pages) {
-    PageState& state = page_states_[page];
-    if (state.state == ResourceState::kLeased) {
-      if (writer != nullptr) {
-        writer->leased_pages.erase(page);
-      }
-      state = PageState{ResourceState::kOwned, kNoLibFs, record->ino};
-    }
-  }
-  record->pages = std::move(new_pages);
-  record->first_index_page = DirentOfLocked(*record)->first_index_page;
-
-  // TEST ONLY (see KernelConfig::canary_leak_on_contended_transfer): on a transfer that
-  // raced a lease revocation, leak one still-referenced page back onto the free list. A
-  // later allocation hands it to another tenant => durable cross-file double reference,
-  // which only fsck after a crash sees (the online verifier checks one file at a time).
-  // The schedule explorer exists to find exactly this class of bug.
-  if (config_.canary_leak_on_contended_transfer && contended_transfer_depth_ > 0 &&
-      !record->pages.empty()) {
-    const PageNumber leaked = *std::max_element(record->pages.begin(), record->pages.end());
-    free_pages_by_node_[pool_.NodeOfPage(leaked)].push_back(leaked);
-  }
-
-  // Fresh children become live files with shadow inodes and an implicit write grant to
-  // their creator (their own pages reconcile at their own first verification).
+Status KernelController::ApplyReport(Ino ino, const VerifyReport& report) {
+  // Phase one of the cross-shard protocol: collect every shard the report touches —
+  // the verified file plus each named child (new, renamed in, or removed).
+  std::vector<size_t> indices{ShardIndexOf(ino)};
   for (const NewChildInfo& child : report.new_children) {
-    if (writer != nullptr) {
-      writer->leased_inos.erase(child.ino);
-    }
-    ino_states_[child.ino] = InoState{ResourceState::kOwned, kNoLibFs, record->ino};
-
-    FileRecord fresh;
-    fresh.ino = child.ino;
-    fresh.parent = record->ino;
-    fresh.is_dir = child.is_dir;
-    fresh.dirent_page = child.dirent_page;
-    fresh.dirent_slot = child.dirent_slot;
-    fresh.first_index_page = child.first_index_page;
-
-    ShadowInode shadow{child.mode, child.uid, child.gid, 1};
-    ShadowInode* slot = ShadowInodeOf(pool_, child.ino);
-    pool_.Write(slot, &shadow, sizeof(shadow));
-    obs::PersistSpan(pool_, &persist_stats_).PersistNow(slot, sizeof(shadow));
-
-    if (record->writer != kNoLibFs) {
-      fresh.writer = record->writer;
-      fresh.lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
-      writer->write_mapped.insert(child.ino);
-      WmapLogAdd(child.ino);
-    }
-    auto [it, inserted] = records_.emplace(child.ino, std::move(fresh));
-    if (inserted && it->second.writer != kNoLibFs) {
-      (void)TakeCheckpointLocked(&it->second);
-    }
+    indices.push_back(ShardIndexOf(child.ino));
   }
-
-  // Renames into this directory.
   for (const MovedInChild& moved : report.moved_in) {
-    FileRecord* child = RecordOf(moved.ino);
-    if (child == nullptr) {
-      continue;
-    }
-    child->parent = record->ino;
-    child->dirent_page = moved.dirent_page;
-    child->dirent_slot = moved.dirent_slot;
-    ino_states_[moved.ino].parent = record->ino;
-    if (writer != nullptr) {
-      writer->pending_orphans.erase(moved.ino);
-    }
+    indices.push_back(ShardIndexOf(moved.ino));
   }
-
-  // Children that vanished: deleted, or renamed to a directory we have not verified yet.
   for (Ino removed : report.removed_children) {
-    auto state_it = ino_states_.find(removed);
-    if (state_it == ino_states_.end() || state_it->second.parent != record->ino) {
-      continue;  // Already moved elsewhere or reclaimed.
+    indices.push_back(ShardIndexOf(removed));
+  }
+  const std::vector<size_t> set = SortedShardSet(std::move(indices));
+  if (set.size() > 1) {
+    stats_.cross_shard_acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Reclaims are deferred past the span: ReclaimTree takes shard locks itself.
+  std::vector<Ino> reclaim;
+  {
+    OrderedShardSpan span(ShardMutexesFor(set), set, &stats_.shard_lock_contended);
+    FileRecord* record = FindRecordLocked(ShardOf(ino), ino);
+    if (record == nullptr) {
+      return Internal("record vanished under busy pin");
     }
-    if (writer != nullptr) {
-      writer->pending_orphans.insert(removed);
-    } else {
-      FileRecord* child = RecordOf(removed);
-      if (child != nullptr) {
-        ReclaimFileLocked(child);
+    const LibFsId writer_id = record->writer;
+    std::shared_ptr<LibFsRecord> writer =
+        writer_id != kNoLibFs ? FindLibFs(writer_id) : nullptr;
+
+    // Pages: adopt newly referenced leased pages, free no-longer-referenced owned pages.
+    std::unordered_set<PageNumber> new_pages(report.pages.begin(), report.pages.end());
+    for (PageNumber page : record->pages) {
+      if (new_pages.count(page) != 0) {
+        continue;
+      }
+      // Dropped from the file (truncate / shrink): back to the free pool.
+      if (writer_id != kNoLibFs) {
+        mmu_.Revoke(writer_id, page, PagePerm::kReadWrite);
+      }
+      ReleasePageToFree(page);
+      stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (PageNumber page : new_pages) {
+      const PageState state = page_table_.Get(page);
+      if (state.state == ResourceState::kLeased) {
+        if (writer != nullptr) {
+          std::lock_guard<std::mutex> guard(writer->mu);
+          writer->leased_pages.erase(page);
+        }
+        page_table_.Set(page, PageState{ResourceState::kOwned, kNoLibFs, ino});
       }
     }
+    record->pages = std::move(new_pages);
+    record->first_index_page = DirentOfLocked(*record)->first_index_page;
+
+    // TEST ONLY (see KernelConfig::canary_leak_on_contended_transfer): on a transfer
+    // that raced a lease revocation, leak one still-referenced page back onto the free
+    // list. A later allocation hands it to another tenant => durable cross-file double
+    // reference, which only fsck after a crash sees (the online verifier checks one file
+    // at a time). The schedule explorer exists to find exactly this class of bug.
+    if (config_.canary_leak_on_contended_transfer &&
+        contended_transfer_depth_.load(std::memory_order_relaxed) > 0 &&
+        !record->pages.empty()) {
+      const PageNumber leaked =
+          *std::max_element(record->pages.begin(), record->pages.end());
+      std::lock_guard<std::mutex> guard(alloc_mu_);
+      free_pages_by_node_[pool_.NodeOfPage(leaked)].push_back(leaked);
+    }
+
+    // Fresh children become live files with shadow inodes and an implicit write grant to
+    // their creator (their own pages reconcile at their own first verification).
+    for (const NewChildInfo& child : report.new_children) {
+      if (writer != nullptr) {
+        std::lock_guard<std::mutex> guard(writer->mu);
+        writer->leased_inos.erase(child.ino);
+      }
+      Shard& child_shard = ShardOf(child.ino);
+      SetInoStateLocked(child_shard, child.ino,
+                        InoState{ResourceState::kOwned, kNoLibFs, ino});
+
+      FileRecord fresh;
+      fresh.ino = child.ino;
+      fresh.parent = ino;
+      fresh.is_dir = child.is_dir;
+      fresh.dirent_page = child.dirent_page;
+      fresh.dirent_slot = child.dirent_slot;
+      fresh.first_index_page = child.first_index_page;
+
+      ShadowInode shadow{child.mode, child.uid, child.gid, 1};
+      ShadowInode* slot = ShadowInodeOf(pool_, child.ino);
+      pool_.Write(slot, &shadow, sizeof(shadow));
+      obs::PersistSpan(pool_, &persist_stats_).PersistNow(slot, sizeof(shadow));
+
+      if (writer_id != kNoLibFs) {
+        fresh.writer = writer_id;
+        fresh.lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+        if (writer != nullptr) {
+          std::lock_guard<std::mutex> guard(writer->mu);
+          writer->write_mapped.insert(child.ino);
+        }
+        WmapLogAdd(child.ino);
+        // The implicit write grant's dirent-page reference: the child's co-located inode
+        // lives in a page the writer already maps through the parent, and the child's
+        // own teardown will release one RW dirent reference — without this matching
+        // grant it would consume the parent mapping's reference (refcounted MMU).
+        if (child.dirent_page != 0) {
+          mmu_.Grant(writer_id, child.dirent_page, PagePerm::kReadWrite);
+        }
+      }
+      auto [it, inserted] = child_shard.records.emplace(child.ino, std::move(fresh));
+      if (inserted && it->second.writer != kNoLibFs) {
+        (void)TakeCheckpointLocked(&it->second);
+        PublishGrantLocked(it->second, writer_id, /*writable=*/true);
+      }
+    }
+
+    // Renames into this directory.
+    for (const MovedInChild& moved : report.moved_in) {
+      Shard& child_shard = ShardOf(moved.ino);
+      FileRecord* child = FindRecordLocked(child_shard, moved.ino);
+      if (child == nullptr) {
+        continue;
+      }
+      // The co-located inode moved to a new parent data page: every holder's MMU
+      // reference on the old dirent page must move with it, or the old page keeps a
+      // stale justification and the new one underflows at unmap.
+      if (child->dirent_page != moved.dirent_page) {
+        if (child->writer != kNoLibFs) {
+          if (child->dirent_page != 0) {
+            mmu_.Revoke(child->writer, child->dirent_page, PagePerm::kReadWrite);
+          }
+          if (moved.dirent_page != 0) {
+            mmu_.Grant(child->writer, moved.dirent_page, PagePerm::kReadWrite);
+          }
+        }
+        for (LibFsId reader : child->readers) {
+          if (child->dirent_page != 0) {
+            mmu_.Revoke(reader, child->dirent_page, PagePerm::kRead);
+          }
+          if (moved.dirent_page != 0) {
+            mmu_.Grant(reader, moved.dirent_page, PagePerm::kRead);
+          }
+        }
+      }
+      child->parent = ino;
+      child->dirent_page = moved.dirent_page;
+      child->dirent_slot = moved.dirent_slot;
+      auto state_it = child_shard.ino_states.find(moved.ino);
+      InoState state = state_it != child_shard.ino_states.end() ? state_it->second
+                                                                : InoState{};
+      state.parent = ino;
+      SetInoStateLocked(child_shard, moved.ino, state);
+      grant_cache_.Erase(moved.ino);  // Cached dirent location went stale.
+      if (writer != nullptr) {
+        std::lock_guard<std::mutex> guard(writer->mu);
+        writer->pending_orphans.erase(moved.ino);
+      }
+    }
+
+    // Children that vanished: deleted, or renamed to a directory we have not verified
+    // yet.
+    for (Ino removed : report.removed_children) {
+      Shard& child_shard = ShardOf(removed);
+      auto state_it = child_shard.ino_states.find(removed);
+      if (state_it == child_shard.ino_states.end() || state_it->second.parent != ino) {
+        continue;  // Already moved elsewhere or reclaimed.
+      }
+      if (writer != nullptr) {
+        std::lock_guard<std::mutex> guard(writer->mu);
+        writer->pending_orphans.insert(removed);
+      } else if (FindRecordLocked(child_shard, removed) != nullptr) {
+        reclaim.push_back(removed);
+      }
+    }
+  }  // span released
+
+  for (Ino r : reclaim) {
+    ReclaimTree(r);
   }
   return OkStatus();
 }
 
-void KernelController::ResolveOrphansLocked(LibFsRecord* libfs) {
+void KernelController::ResolveOrphans(const std::shared_ptr<LibFsRecord>& libfs) {
   // Anything still orphaned when the writer's session quiesces was deleted, not renamed.
-  std::vector<Ino> orphans(libfs->pending_orphans.begin(), libfs->pending_orphans.end());
-  libfs->pending_orphans.clear();
+  std::vector<Ino> orphans;
+  {
+    std::lock_guard<std::mutex> guard(libfs->mu);
+    orphans.assign(libfs->pending_orphans.begin(), libfs->pending_orphans.end());
+    libfs->pending_orphans.clear();
+  }
   for (Ino ino : orphans) {
-    FileRecord* record = RecordOf(ino);
-    if (record == nullptr) {
-      continue;
-    }
-    auto state_it = ino_states_.find(ino);
-    if (state_it != ino_states_.end() && state_it->second.state == ResourceState::kOwned) {
+    bool reclaim = false;
+    {
+      const size_t si = ShardIndexOf(ino);
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      auto state_it = shards_[si]->ino_states.find(ino);
       // Still owned with the stale parent: a deletion. Directories were checked empty by
       // I3 at parent-verify time.
-      ReclaimFileLocked(record);
+      reclaim = FindRecordLocked(*shards_[si], ino) != nullptr &&
+                state_it != shards_[si]->ino_states.end() &&
+                state_it->second.state == ResourceState::kOwned;
+    }
+    if (reclaim) {
+      ReclaimTree(ino);
     }
   }
 }
 
-void KernelController::ReclaimFileLocked(FileRecord* record) {
-  const Ino ino = record->ino;
-  // Recursively reclaim children first (mass deletion by page rewrite is legal tombstoning).
-  std::vector<Ino> children;
-  for (auto& [child_ino, child] : records_) {
-    if (child.parent == ino && child_ino != ino) {
-      children.push_back(child_ino);
+void KernelController::ReclaimTree(Ino root) {
+  // Collect the subtree breadth-first (mass deletion by page rewrite is legal
+  // tombstoning), scanning one shard at a time, then reclaim leaf-first.
+  std::vector<Ino> order{root};
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Ino cur = order[i];
+    for (size_t si = 0; si < shards_.size(); ++si) {
+      ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+      for (const auto& [child_ino, child] : shards_[si]->records) {
+        if (child.parent == cur && child_ino != cur) {
+          order.push_back(child_ino);
+        }
+      }
     }
   }
-  for (Ino child : children) {
-    FileRecord* child_record = RecordOf(child);
-    if (child_record != nullptr) {
-      ReclaimFileLocked(child_record);
+  for (size_t i = order.size(); i-- > 0;) {
+    ReclaimOne(order[i]);
+  }
+}
+
+void KernelController::ReclaimOne(Ino ino) {
+  std::vector<PageNumber> pages;
+  {
+    const size_t si = ShardIndexOf(ino);
+    ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
+    FileRecord* record = WaitNotBusyLocked(*shards_[si], sl.lock(), ino);
+    if (record == nullptr) {
+      return;
     }
+    pages.assign(record->pages.begin(), record->pages.end());
+    shards_[si]->records.erase(ino);
+    EraseInoStateLocked(*shards_[si], ino);
+    grant_cache_.Erase(ino);
   }
-  record = RecordOf(ino);
-  if (record == nullptr) {
-    return;
-  }
-  for (PageNumber page : record->pages) {
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+  for (PageNumber page : pages) {
+    ReleasePageToFree(page);
     stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
   }
   ShadowInode* shadow = ShadowInodeOf(pool_, ino);
@@ -324,8 +462,9 @@ void KernelController::ReclaimFileLocked(FileRecord* record) {
     obs::PersistSpan(pool_, &persist_stats_).PersistNow(shadow, sizeof(cleared));
   }
   WmapLogRemove(ino);
-  ino_states_.erase(ino);
-  records_.erase(ino);
+  // The ino returns to the free pool LAST: nothing above may observe it re-leased while
+  // its old record is still being torn down.
+  std::lock_guard<std::mutex> guard(alloc_mu_);
   free_inos_.push_back(ino);
 }
 
@@ -365,6 +504,7 @@ Status KernelController::TakeCheckpointLocked(FileRecord* record) {
 }
 
 void KernelController::QuarantineLocked(FileRecord* record, const Status& reason) {
+  std::lock_guard<std::mutex> guard(quarantine_mu_);
   QuarantineEntry entry;
   entry.offender = record->writer;
   entry.error = reason;
@@ -374,38 +514,44 @@ void KernelController::QuarantineLocked(FileRecord* record, const Status& reason
     std::memcpy(image.data(), pool_.PageAddress(page), kPageSize);
     entry.images.push_back(std::move(image));
   }
+  quarantine_fifo_.emplace_back(entry.sequence, record->ino);
   quarantine_[record->ino] = std::move(entry);
   stats_.files_quarantined.fetch_add(1, std::memory_order_relaxed);
 
   // Bound kernel memory: an adversary corrupting file after file must not grow the
-  // quarantine without limit. Evict oldest-first (their salvage window simply closes).
+  // quarantine without limit. Evict oldest-first off the sequence-ordered FIFO —
+  // O(1) amortized, where the old whole-map min-scan was O(n) per insert (O(n²) for a
+  // corruption storm, a kernel-side DoS amplifier). Entries whose sequence no longer
+  // matches the map (retrieved, or re-quarantined with a newer image) are stale; skip
+  // them lazily.
   while (config_.max_quarantined_files != 0 &&
-         quarantine_.size() > config_.max_quarantined_files) {
-    auto oldest = quarantine_.begin();
-    for (auto it = quarantine_.begin(); it != quarantine_.end(); ++it) {
-      if (it->second.sequence < oldest->second.sequence) {
-        oldest = it;
-      }
+         quarantine_.size() > config_.max_quarantined_files &&
+         !quarantine_fifo_.empty()) {
+    const auto [sequence, ino] = quarantine_fifo_.front();
+    quarantine_fifo_.pop_front();
+    auto it = quarantine_.find(ino);
+    if (it == quarantine_.end() || it->second.sequence != sequence) {
+      continue;  // Stale FIFO entry.
     }
-    quarantine_.erase(oldest);
+    quarantine_.erase(it);
     stats_.quarantine_evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::vector<std::vector<char>> KernelController::RetrieveQuarantine(LibFsId libfs, Ino ino) {
   SyscallScope syscall(stats_, "RetrieveQuarantine");
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> guard(quarantine_mu_);
   auto it = quarantine_.find(ino);
   if (it == quarantine_.end() || it->second.offender != libfs) {
     return {};
   }
   std::vector<std::vector<char>> images = std::move(it->second.images);
-  quarantine_.erase(it);
+  quarantine_.erase(it);  // The FIFO entry goes stale and is skipped at eviction time.
   return images;
 }
 
 Status KernelController::QuarantineErrorOf(Ino ino) const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> guard(quarantine_mu_);
   auto it = quarantine_.find(ino);
   if (it == quarantine_.end()) {
     return NotFound("ino not quarantined");
@@ -414,7 +560,7 @@ Status KernelController::QuarantineErrorOf(Ino ino) const {
 }
 
 size_t KernelController::QuarantineCount() const {
-  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> guard(quarantine_mu_);
   return quarantine_.size();
 }
 
@@ -425,7 +571,9 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
   // metadata and scrub writes each fence at their original points.
   obs::PersistSpan span(pool_, &persist_stats_);
   if (checkpoint == nullptr) {
-    // A brand-new file with no checkpoint: the safe state is "empty".
+    // A brand-new file with no checkpoint: the safe state is "empty". (Residual MMU
+    // references on the freed pages intentionally persist until the holder unregisters —
+    // matching the pre-shard behavior the attack tests pin down.)
     DirentBlock cleared = *dirent;
     cleared.first_index_page = 0;
     cleared.size = 0;
@@ -433,8 +581,7 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
     span.PersistNow(dirent, sizeof(cleared));
     record->first_index_page = 0;
     for (PageNumber page : record->pages) {
-      page_states_.erase(page);
-      free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+      ReleasePageToFree(page);
     }
     record->pages.clear();
     return;
@@ -443,9 +590,8 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
   // Restore checkpointed page images where the page still belongs to this file.
   for (size_t i = 0; i < checkpoint->pages.size(); ++i) {
     const PageNumber page = checkpoint->pages[i];
-    auto state = page_states_.find(page);
-    if (state != page_states_.end() && state->second.state == ResourceState::kOwned &&
-        state->second.owner == record->ino) {
+    const PageState state = page_table_.Get(page);
+    if (state.state == ResourceState::kOwned && state.owner == record->ino) {
       pool_.Write(pool_.PageAddress(page), checkpoint->contents[i].get(), kPageSize);
       span.Persist(pool_.PageAddress(page), kPageSize);
     }
@@ -462,9 +608,8 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
   // the owned-page set from the restored chain.
   std::unordered_set<PageNumber> restored;
   Status scrub = ForEachIndexPage(pool_, record->first_index_page, [&](PageNumber p) -> Status {
-    auto state = page_states_.find(p);
-    if (state == page_states_.end() || state->second.state != ResourceState::kOwned ||
-        state->second.owner != record->ino) {
+    const PageState state = page_table_.Get(p);
+    if (state.state != ResourceState::kOwned || state.owner != record->ino) {
       return Corrupted("restored chain broken");
     }
     restored.insert(p);
@@ -474,10 +619,9 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
       if (entry == 0) {
         continue;
       }
-      auto entry_state = page_states_.find(entry);
-      const bool owned = entry_state != page_states_.end() &&
-                         entry_state->second.state == ResourceState::kOwned &&
-                         entry_state->second.owner == record->ino;
+      const PageState entry_state = page_table_.Get(entry);
+      const bool owned = entry_state.state == ResourceState::kOwned &&
+                         entry_state.owner == record->ino;
       if (!owned) {
         span.CommitStore64(&index->entries[i], 0);
       } else {
@@ -503,10 +647,9 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
       continue;
     }
     if (record->writer != kNoLibFs) {
-      mmu_.Revoke(record->writer, page);
+      mmu_.Revoke(record->writer, page, PagePerm::kReadWrite);
     }
-    page_states_.erase(page);
-    free_pages_by_node_[pool_.NodeOfPage(page)].push_back(page);
+    ReleasePageToFree(page);
   }
   record->pages = std::move(restored);
 }

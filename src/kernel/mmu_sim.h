@@ -5,6 +5,13 @@
 // NVM. A *malicious* LibFS (src/attacks) skips its own checks — but the attack tests only
 // let it scribble on pages where MmuSim says it holds write permission, which is exactly
 // what the hardware MMU would permit; everything else "faults" (test failure).
+//
+// Grants are REFERENCE COUNTED per (libfs, page, strength): a page reachable through both
+// a file mapping and the parent directory's data pages (the co-located inode design, §4.1)
+// holds one reference per justification, and the effective permission is the strongest
+// with a nonzero count. This makes revocation shard-local for the sharded controller — a
+// mapping teardown releases exactly its own references instead of rescanning every other
+// mapping of the tenant to recompute the strongest surviving permission.
 
 #ifndef SRC_KERNEL_MMU_SIM_H_
 #define SRC_KERNEL_MMU_SIM_H_
@@ -24,16 +31,45 @@ class MmuSim {
  public:
   MmuSim() = default;
 
+  // Add one reference of strength `perm` (kNone is a no-op).
   void Grant(LibFsId libfs, PageNumber page, PagePerm perm) {
-    std::lock_guard<std::mutex> guard(mutex_);
     if (perm == PagePerm::kNone) {
-      tables_[libfs].erase(page);
+      return;
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    Ref& ref = tables_[libfs][page];
+    if (perm == PagePerm::kReadWrite) {
+      ++ref.rw;
     } else {
-      tables_[libfs][page] = perm;
+      ++ref.ro;
     }
   }
 
-  void Revoke(LibFsId libfs, PageNumber page) { Grant(libfs, page, PagePerm::kNone); }
+  // Release one reference of strength `perm` (floors at zero: a forgiving release of an
+  // unheld reference must not strip somebody else's justification).
+  void Revoke(LibFsId libfs, PageNumber page, PagePerm perm) {
+    if (perm == PagePerm::kNone) {
+      return;
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto table = tables_.find(libfs);
+    if (table == tables_.end()) {
+      return;
+    }
+    auto it = table->second.find(page);
+    if (it == table->second.end()) {
+      return;
+    }
+    Ref& ref = it->second;
+    if (perm == PagePerm::kReadWrite) {
+      ref.rw -= ref.rw > 0 ? 1 : 0;
+    } else {
+      ref.ro -= ref.ro > 0 ? 1 : 0;
+    }
+    if (ref.rw == 0 && ref.ro == 0) {
+      table->second.erase(it);
+    }
+  }
 
   void RevokeAll(LibFsId libfs) {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -51,7 +87,7 @@ class MmuSim {
     if (it == table->second.end()) {
       return false;
     }
-    return !write || it->second == PagePerm::kReadWrite;
+    return !write || it->second.rw > 0;
   }
 
   bool CheckRange(LibFsId libfs, const NvmPool& pool, const void* addr, size_t len,
@@ -76,8 +112,12 @@ class MmuSim {
   }
 
  private:
+  struct Ref {
+    uint32_t rw = 0;
+    uint32_t ro = 0;
+  };
   mutable std::mutex mutex_;
-  std::unordered_map<LibFsId, std::unordered_map<PageNumber, PagePerm>> tables_;
+  std::unordered_map<LibFsId, std::unordered_map<PageNumber, Ref>> tables_;
 };
 
 }  // namespace trio

@@ -370,19 +370,30 @@ Status ArckFs::Rename(const std::string& from, const std::string& to) {
   TRIO_ASSIGN_OR_RETURN(NodePtr dst_dir, ResolveDir(dst_parts.parent));
   const bool same_dir = src_dir->ino == dst_dir->ino;
 
-  TRIO_RETURN_IF_ERROR(LockForOp(src_dir.get(), 2));
-  if (!same_dir) {
-    Status locked = LockForOp(dst_dir.get(), 2);
+  // Lock the two directories in canonical ino order — the LibFS-level mirror of the
+  // kernel's ordered two-phase cross-shard acquire. Locking src-then-dst deadlocks with
+  // a concurrent opposite-direction rename: each side holds one directory's op lock
+  // while EnsureMapped on the other issues a revoke that blocks draining that very
+  // lock. The cycle only broke at the lease deadline, and the resulting ForceRelease
+  // left both sides scribbling on directories the kernel had already re-granted.
+  FileNode* lock_first = src_dir.get();
+  FileNode* lock_second = same_dir ? nullptr : dst_dir.get();
+  if (lock_second != nullptr && lock_second->ino < lock_first->ino) {
+    std::swap(lock_first, lock_second);
+  }
+  TRIO_RETURN_IF_ERROR(LockForOp(lock_first, 2));
+  if (lock_second != nullptr) {
+    Status locked = LockForOp(lock_second, 2);
     if (!locked.ok()) {
-      UnlockOp(src_dir.get());
+      UnlockOp(lock_first);
       return locked;
     }
   }
   auto unlock_all = [&] {
-    if (!same_dir) {
-      UnlockOp(dst_dir.get());
+    if (lock_second != nullptr) {
+      UnlockOp(lock_second);
     }
-    UnlockOp(src_dir.get());
+    UnlockOp(lock_first);
   };
 
   Result<DirSlot> src_slot = FindEntry(src_dir.get(), src_parts.leaf);

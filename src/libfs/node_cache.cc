@@ -57,7 +57,15 @@ Status ArckFs::EnsureMapped(FileNode* node, bool write) {
     // revoke each other. If a revoke of THIS node lands in the unlocked window the
     // revision moves and the (now possibly stale) grant is simply requested again.
     guard.unlock();
-    Result<MapInfo> mapped = kernel_.MapFile(libfs_, node->parent, node->ino, write);
+    // Grant revalidation first: if the kernel still holds our grant (seqlock cache hit —
+    // no shard mutex on the kernel side), skip the full MapFile. Safe against concurrent
+    // revocation because RevokeNode holds this node's map_mutex for its whole duration:
+    // any revoke serializes either before this window (revision moves, we retry) or
+    // after we re-lock (stale flips and the next op remaps).
+    Result<MapInfo> mapped = kernel_.LookupGrant(libfs_, node->ino);
+    if (!mapped.ok() || (write && !mapped->writable)) {
+      mapped = kernel_.MapFile(libfs_, node->parent, node->ino, write);
+    }
     guard.lock();
     TRIO_RETURN_IF_ERROR(mapped.status());
     if (node->map_revision != revision) {
@@ -130,9 +138,13 @@ void ArckFs::RevokeNode(Ino ino) {
     // the parent was already released (the kernel reconciled it then).
     (void)kernel_.CommitFile(libfs_, node->parent);
   }
-  if (node->map_state.load(std::memory_order_relaxed) != 0 || node->locally_created) {
-    (void)kernel_.UnmapFile(libfs_, ino);
-  }
+  // Always answer the kernel, even when we believe we hold nothing: the kernel may
+  // carry an implicit write grant for this ino (created when a parent-directory commit
+  // reconciled our locally-created children AFTER we had already torn down the node).
+  // Skipping the unmap here left that grant in place and the revoking mapper looping on
+  // completed-but-ineffective revoke callbacks. UnmapFile is idempotent — it returns
+  // kNotFound/kInvalidArgument when there is truly nothing to release.
+  (void)kernel_.UnmapFile(libfs_, ino);
   // Drop auxiliary state; it is rebuilt from the (possibly verified-and-rolled-back) core
   // state on the next access.
   node->radix.Clear();

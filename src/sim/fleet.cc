@@ -1,0 +1,48 @@
+#include "src/sim/fleet.h"
+
+#include <algorithm>
+
+namespace trio {
+namespace sim {
+
+FleetPoint ExtrapolateFleet(const MachineModel& machine, const FleetProfile& profile,
+                            uint64_t clients) {
+  FleetPoint point;
+  point.clients = clients;
+  if (clients == 0) {
+    point.bound = "client";
+    return point;
+  }
+
+  const double hit = std::clamp(profile.fast_hit_rate, 0.0, 1.0);
+  const double mean_lookup_us =
+      hit * profile.fast_lookup_us + (1.0 - hit) * profile.locked_lookup_us;
+
+  // cpu cap: only `cores` clients execute concurrently; the rest queue.
+  const double runnable =
+      std::min(static_cast<double>(clients), static_cast<double>(machine.cores));
+  const double cpu_cap = runnable / std::max(mean_lookup_us, 1e-9) * 1e6;
+
+  // shard-serial cap: the locked fraction of the op stream funnels through S serial
+  // sections. With the seqlock fast path only (1 - hit) of lookups ever touch a mutex.
+  const int shards = std::max(1, profile.shards);
+  const double serial_per_op_us = (1.0 - hit) * profile.shard_serial_us;
+  const double shard_cap = serial_per_op_us <= 0.0
+                               ? 1e18
+                               : static_cast<double>(shards) / serial_per_op_us * 1e6;
+
+  // client cap: closed-loop clients with think time cannot exceed 1/think each.
+  const double client_cap =
+      profile.client_think_us <= 0.0
+          ? 1e18
+          : static_cast<double>(clients) / profile.client_think_us * 1e6;
+
+  point.ops_per_sec = std::min({cpu_cap, shard_cap, client_cap});
+  point.bound = point.ops_per_sec == cpu_cap
+                    ? "cpu"
+                    : (point.ops_per_sec == shard_cap ? "shard-serial" : "client");
+  return point;
+}
+
+}  // namespace sim
+}  // namespace trio

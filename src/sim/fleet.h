@@ -1,0 +1,53 @@
+// Fleet-scale extrapolation for the sharded kernel controller. bench_fleet measures
+// per-shard costs on the emulated testbed (grant-lookup fast-path latency, shard-locked
+// fallback latency, fast-hit rate, and time under a shard mutex per locked operation);
+// this model projects those costs to client counts far beyond what one process can host
+// — the "does the controller get out of the way at fleet scale?" question behind the
+// shard refactor.
+//
+// Throughput of C clients over S shards is the minimum of three caps:
+//
+//   * cpu:          at most `cores` clients make progress at once, each paying the
+//                   hit-rate-weighted mean lookup latency;
+//   * shard-serial: the locked fraction of lookups serializes per shard; S shards give
+//                   S independent serial sections (Amdahl, per shard — the term the
+//                   one-big-mutex design capped at S = 1);
+//   * client-side:  a client cannot issue faster than one op per `client_think_us`.
+//
+// Like sim::Solve this is analytic and deterministic: the inputs come from measured
+// counters, the projection is arithmetic, so CI can gate on the shape of the curve.
+
+#ifndef SRC_SIM_FLEET_H_
+#define SRC_SIM_FLEET_H_
+
+#include <cstdint>
+
+#include "src/sim/machine.h"
+
+namespace trio {
+namespace sim {
+
+struct FleetProfile {
+  double fast_lookup_us = 0.05;   // Lock-free grant-lookup fast path.
+  double locked_lookup_us = 0.5;  // Shard-locked fallback (miss, expiry, first touch).
+  double fast_hit_rate = 0.95;    // grant_fast_hits / (grant_fast_hits + misses).
+  double shard_serial_us = 0.4;   // Time under one shard mutex per locked lookup.
+  int shards = 8;
+  // Mean think time between a client's operations. Fleet clients are applications, not
+  // closed-loop benchmark threads; 0 models the worst case (every client always ready).
+  double client_think_us = 0.0;
+};
+
+struct FleetPoint {
+  uint64_t clients = 0;
+  double ops_per_sec = 0;
+  const char* bound = "";  // "cpu" | "shard-serial" | "client".
+};
+
+FleetPoint ExtrapolateFleet(const MachineModel& machine, const FleetProfile& profile,
+                            uint64_t clients);
+
+}  // namespace sim
+}  // namespace trio
+
+#endif  // SRC_SIM_FLEET_H_

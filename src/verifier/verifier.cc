@@ -298,6 +298,20 @@ Result<VerifyReport> IntegrityVerifier::VerifyDirectory(const VerifyRequest& req
               return VerifyFail(VerifyErrorClass::kCrossDirectory, "I2",
                                 "child inode belongs to another directory");
             }
+            // I4 holds for moved-in children too: a rename carries the cached
+            // permissions verbatim, so they must still match the shadow inode. Without
+            // this, a writer who legitimately holds both directories can smuggle a
+            // chmod/chown inside the rename (AttackMovedInPermissionLift).
+            const ShadowInode* shadow = ShadowInodeOf(pool_, entry->ino);
+            if (shadow == nullptr || !shadow->Exists()) {
+              return VerifyFail(VerifyErrorClass::kMissingShadow, "I4",
+                                "moved-in child has no shadow inode");
+            }
+            if (shadow->mode != entry->mode || shadow->uid != entry->uid ||
+                shadow->gid != entry->gid) {
+              return VerifyFail(VerifyErrorClass::kPermissionMismatch, "I4",
+                                "moved-in child cached permission differs from shadow");
+            }
             report.moved_in.push_back(
                 MovedInChild{entry->ino, state.parent, page, slot});
           }

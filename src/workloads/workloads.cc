@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/libfs/arckfs.h"
 #include "src/libfs/op_ring.h"
 
 namespace trio {
@@ -475,6 +476,126 @@ Result<WorkloadStats> FilebenchWorkload::Op(int thread, uint64_t i) {
       break;
   }
   return stats;
+}
+
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+FleetWorkload::FleetWorkload(KernelController& kernel, FleetConfig config)
+    : kernel_(kernel), config_(config) {}
+
+FleetWorkload::~FleetWorkload() = default;
+
+std::string FleetWorkload::SharedPath(uint64_t rank) const {
+  return "/fleet_shared/f" + std::to_string(rank);
+}
+
+std::string FleetWorkload::PrivateHome(int tenant) const {
+  return "/fleet_t" + std::to_string(tenant);
+}
+
+Status FleetWorkload::Prepare() {
+  tenants_.clear();
+  per_tenant_.clear();
+  zipf_ = std::make_unique<Zipfian>(static_cast<uint64_t>(config_.shared_files),
+                                    config_.zipf_theta);
+  ArckFsConfig fs_config;
+  fs_config.uid = config_.uid;
+  fs_config.gid = config_.uid;
+  // Default lease batches (64 inos / 64 pages) are sized for a handful of tenants; a
+  // fleet of 64+ would exhaust the inode space and page pool on first allocation before
+  // doing any work. Scale the batch down so aggregate reservations stay a fraction of
+  // the pool — small batches are the realistic fleet configuration anyway.
+  if (config_.tenants >= 16) {
+    fs_config.ino_batch = 8;
+    fs_config.page_batch = 16;
+  }
+  for (int t = 0; t < config_.tenants; ++t) {
+    tenants_.push_back(std::make_unique<ArckFs>(kernel_, fs_config));
+    TenantState state;
+    state.rng = Rng(config_.seed + 1000003ull * static_cast<uint64_t>(t));
+    per_tenant_.push_back(std::move(state));
+  }
+  // Tenant 0 provisions the shared pool; every tenant builds its own private home so the
+  // private files' write leases start in the owning tenant.
+  ArckFs& provisioner = *tenants_[0];
+  TRIO_RETURN_IF_ERROR(provisioner.Mkdir("/fleet_shared"));
+  for (int f = 0; f < config_.shared_files; ++f) {
+    TRIO_RETURN_IF_ERROR(WriteWhole(provisioner, SharedPath(static_cast<uint64_t>(f)),
+                                    config_.file_size, config_.io_size));
+  }
+  // Release the write maps taken while provisioning so reader tenants do not begin by
+  // revoking tenant 0 on every shared file. Directory FIRST: committing it hands the
+  // kernel the records (and tenant 0's implicit write grants) for the freshly created
+  // children, which the per-file releases below then relinquish. File-first would make
+  // those releases kernel-side no-ops and leave the implicit grants standing.
+  (void)provisioner.ReleaseFile("/fleet_shared");
+  for (int f = 0; f < config_.shared_files; ++f) {
+    (void)provisioner.ReleaseFile(SharedPath(static_cast<uint64_t>(f)));
+  }
+  for (int t = 0; t < config_.tenants; ++t) {
+    ArckFs& fs = *tenants_[static_cast<size_t>(t)];
+    TRIO_RETURN_IF_ERROR(fs.Mkdir(PrivateHome(t)));
+    TRIO_RETURN_IF_ERROR(WriteWhole(fs, PrivateHome(t) + "/work", config_.file_size,
+                                    config_.io_size));
+  }
+  return OkStatus();
+}
+
+Status FleetWorkload::Op(int tenant, uint64_t i) {
+  (void)i;
+  TenantState& state = per_tenant_[static_cast<size_t>(tenant)];
+  ArckFs& fs = *tenants_[static_cast<size_t>(tenant)];
+  const uint64_t pick = state.rng.Below(1000);
+  const uint64_t blocks =
+      std::max<uint64_t>(1, config_.file_size / config_.io_size);
+
+  if (pick < static_cast<uint64_t>(config_.rename_permille)) {
+    // Cross-shard churn: shuttle the private file between the tenant's home directory
+    // and the shared directory (FxMark MWRM's move-to-shared, fleet-wide). The two
+    // directories' inodes land in different controller shards for most tenants, so this
+    // is the two-phase ordered-acquire path; renaming into /fleet_shared also write-maps
+    // the shared directory, revoking every reader.
+    const std::string home = PrivateHome(tenant) + "/work";
+    const std::string away = "/fleet_shared/t" + std::to_string(tenant) + "_work";
+    Status moved = state.private_in_shared ? fs.Rename(away, home)
+                                           : fs.Rename(home, away);
+    TRIO_RETURN_IF_ERROR(moved);
+    state.private_in_shared = !state.private_in_shared;
+    ++state.stats.ops;
+    return OkStatus();
+  }
+
+  if (pick < static_cast<uint64_t>(config_.rename_permille + config_.write_permille)) {
+    const std::string path = state.private_in_shared
+                                 ? "/fleet_shared/t" + std::to_string(tenant) + "_work"
+                                 : PrivateHome(tenant) + "/work";
+    TRIO_ASSIGN_OR_RETURN(Fd fd, fs.Open(path, OpenFlags::ReadWrite()));
+    const std::string block = Payload(config_.io_size, 'F');
+    const uint64_t offset = state.rng.Below(blocks) * config_.io_size;
+    Result<size_t> n = fs.Pwrite(fd, block.data(), block.size(), offset);
+    Status closed = fs.Close(fd);
+    TRIO_RETURN_IF_ERROR(n.status());
+    TRIO_RETURN_IF_ERROR(closed);
+    state.stats.bytes_written += n.value();
+    ++state.stats.ops;
+    return OkStatus();
+  }
+
+  // Zipfian shared read: the read-mostly path the lock-free grant lookup serves.
+  const uint64_t rank = zipf_->Next(state.rng);
+  TRIO_ASSIGN_OR_RETURN(Fd fd, fs.Open(SharedPath(rank), OpenFlags::ReadOnly()));
+  std::vector<char> buffer(config_.io_size);
+  const uint64_t offset = state.rng.Below(blocks) * config_.io_size;
+  Result<size_t> n = fs.Pread(fd, buffer.data(), buffer.size(), offset);
+  Status closed = fs.Close(fd);
+  TRIO_RETURN_IF_ERROR(n.status());
+  TRIO_RETURN_IF_ERROR(closed);
+  state.stats.bytes_read += n.value();
+  ++state.stats.ops;
+  return OkStatus();
 }
 
 }  // namespace trio

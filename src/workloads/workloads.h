@@ -16,6 +16,7 @@
 #ifndef SRC_WORKLOADS_WORKLOADS_H_
 #define SRC_WORKLOADS_WORKLOADS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 namespace trio {
 
 class OpRingEngine;
+class ArckFs;
+class KernelController;
 
 struct WorkloadStats {
   uint64_t ops = 0;
@@ -156,6 +159,62 @@ class FilebenchWorkload {
   std::vector<Rng> rngs_;
   std::vector<uint64_t> next_new_file_;
   std::vector<std::string> deep_dirs_;  // dir_depth > 1 variant.
+};
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+// Multi-tenant fleet over ONE kernel controller: `tenants` LibFS instances sharing a
+// Zipfian-skewed pool of read-mostly files, each tenant also owning a private working
+// file, with occasional renames between the private and shared namespaces. Built to
+// drive the sharded controller: shared-file reads hit the lock-free grant fast path,
+// private writes churn leases in the owner's shard, and the renames force two-phase
+// cross-shard acquisitions plus write-map revocation of every reader of the shared
+// directory. Per-shard costs measured under this workload feed sim::ExtrapolateFleet.
+struct FleetConfig {
+  int tenants = 64;
+  int shared_files = 128;   // Zipfian-shared pool under /fleet_shared.
+  double zipf_theta = 0.99;
+  uint64_t file_size = 8192;  // Bytes per file (shared and private).
+  size_t io_size = 4096;
+  // Op mix, per mille: remainder is Zipfian shared-file reads.
+  int write_permille = 100;   // Pwrite into the tenant's private file.
+  int rename_permille = 20;   // Move the private file across the shared/private boundary.
+  uint64_t seed = 17;
+  uint32_t uid = 0;           // All tenants share a uid so shared files stay readable.
+};
+
+class FleetWorkload {
+ public:
+  FleetWorkload(KernelController& kernel, FleetConfig config = {});
+  ~FleetWorkload();  // Unregisters every tenant.
+
+  // Registers the tenants and builds the shared + private trees.
+  Status Prepare();
+  // One fleet operation on behalf of `tenant` (0-based). Thread-safe across distinct
+  // tenants; a single tenant must be driven from one thread at a time.
+  Status Op(int tenant, uint64_t i);
+
+  int tenants() const { return config_.tenants; }
+  ArckFs& tenant(int t) { return *tenants_[static_cast<size_t>(t)]; }
+  const WorkloadStats& stats(int t) const { return per_tenant_[static_cast<size_t>(t)].stats; }
+
+ private:
+  struct TenantState {
+    Rng rng{0};
+    WorkloadStats stats;
+    bool private_in_shared = false;  // Where the rename left the private file.
+  };
+
+  std::string SharedPath(uint64_t rank) const;
+  std::string PrivateHome(int tenant) const;
+
+  KernelController& kernel_;
+  FleetConfig config_;
+  std::vector<std::unique_ptr<ArckFs>> tenants_;
+  std::vector<TenantState> per_tenant_;
+  std::unique_ptr<Zipfian> zipf_;
 };
 
 }  // namespace trio
