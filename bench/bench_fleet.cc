@@ -37,7 +37,7 @@ constexpr int kTenants = 8;
 constexpr int kSharedFiles = 64;
 
 struct FleetHarness {
-  explicit FleetHarness(int shards) {
+  explicit FleetHarness(int shards, bool use_ring = false) {
     pool = std::make_unique<NvmPool>(kPoolPages);
     FormatOptions options;
     options.max_inodes = 4096;
@@ -52,6 +52,7 @@ struct FleetHarness {
     FleetConfig fleet;
     fleet.tenants = kTenants;
     fleet.shared_files = kSharedFiles;
+    fleet.use_ring = use_ring;  // Private writes go through SubmitBurst.
     workload = std::make_unique<FleetWorkload>(*kernel, fleet);
     TRIO_CHECK_OK(workload->Prepare());
 
@@ -84,13 +85,13 @@ struct FleetHarness {
   std::vector<LibFsId> tenant_ids;
 };
 
-FleetHarness& HarnessFor(int shards) {
+FleetHarness& HarnessFor(int shards, bool use_ring = false) {
   static std::mutex mu;
-  static std::map<int, std::unique_ptr<FleetHarness>> harnesses;
+  static std::map<std::pair<int, bool>, std::unique_ptr<FleetHarness>> harnesses;
   std::lock_guard<std::mutex> guard(mu);
-  std::unique_ptr<FleetHarness>& slot = harnesses[shards];
+  std::unique_ptr<FleetHarness>& slot = harnesses[{shards, use_ring}];
   if (slot == nullptr) {
-    slot = std::make_unique<FleetHarness>(shards);
+    slot = std::make_unique<FleetHarness>(shards, use_ring);
   }
   return *slot;
 }
@@ -134,7 +135,8 @@ BENCHMARK(BM_GrantLookup)
 // ---- Full fleet mix: Zipfian reads + private writes + cross-shard renames ----
 
 void BM_FleetChurn(benchmark::State& state) {
-  FleetHarness& harness = HarnessFor(static_cast<int>(state.range(0)));
+  const bool use_ring = state.range(1) != 0;
+  FleetHarness& harness = HarnessFor(static_cast<int>(state.range(0)), use_ring);
   const int tenant = state.thread_index() % kTenants;
   uint64_t i = 0;
   for (auto _ : state) {
@@ -149,12 +151,24 @@ void BM_FleetChurn(benchmark::State& state) {
     KernelStats& stats = harness.kernel->stats();
     state.counters["cross_shard_acquires"] =
         static_cast<double>(stats.cross_shard_acquires.load());
+    if (use_ring) {
+      // Ring-path liveness: private writes must actually flow through the rings.
+      uint64_t sqes = 0;
+      for (int t = 0; t < kTenants; ++t) {
+        OpRingEngine* ring = harness.workload->tenant(t).ring_engine();
+        if (ring != nullptr) {
+          sqes += ring->stats().submitted.load();
+        }
+      }
+      state.counters["ring_sqes"] = static_cast<double>(sqes);
+    }
   }
 }
 BENCHMARK(BM_FleetChurn)
-    ->ArgNames({"shards"})
-    ->Arg(1)
-    ->Arg(8)
+    ->ArgNames({"shards", "ring"})
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({8, 1})
     ->Threads(4)
     ->UseRealTime();
 
@@ -223,6 +237,11 @@ void PrintFleetExtrapolation() {
 }  // namespace trio
 
 int main(int argc, char** argv) {
+  // Construct the clock singleton BEFORE the static harness map: function-local statics
+  // die in reverse construction order, so a clock born inside harness construction would
+  // be destroyed first and harness teardown would call NowNs() through a dead vtable
+  // ("pure virtual method called" at exit).
+  trio::SystemClock::Instance();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

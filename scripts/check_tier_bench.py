@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI gate for the absorb-tier bench.
+
+Reads a bench_tier --benchmark_out JSON and checks the two properties the tier exists
+for:
+  1. Sync-path immunity: BM_TierSyncWrite with the absorb tier (mode:1, dataset 4x NVM)
+     must stay within 1.25x of the NVM-only configuration (mode:0, dataset fits) on
+     items_per_second. Both runs execute in the same process, so the comparison is a
+     ratio and robust to absolute machine speed. Digestion must also be live
+     (digest_pages > 0) or the absorb run silently degenerates into an overcommitted
+     NVM-only run.
+  2. Promote-cache efficacy: BM_TierHotRead at threads:1 must report hit_rate >= 0.90
+     (promote-cache hits / tier lookups, deltas over the timed run) with a nonzero
+     absolute hit count, so a silently-disabled cache cannot pass.
+
+Usage: check_tier_bench.py <bench_tier.json>
+"""
+
+import json
+import sys
+
+MAX_SYNC_SLOWDOWN = 1.25
+MIN_HIT_RATE = 0.90
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    sync = {}  # mode -> (items_per_second, digest_pages)
+    hit_rate = None
+    promote_hits = 0.0
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "TierSyncWrite" in name and "items_per_second" in bench:
+            for token in name.split("/"):
+                if token.startswith("mode:"):
+                    mode = int(token.split(":")[1])
+                    sync[mode] = (bench["items_per_second"],
+                                  bench.get("digest_pages", 0.0))
+        if "TierHotRead" in name and "/threads:1" in name and "hit_rate" in bench:
+            hit_rate = bench["hit_rate"]
+            promote_hits = bench.get("promote_hits", 0.0)
+
+    missing = [m for m in (0, 1) if m not in sync]
+    if missing:
+        print(f"FAIL: no TierSyncWrite result for mode {missing} in {sys.argv[1]}")
+        return 1
+    if hit_rate is None:
+        print(f"FAIL: no TierHotRead threads:1 hit_rate in {sys.argv[1]}")
+        return 1
+
+    nvm_rate, _ = sync[0]
+    tier_rate, digest_pages = sync[1]
+    if nvm_rate <= 0 or tier_rate <= 0:
+        print(f"FAIL: degenerate sync throughput (nvm={nvm_rate}, tier={tier_rate})")
+        return 1
+    slowdown = nvm_rate / tier_rate
+    if slowdown > MAX_SYNC_SLOWDOWN:
+        print(f"FAIL: absorb-tier sync path is {slowdown:.2f}x slower than NVM-only "
+              f"(limit {MAX_SYNC_SLOWDOWN}x) - the oversized dataset is leaking into "
+              f"the sync path")
+        return 1
+    if digest_pages <= 0:
+        print("FAIL: absorb run digested zero pages - the tier never engaged and the "
+              "sync comparison is meaningless")
+        return 1
+    if hit_rate < MIN_HIT_RATE:
+        print(f"FAIL: promote-cache hit rate {hit_rate:.3f} below {MIN_HIT_RATE} on "
+              f"the Zipfian hot-read workload")
+        return 1
+    if promote_hits <= 0:
+        print("FAIL: zero promote-cache hits - the cache never engaged")
+        return 1
+
+    print(f"OK: sync slowdown {slowdown:.2f}x (limit {MAX_SYNC_SLOWDOWN}x, "
+          f"digest_pages={digest_pages:.0f}), promote hit rate {hit_rate:.3f} "
+          f"(hits={promote_hits:.0f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,8 +43,11 @@ fuzz_filter='*FuzzCorpusTest*_v0:VerifierBoundsTest.*:QuarantineBoundsTest.*'
 # revoke/force-release canaries, cross-shard forgeries — the shard refactor's
 # thread-crossing paths. Small enough to run whole under both sanitizers.
 fleet_filter='FleetTest.*'
+# Tier suite: background digestion thread vs grants, promote-cache seqlock reads, the
+# LeaseCache refill worker, and the digestion crash sweep. Small enough to run whole.
+tier_filter='TierTest.*'
 targets=(delegation_test crash_explorer_test op_ring_test common_test
-         schedule_explorer_test fuzz_corpus_test fleet_test)
+         schedule_explorer_test fuzz_corpus_test fleet_test tier_test)
 if [[ $adversarial -eq 1 ]]; then
   schedule_filter='*'
   fuzz_filter='*'
@@ -76,6 +79,9 @@ for san in "${sanitizers[@]}"; do
 
   echo "== TRIO_SANITIZE=$san: fleet_test =="
   "$build/tests/fleet_test" --gtest_filter="$fleet_filter" --gtest_brief=1
+
+  echo "== TRIO_SANITIZE=$san: tier_test =="
+  "$build/tests/tier_test" --gtest_filter="$tier_filter" --gtest_brief=1
 
   if [[ $adversarial -eq 1 ]]; then
     echo "== TRIO_SANITIZE=$san: integrity_test (full corruption sweep) =="

@@ -618,6 +618,27 @@ const Script kScripts[] = {
        return fs.RawStore64(&d->first_index_page, dirent_page) ? OkStatus()
                                                                : PermissionDenied("");
      }},
+    {"index_forged_tier_mapping",
+     [](MaliciousLibFs& fs, const std::string& p, Rng& rng) {
+       // Forge a digested-page mapping: replace a live NVM data entry with a tier-tagged
+       // entry whose backend slot this file never earned. With no backend configured,
+       // every tagged entry is forged; with one, the slot is either never-written or
+       // owned by another ino. Either way CheckTierSlot must condemn it — a LibFS that
+       // could mint slots could read other tenants' digested data at reconcile time.
+       TRIO_ASSIGN_OR_RETURN(DirentBlock * d, fs.MapTarget(p));
+       if (d->first_index_page == 0) {
+         return InvalidArgument("no index page");
+       }
+       auto* index =
+           reinterpret_cast<IndexPage*>(fs.raw_pool().PageAddress(d->first_index_page));
+       if (index->entries[0] == 0) {
+         return InvalidArgument("no data page");
+       }
+       const uint64_t slot = 1 + rng.Below(1u << 20);
+       return fs.RawStore64(&index->entries[0], MakeTierEntry(slot))
+                  ? OkStatus()
+                  : PermissionDenied("");
+     }},
     {"dir_index_cycle",
      [](MaliciousLibFs& fs, const std::string& p, Rng&) {
        // Applied to a directory: its dirent-page chain loops, so a naive readdir never

@@ -128,6 +128,16 @@ Status ForEachIndexPage(const NvmPool& pool, PageNumber first_index_page,
 
 Status ForEachDataPage(const NvmPool& pool, PageNumber first_index_page,
                        const std::function<Status(uint64_t, PageNumber)>& fn) {
+  return ForEachDataEntry(pool, first_index_page, [&](uint64_t index, uint64_t entry) -> Status {
+    if (IsTierEntry(entry)) {
+      return OkStatus();  // Digested to the backend; not an NVM page.
+    }
+    return fn(index, entry);
+  });
+}
+
+Status ForEachDataEntry(const NvmPool& pool, PageNumber first_index_page,
+                        const std::function<Status(uint64_t, uint64_t)>& fn) {
   uint64_t base_index = 0;
   return ForEachIndexPage(pool, first_index_page, [&](PageNumber page) -> Status {
     const auto* index = reinterpret_cast<const IndexPage*>(pool.PageAddress(page));
@@ -136,7 +146,7 @@ Status ForEachDataPage(const NvmPool& pool, PageNumber first_index_page,
       if (entry == 0) {
         continue;  // Hole.
       }
-      if (!ValidFilePage(pool, entry)) {
+      if (!IsTierEntry(entry) && !ValidFilePage(pool, entry)) {
         return Corrupted("data page number out of range");
       }
       TRIO_RETURN_IF_ERROR(fn(base_index + i, entry));
@@ -153,7 +163,11 @@ Status ForEachDirent(NvmPool& pool, PageNumber first_index_page,
                            auto* dir_page = reinterpret_cast<DirDataPage*>(pool.PageAddress(page));
                            for (size_t slot = 0; slot < kDirentsPerPage; ++slot) {
                              DirentBlock* dirent = &dir_page->slots[slot];
-                             if (dirent->IsFree()) {
+                             // The ino is the atomic publish field (§4.4): an acquire
+                             // load pairs with the writer's release store so a dirent is
+                             // either invisible or fully written — the kernel scans
+                             // pages a LibFS may be committing to concurrently.
+                             if (pool.Load64(&dirent->ino) == kInvalidIno) {
                                continue;
                              }
                              TRIO_RETURN_IF_ERROR(fn(dirent, page, slot));

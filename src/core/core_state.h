@@ -45,10 +45,19 @@ bool ValidFilePage(const NvmPool& pool, PageNumber page);
 Status ForEachIndexPage(const NvmPool& pool, PageNumber first_index_page,
                         const std::function<Status(PageNumber)>& fn);
 
-// Visits each allocated data page with its logical index within the file
-// (file_page_index = byte_offset / kPageSize). Holes (entry == 0) are skipped.
+// Visits each NVM-resident data page with its logical index within the file
+// (file_page_index = byte_offset / kPageSize). Holes (entry == 0) and tier entries
+// (digested to the slow backend; see IsTierEntry) are skipped — callers that must see
+// digested state use ForEachDataEntry.
 Status ForEachDataPage(const NvmPool& pool, PageNumber first_index_page,
                        const std::function<Status(uint64_t file_page_index, PageNumber)>& fn);
+
+// Visits every non-hole index entry RAW: NVM entries are bounds-checked page numbers,
+// tier entries are passed through tagged (decode with TierSlotOfEntry). Used by the
+// verifier, fsck, digestion, and LibFS aux rebuild — the walkers that must account for
+// both tiers.
+Status ForEachDataEntry(const NvmPool& pool, PageNumber first_index_page,
+                        const std::function<Status(uint64_t file_page_index, uint64_t entry)>& fn);
 
 // Visits each live DirentBlock of the directory whose chain starts at `first_index_page`.
 // The pointer stays valid as long as the pool does; `page`/`slot` locate it.

@@ -46,6 +46,18 @@ struct IndexPage {
 };
 static_assert(sizeof(IndexPage) == kPageSize);
 
+// ---- Tiered entries ----
+// A regular file's index entry may reference a slot on the slow backend tier instead of
+// an NVM page: bit 63 tags the entry and the low bits carry the backend slot number.
+// NVM page numbers never approach 2^63, so the encodings cannot collide. Only regular
+// files digest; directory chains and index pages themselves stay NVM-resident, so a
+// tagged entry in a directory is corruption by definition.
+inline constexpr uint64_t kTierEntryTag = 1ull << 63;
+
+inline bool IsTierEntry(uint64_t entry) { return (entry & kTierEntryTag) != 0; }
+inline uint64_t TierSlotOfEntry(uint64_t entry) { return entry & ~kTierEntryTag; }
+inline uint64_t MakeTierEntry(uint64_t slot) { return slot | kTierEntryTag; }
+
 // ---- Directory entries (§4.1) ----
 // A DirentBlock co-locates the dirent with the file's inode. The `ino` field doubles as the
 // validity marker and the 8-byte atomic-commit field (§4.4): slots with ino == 0 are free;

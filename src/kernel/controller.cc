@@ -16,8 +16,10 @@
 #include <algorithm>
 
 #include "src/kernel/controller_internal.h"
+#include "src/kernel/digestion.h"
 #include "src/kernel/syscall_boundary.h"
 #include "src/obs/persist_span.h"
+#include "src/sim/backend.h"
 
 namespace trio {
 
@@ -133,9 +135,14 @@ KernelController::KernelController(NvmPool& pool, KernelConfig config, Clock* cl
   if (config_.start_delegation) {
     StartDelegation();
   }
+  // Digestion starts at Mount(), not here: its occupancy/cold scans read state the
+  // mount rescan builds (file_region_pages_, the record tables).
 }
 
-KernelController::~KernelController() { delegation_.reset(); }
+KernelController::~KernelController() {
+  digestion_.reset();  // Stop the migration thread before any state it walks goes away.
+  delegation_.reset();
+}
 
 void KernelController::StartDelegation() {
   if (delegation_ == nullptr) {
@@ -209,6 +216,12 @@ Status KernelController::Mount() {
   OrderedShardSpan span(ShardMutexesFor(all), all);
   Superblock* sb = SuperblockOf(pool_);
   needs_recovery_ = sb->clean_shutdown == 0;
+  file_region_pages_ = sb->total_pages - sb->file_region_page;
+  if (config_.tier.backend != nullptr) {
+    // The backend owner table is auxiliary state too: forget it and re-adopt every slot
+    // the tree rescan finds referenced by a tier entry.
+    config_.tier.backend->BeginRebuild();
+  }
 
   for (auto& shard : shards_) {
     shard->records.clear();
@@ -249,6 +262,9 @@ Status KernelController::Mount() {
   pool_.Write(&sb->clean_shutdown, &live, sizeof(live));
   obs::PersistSpan(pool_, &persist_stats_).PersistNow(&sb->clean_shutdown, sizeof(live));
   mounted_ = true;
+  if (config_.tier.backend != nullptr && config_.tier.start_digestion) {
+    StartDigestion();  // Only now: the scans above built the state digestion walks.
+  }
   return OkStatus();
 }
 
@@ -276,14 +292,26 @@ Status KernelController::ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_p
     return OkStatus();
   });
   if (walk.ok()) {
-    walk = ForEachDataPage(pool_, dirent.first_index_page,
-                           [&](uint64_t, PageNumber p) -> Status {
-                             if (!seen_pages->insert(p).second) {
-                               return Corrupted("data page claimed twice");
-                             }
-                             record.pages.insert(p);
-                             return OkStatus();
-                           });
+    walk = ForEachDataEntry(pool_, dirent.first_index_page,
+                            [&](uint64_t, uint64_t entry) -> Status {
+                              if (IsTierEntry(entry)) {
+                                if (record.is_dir) {
+                                  return Corrupted("tier entry inside a directory chain");
+                                }
+                                if (config_.tier.backend == nullptr) {
+                                  return Corrupted("tier entry with no backend configured");
+                                }
+                                const uint64_t slot = TierSlotOfEntry(entry);
+                                TRIO_RETURN_IF_ERROR(config_.tier.backend->Adopt(slot, ino));
+                                record.backend_slots.insert(slot);
+                                return OkStatus();
+                              }
+                              if (!seen_pages->insert(entry).second) {
+                                return Corrupted("data page claimed twice");
+                              }
+                              record.pages.insert(entry);
+                              return OkStatus();
+                            });
   }
 
   for (PageNumber p : record.pages) {
@@ -626,19 +654,28 @@ Status KernelController::AllocPages(LibFsId libfs, size_t count, int node_hint,
   }
   std::vector<PageNumber> granted;
   granted.reserve(count);
+  auto pop_page = [&]() -> PageNumber {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    const int nodes = static_cast<int>(free_pages_by_node_.size());
+    const int node = node_hint >= 0 && node_hint < nodes ? node_hint : 0;
+    for (int attempt = 0; attempt < nodes; ++attempt) {
+      auto& free_list = free_pages_by_node_[(node + attempt) % nodes];
+      if (!free_list.empty()) {
+        const PageNumber page = free_list.back();
+        free_list.pop_back();
+        return page;
+      }
+    }
+    return kInvalidPage;
+  };
   for (size_t i = 0; i < count; ++i) {
-    PageNumber page = kInvalidPage;
-    {
-      std::lock_guard<std::mutex> guard(alloc_mu_);
-      const int nodes = static_cast<int>(free_pages_by_node_.size());
-      const int node = node_hint >= 0 && node_hint < nodes ? node_hint : 0;
-      for (int attempt = 0; attempt < nodes; ++attempt) {
-        auto& free_list = free_pages_by_node_[(node + attempt) % nodes];
-        if (!free_list.empty()) {
-          page = free_list.back();
-          free_list.pop_back();
-          break;
-        }
+    PageNumber page = pop_page();
+    if (page == kInvalidPage && config_.tier.backend != nullptr) {
+      // NVM exhausted: the absorb tier digests synchronously (a watermark stall — the
+      // background thread fell behind) and the allocation retries once.
+      tier_stats_.watermark_stalls.fetch_add(1, std::memory_order_relaxed);
+      if (DigestNow(std::max(count, config_.tier.batch_pages)) > 0) {
+        page = pop_page();
       }
     }
     if (page == kInvalidPage) {

@@ -61,6 +61,24 @@
 
 namespace trio {
 
+class SlowBackend;      // src/sim/backend.h
+class DigestionService;  // src/kernel/digestion.h
+
+// Tiering (DESIGN.md §4.11): the NVM pool absorbs every write at NVM latency; a
+// background digestion service migrates cold, unmapped files' data pages to the slow
+// backend when NVM occupancy crosses high_watermark and stops once it falls back under
+// low_watermark. Reads of digested pages fault back in through PromoteRead.
+struct TierConfig {
+  SlowBackend* backend = nullptr;  // Not owned; null disables tiering entirely.
+  double high_watermark = 0.75;    // Background digestion starts above this occupancy...
+  double low_watermark = 0.50;     // ...and stops below this.
+  size_t batch_pages = 32;         // Pages migrated per digest batch (one fence each).
+  bool start_digestion = false;    // Spin up the background digestion thread.
+  uint64_t scan_interval_ms = 2;   // Background thread poll period.
+  // Only files whose last grant ended at least this long ago are digestible.
+  uint64_t min_idle_ns = 0;
+};
+
 struct KernelConfig {
   uint64_t lease_ms = 100;        // §6.5: "ArckFS's 100ms lease time".
   uint64_t fix_timeout_ms = 10;   // Deadline for a LibFS to fix its own corruption.
@@ -100,6 +118,8 @@ struct KernelConfig {
   // Slots per seqlock cache (rounded up to a power of two). Direct-mapped; collisions
   // only cost fast-path misses.
   size_t ownership_cache_slots = 4096;
+  // NVM absorb tier / slow-backend digestion (DESIGN.md §4.11).
+  TierConfig tier;
 };
 
 // Callbacks a LibFS registers with the kernel controller.
@@ -223,6 +243,37 @@ struct KernelStats {
   obs::ScopedRegistration reg_;
 };
 
+// Kernel-side tier counters, registered under layer "tier" (summed with the backend's
+// own media counters and the LibFS promote-cache counters).
+struct KernelTierStats {
+  obs::Counter digest_batches;     // Digest batches committed (one fence each).
+  obs::Counter digest_pages;       // NVM pages migrated to the backend.
+  obs::Counter digest_bytes;       // Bytes those pages carried.
+  obs::Counter watermark_stalls;   // AllocPages calls that had to digest synchronously.
+  obs::Counter promote_reads;      // PromoteRead calls served from the backend.
+  obs::Counter backend_slots_freed;  // Slots released at reconcile/reclaim.
+
+  KernelTierStats()
+      : reg_("tier", {{"digest_batches", &digest_batches},
+                      {"digest_pages", &digest_pages},
+                      {"digest_bytes", &digest_bytes},
+                      {"watermark_stalls", &watermark_stalls},
+                      {"promote_reads", &promote_reads},
+                      {"backend_slots_freed", &backend_slots_freed}}) {}
+
+  void Reset() {
+    digest_batches = 0;
+    digest_pages = 0;
+    digest_bytes = 0;
+    watermark_stalls = 0;
+    promote_reads = 0;
+    backend_slots_freed = 0;
+  }
+
+ private:
+  obs::ScopedRegistration reg_;
+};
+
 // Page-number -> PageState, striped by 64-page runs (an allocation's pages land on one
 // stripe; independent files contend on different stripes) with a lock-free seqlock-cache
 // read path. A cache entry is an authoritative snapshot INCLUDING "free": Set/Erase write
@@ -316,6 +367,22 @@ class KernelController : public OwnershipView, public VerifyEnv {
   // ---- VerifyEnv ----
   Status CheckRemovedChildDir(Ino child, LibFsId writer) const override;
   bool IsMovePermitted(Ino child, Ino new_parent, LibFsId writer) const override;
+  Status CheckTierSlot(Ino ino, uint64_t slot) const override;
+
+  // ---- Tiering (src/kernel/digestion.cc) ----
+  // Promote-back half of digestion: copies backend slot `slot` (a tier entry of `ino`,
+  // which the caller must hold a grant on) into `dest`, an NVM page leased to the
+  // caller, then persists + fences the destination — so a subsequent index-entry commit
+  // referencing `dest` can never become durable ahead of the data it points at.
+  Status PromoteRead(LibFsId libfs, Ino ino, uint64_t slot, PageNumber dest);
+  // Synchronously digests up to `target_pages` cold data pages NVM -> backend.
+  // Returns the number of pages migrated (0 when tiering is disabled or nothing is cold).
+  size_t DigestNow(size_t target_pages);
+  // Fraction of the file region currently in use (1.0 = no free NVM pages).
+  double NvmOccupancy() const;
+  void StartDigestion();
+  SlowBackend* backend() const { return config_.tier.backend; }
+  KernelTierStats& tier_stats() { return tier_stats_; }
 
   NvmPool& pool() { return pool_; }
   MmuSim& mmu() { return mmu_; }
@@ -348,9 +415,14 @@ class KernelController : public OwnershipView, public VerifyEnv {
     size_t dirent_slot = 0;
     PageNumber first_index_page = 0;  // As of last reconcile.
     std::unordered_set<PageNumber> pages;
+    // Backend slots this file's tier entries reference (the backend-tier analogue of
+    // `pages`; maintained by digestion, reconcile, and the mount rescan).
+    std::unordered_set<uint64_t> backend_slots;
     LibFsId writer = kNoLibFs;
     std::unordered_set<LibFsId> readers;
     uint64_t lease_deadline_ns = 0;
+    // Last grant activity (MapFile/LookupGrant), for coldest-first digestion ordering.
+    uint64_t last_use_ns = 0;
     std::unique_ptr<FileCheckpointData> checkpoint;
     // Verification in flight: the record is pinned (no release/reclaim/grant may touch
     // it) while its writer's work is verified OUTSIDE the shard lock. Waiters sleep on
@@ -439,6 +511,16 @@ class KernelController : public OwnershipView, public VerifyEnv {
   void ReclaimOne(Ino ino);
   void ResolveOrphans(const std::shared_ptr<LibFsRecord>& libfs);
 
+  // ---- tiering internals (digestion.cc) ----
+  // Cold-file scan: files with no writer, no readers, not busy, idle past min_idle_ns,
+  // with NVM data pages left to migrate; coldest (smallest last_use_ns) first. Each
+  // shard is scanned under its own lock, one at a time.
+  std::vector<Ino> CollectDigestCandidates(size_t max_files);
+  // Migrates up to `max_pages` data pages of `ino` to the backend (one fence for the
+  // whole batch). Pins the record busy while copying OUTSIDE the shard lock, exactly
+  // like verification — so a migration can never race a grant. Returns pages moved.
+  size_t DigestFile(Ino ino, size_t max_pages);
+
   // ---- lifecycle internals (controller.cc) ----
   Status ScanTreeLocked(Ino ino, Ino parent, PageNumber dirent_page, size_t dirent_slot,
                         const DirentBlock& dirent, std::unordered_set<PageNumber>* seen_pages,
@@ -457,6 +539,9 @@ class KernelController : public OwnershipView, public VerifyEnv {
   obs::PersistStats persist_stats_{"kernel"};
   std::unique_ptr<IntegrityVerifier> verifier_;
   std::unique_ptr<DelegationPool> delegation_;
+  std::unique_ptr<DigestionService> digestion_;  // Background tier migration thread.
+  mutable KernelTierStats tier_stats_;
+  uint64_t file_region_pages_ = 0;  // Denominator for NvmOccupancy (set at Mount).
   CallbackGuard callback_guard_;  // Deadline watchdog for untrusted LibFS callbacks.
 
   // Sharded ownership state. unique_ptr: Shard holds a condition_variable (immovable).

@@ -149,6 +149,7 @@ Result<MapInfo> KernelController::LookupGrant(LibFsId libfs, Ino ino) {
       return PermissionDenied("access denied by shadow inode");
     }
     record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+    record->last_use_ns = NowNs();  // Digestion cold-scan signal.
     PublishGrantLocked(*record, libfs, /*writable=*/true);
     MapInfo info{record->dirent_page, record->dirent_slot, true,
                  record->lease_deadline_ns, DirentOfLocked(*record)->first_index_page};
@@ -159,6 +160,7 @@ Result<MapInfo> KernelController::LookupGrant(LibFsId libfs, Ino ino) {
     if (!AccessAllowed(*shadow, me->uid, me->gid, /*write=*/false)) {
       return PermissionDenied("access denied by shadow inode");
     }
+    record->last_use_ns = NowNs();
     PublishGrantLocked(*record, libfs, /*writable=*/false);
     MapInfo info{record->dirent_page, record->dirent_slot, false, 0,
                  DirentOfLocked(*record)->first_index_page};
@@ -182,13 +184,21 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
   }
 
   const size_t si = ShardIndexOf(ino);
-  // Holder of the last COMPLETED revoke callback: if the next round finds the very same
-  // conflict, the holder no longer believes it holds the file (e.g. its node state is
-  // long torn down while we carry an implicit grant from a parent commit) or refuses to
-  // cooperate. Either way another callback cannot help — reclaim by force. Without this
-  // a cooperative-but-amnesiac holder stalls a mapper on no-op revokes forever, past any
-  // lease deadline.
+  // Holder of the last COMPLETED revoke callback, plus the lease deadline its grant
+  // carried when we revoked. If the next round finds the very same conflict with the
+  // SAME deadline, the grant survived a revoke its holder answered: the holder no
+  // longer believes it holds the file (e.g. its node state is long torn down while we
+  // carry an implicit grant from a parent commit) — another callback cannot help, so
+  // reclaim by force. A CHANGED deadline means the holder cooperatively unmapped and
+  // re-mapped (or renewed) after its callback: it is live and mid-operation, and
+  // forcing now would verify-and-roll-back a half-committed op that the holder then
+  // finishes against the rolled-back image (observed as lost renames under the fleet
+  // shuttle). Revoke again instead, bounded by kMaxRevokeRounds so a holder that
+  // re-maps forever still cannot stall a mapper indefinitely.
+  constexpr int kMaxRevokeRounds = 8;
   LibFsId already_revoked = kNoLibFs;
+  uint64_t revoked_lease_end = 0;
+  int revoke_rounds = 0;
   while (true) {
     // Conflict handling that must run unlocked (revoke callbacks, dead-writer
     // verification) is staged out of the locked section and re-evaluated from scratch.
@@ -218,6 +228,7 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
       // Already mapped suitably?
       if (record->writer == libfs) {
         record->lease_deadline_ns = NowNs() + config_.lease_ms * 1000000ull;
+        record->last_use_ns = NowNs();
         PublishGrantLocked(*record, libfs, /*writable=*/true);
         MapInfo info{record->dirent_page, record->dirent_slot, true,
                      record->lease_deadline_ns, DirentOfLocked(*record)->first_index_page};
@@ -276,6 +287,7 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
           me->read_mapped.insert(ino);
         }
         GrantFilePagesLocked(libfs, *record, write);
+        record->last_use_ns = NowNs();  // Digestion's cold scan orders by last grant.
         PublishGrantLocked(*record, libfs, write);
         stats_.maps.fetch_add(1, std::memory_order_relaxed);
         MapInfo info{record->dirent_page, record->dirent_slot, write,
@@ -300,7 +312,9 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
           grant_cache_.Erase(ino);
           continue;  // Re-evaluate (more readers may remain).
         }
-      } else if (conflict == already_revoked) {
+      } else if (conflict == already_revoked &&
+                 (record->lease_deadline_ns == revoked_lease_end ||
+                  ++revoke_rounds > kMaxRevokeRounds)) {
         pending = Pending::kForce;
       } else {
         revoke = holder->callbacks.revoke;
@@ -331,6 +345,7 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
       revoke(ino);  // Synchronous: the holder unmaps (verify runs on this path).
       contended_transfer_depth_.fetch_sub(1, std::memory_order_relaxed);
       already_revoked = conflict;
+      revoked_lease_end = lease_end;
       continue;  // Re-evaluate from scratch; records may have been reclaimed.
     }
     // Lease enforcement: the holder is trusted to cooperate only until its lease
@@ -353,6 +368,7 @@ Result<MapInfo> KernelController::MapFile(LibFsId libfs, Ino parent, Ino ino, bo
       ForceRelease(ino, conflict);
     } else {
       already_revoked = conflict;
+      revoked_lease_end = lease_end;
     }
     // Re-evaluate from scratch; records may have been reclaimed.
   }

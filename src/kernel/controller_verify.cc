@@ -17,6 +17,7 @@
 #include "src/kernel/controller_internal.h"
 #include "src/kernel/syscall_boundary.h"
 #include "src/obs/persist_span.h"
+#include "src/sim/backend.h"
 
 namespace trio {
 
@@ -264,6 +265,25 @@ Status KernelController::ApplyReport(Ino ino, const VerifyReport& report) {
     record->pages = std::move(new_pages);
     record->first_index_page = DirentOfLocked(*record)->first_index_page;
 
+    // Backend slots reconcile exactly like pages: slots no longer referenced by a tier
+    // entry (the writer truncated or overwrote a digested page) are freed on the backend.
+    // A writer cannot *mint* slots — CheckTierSlot already rejected any slot the backend
+    // does not record as owned by this file — so the report's set is always a subset of
+    // union(record set, adopted-at-mount set).
+    {
+      std::unordered_set<uint64_t> new_slots(report.backend_slots.begin(),
+                                             report.backend_slots.end());
+      SlowBackend* backend = config_.tier.backend;
+      for (uint64_t slot : record->backend_slots) {
+        if (new_slots.count(slot) != 0 || backend == nullptr) {
+          continue;
+        }
+        (void)backend->Free(slot, ino);
+        tier_stats_.backend_slots_freed.fetch_add(1, std::memory_order_relaxed);
+      }
+      record->backend_slots = std::move(new_slots);
+    }
+
     // TEST ONLY (see KernelConfig::canary_leak_on_contended_transfer): on a transfer
     // that raced a lease revocation, leak one still-referenced page back onto the free
     // list. A later allocation hands it to another tenant => durable cross-file double
@@ -439,6 +459,7 @@ void KernelController::ReclaimTree(Ino root) {
 
 void KernelController::ReclaimOne(Ino ino) {
   std::vector<PageNumber> pages;
+  std::vector<uint64_t> backend_slots;
   {
     const size_t si = ShardIndexOf(ino);
     ShardLock sl(shards_[si]->mu, si, &stats_.shard_lock_contended);
@@ -447,6 +468,7 @@ void KernelController::ReclaimOne(Ino ino) {
       return;
     }
     pages.assign(record->pages.begin(), record->pages.end());
+    backend_slots.assign(record->backend_slots.begin(), record->backend_slots.end());
     shards_[si]->records.erase(ino);
     EraseInoStateLocked(*shards_[si], ino);
     grant_cache_.Erase(ino);
@@ -454,6 +476,12 @@ void KernelController::ReclaimOne(Ino ino) {
   for (PageNumber page : pages) {
     ReleasePageToFree(page);
     stats_.pages_freed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.tier.backend != nullptr) {
+    for (uint64_t slot : backend_slots) {
+      (void)config_.tier.backend->Free(slot, ino);
+      tier_stats_.backend_slots_freed.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   ShadowInode* shadow = ShadowInodeOf(pool_, ino);
   if (shadow != nullptr) {
@@ -617,6 +645,16 @@ void KernelController::RollbackToCheckpointLocked(FileRecord* record) {
     for (size_t i = 0; i < kIndexEntriesPerPage; ++i) {
       const PageNumber entry = index->entries[i];
       if (entry == 0) {
+        continue;
+      }
+      if (IsTierEntry(entry)) {
+        // A restored tier entry is legitimate iff its slot is still recorded for this
+        // file (digestion never touches write-mapped files, so the recorded set is
+        // stable across the whole write session). Anything else — a forged or stale
+        // digested-page mapping the writer smuggled in — scrubs to a hole.
+        if (record->backend_slots.count(TierSlotOfEntry(entry)) == 0) {
+          span.CommitStore64(&index->entries[i], 0);
+        }
         continue;
       }
       const PageState entry_state = page_table_.Get(entry);

@@ -1,0 +1,44 @@
+// Background digestion service (DESIGN.md §4.11): the thread that drains the NVM absorb
+// tier to the slow backend when occupancy crosses the high watermark, and stops once it
+// falls back under the low watermark.
+//
+// All tiering logic lives in KernelController methods (src/kernel/digestion.cc) so it can
+// coordinate with the sharded ownership state under the normal locking rules; this class
+// is only the pacing thread. Migration coherence with grants reuses the verification
+// protocol: DigestFile pins the record's `busy` flag and copies OUTSIDE the shard lock,
+// so MapFile waits on the shard cv and a migration can never race a grant.
+
+#ifndef SRC_KERNEL_DIGESTION_H_
+#define SRC_KERNEL_DIGESTION_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace trio {
+
+class KernelController;
+
+class DigestionService {
+ public:
+  explicit DigestionService(KernelController& kernel);
+  ~DigestionService();
+  DigestionService(const DigestionService&) = delete;
+  DigestionService& operator=(const DigestionService&) = delete;
+
+  // Wake the thread early (e.g. occupancy may have just crossed the watermark).
+  void Nudge();
+
+ private:
+  void Run();
+
+  KernelController& kernel_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace trio
+
+#endif  // SRC_KERNEL_DIGESTION_H_

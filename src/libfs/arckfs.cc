@@ -50,7 +50,9 @@ ArckFs::ArckFs(KernelController& kernel, ArckFsConfig config)
       pool_(kernel.pool()),
       config_(std::move(config)),
       libfs_(RegisterWithKernel(kernel, config_)),
-      leases_(kernel, libfs_, config_.page_batch, config_.ino_batch) {
+      leases_(kernel, libfs_, config_.page_batch, config_.ino_batch),
+      promote_cache_(kernel.pool(), config_.promote_cache_slots,
+                     config_.promote_cache_shards, config_.promote_policy) {
   Superblock* sb = SuperblockOf(pool_);
   GetOrCreateNode(kRootIno, kInvalidIno, /*is_dir=*/true, &sb->root);
   if (config_.ring.enabled) {
@@ -66,6 +68,7 @@ ArckFs::~ArckFs() {
     std::lock_guard<std::mutex> guard(nodes_mutex_);
     nodes_.clear();
   }
+  leases_.Shutdown();  // No async refill may race the kernel-side lease teardown.
   kernel_.UnregisterLibFs(libfs_);
 }
 

@@ -37,6 +37,7 @@
 #include "src/libfs/journal.h"
 #include "src/libfs/lease_cache.h"
 #include "src/libfs/op_ring.h"
+#include "src/libfs/promote_cache.h"
 #include "src/libfs/radix_tree.h"
 #include "src/obs/stats.h"
 
@@ -70,6 +71,12 @@ struct ArckFsConfig {
   // drainer; application threads then reach ring_engine() for the async path. The
   // synchronous FsInterface API keeps working either way.
   OpRingConfig ring;
+  // Promote cache for digested (backend-tier) pages (src/libfs/promote_cache.h).
+  // 0 slots = disabled: tier reads still work but pay a kernel promote every time.
+  size_t promote_cache_slots = 0;
+  size_t promote_cache_shards = 8;
+  // Optional replacement-policy override (unowned); null = built-in CLOCK.
+  PromoteCache::Policy* promote_policy = nullptr;
 };
 
 // Registered into obs::StatRegistry under layer "libfs" (summed across instances).
@@ -142,6 +149,10 @@ class ArckFs : public FsInterface, private RingPassHooks {
   std::vector<std::pair<Ino, Status>> QuarantineNotices();
   // Non-null iff config.ring.enabled: the async submission path into this LibFS.
   OpRingEngine* ring_engine() { return ring_engine_.get(); }
+  // The digested-page promote cache (tier hit-rate counters live in its stats()).
+  PromoteCache& promote_cache() { return promote_cache_; }
+  // The lease cache (async/sync refill counters).
+  LeaseCache& leases() { return leases_; }
   // Current journal page numbers (persist these to recover after a crash).
   std::vector<PageNumber> JournalPages();
 
@@ -251,6 +262,24 @@ class ArckFs : public FsInterface, private RingPassHooks {
   Status LinkDataPage(FileNode* node, uint64_t page_index, PageNumber page);
   Status AppendDirDataPage(FileNode* dir);
 
+  // ---- Tier promote path (DESIGN.md §4.11) ----
+  // Read `len` bytes at `in_page` within digested file page `page_index` (backend slot
+  // `slot`): promote-cache hit, or fault the page into a leased NVM page via the kernel
+  // and cache the copy.
+  Status ReadTierPage(FileNode* node, uint64_t page_index, uint64_t slot,
+                      uint64_t in_page, char* dst, size_t len);
+  // Bring a digested page back to NVM authority for writing: allocate a leased page,
+  // fill it from the backend when `fill` (skip on a full-page overwrite), and drop any
+  // cached promoted copy. The caller links the page and the old slot is released at
+  // verify-time reconcile.
+  Result<PageNumber> PromoteForWrite(FileNode* node, uint64_t page_index, uint64_t slot,
+                                     bool fill);
+  // Any tier entry among the file pages covering [offset, offset+count)? Tier entries
+  // are converted to NVM pages under the exclusive inode lock (a shared-lock writer
+  // could otherwise race another on the same index slot); while write-mapped no NEW
+  // tier entry can appear (digestion skips mapped files), so a pre-lock check is stable.
+  bool RangeHasTierEntries(FileNode* node, uint64_t offset, size_t count);
+
   // Copies with optional delegation: a non-null `batch` queues the chunk into the
   // current operation's DelegationBatch (submitted + fenced once per node at the end of
   // the op); null copies inline. `persist` = flush the written lines now (the
@@ -289,6 +318,7 @@ class ArckFs : public FsInterface, private RingPassHooks {
   ArckFsConfig config_;
   LibFsId libfs_ = kNoLibFs;
   LeaseCache leases_;
+  PromoteCache promote_cache_;
   FdTable<FileNode> fds_;
   LibFsStats stats_;
   // Persistence accounting for every PersistSpan this LibFS opens (layer "libfs").

@@ -114,6 +114,67 @@ Result<PageNumber> ArckFs::AllocDataPage(FileNode* node, uint64_t page_index, bo
   return page;
 }
 
+// ---------------------------------------------------------------------------
+// Tier promote path (DESIGN.md §4.11)
+// ---------------------------------------------------------------------------
+
+Status ArckFs::ReadTierPage(FileNode* node, uint64_t page_index, uint64_t slot,
+                            uint64_t in_page, char* dst, size_t len) {
+  if (promote_cache_.ReadHit(node->ino, page_index, in_page, dst, len)) {
+    return OkStatus();
+  }
+  // Miss: fault the whole page back into a leased NVM page through the kernel (the
+  // backend is never mapped into userspace) and cache the copy for the next reader.
+  const int numa_nodes = pool_.topology().num_nodes;
+  TRIO_ASSIGN_OR_RETURN(PageNumber dest,
+                        leases_.AllocPage(static_cast<int>(page_index % numa_nodes)));
+  Status promoted = kernel_.PromoteRead(libfs_, node->ino, slot, dest);
+  if (!promoted.ok()) {
+    leases_.RecyclePage(dest);
+    return promoted;
+  }
+  pool_.Read(dst, pool_.PageAddress(dest) + in_page, len);
+  const PageNumber displaced = promote_cache_.Insert(node->ino, page_index, dest);
+  if (displaced != 0) {
+    leases_.RecyclePage(displaced);
+  }
+  return OkStatus();
+}
+
+Result<PageNumber> ArckFs::PromoteForWrite(FileNode* node, uint64_t page_index,
+                                           uint64_t slot, bool fill) {
+  const int numa_nodes = pool_.topology().num_nodes;
+  TRIO_ASSIGN_OR_RETURN(PageNumber page,
+                        leases_.AllocPage(static_cast<int>(page_index % numa_nodes)));
+  if (fill) {
+    // Partial overwrite: the surviving bytes live on the backend; PromoteRead persists
+    // and fences the destination, so the later index-entry commit cannot become durable
+    // ahead of the page contents.
+    Status promoted = kernel_.PromoteRead(libfs_, node->ino, slot, page);
+    if (!promoted.ok()) {
+      leases_.RecyclePage(page);
+      return promoted;
+    }
+  }
+  // The cached read-only copy (if any) is now stale by construction.
+  const PageNumber cached = promote_cache_.Erase(node->ino, page_index);
+  if (cached != 0) {
+    leases_.RecyclePage(cached);
+  }
+  return page;
+}
+
+bool ArckFs::RangeHasTierEntries(FileNode* node, uint64_t offset, size_t count) {
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + count - 1) / kPageSize;
+  for (uint64_t index = first; index <= last; ++index) {
+    if (IsTierEntry(node->radix.Lookup(index))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status ArckFs::LinkDataPage(FileNode* node, uint64_t page_index, PageNumber page) {
   const size_t chain_slot = page_index / kIndexEntriesPerPage;
   TRIO_CHECK(chain_slot < node->index_pages.size()) << "index chain does not cover page";
@@ -148,7 +209,10 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
   } else {
     while (true) {
       size = pool_.Load64(&node->dirent->size);
-      exclusive = offset + count > size;
+      // Tier entries convert to NVM pages only under the exclusive inode lock (two
+      // shared-lock writers would race on the same index slot); see RangeHasTierEntries
+      // for why the pre-lock check is stable.
+      exclusive = offset + count > size || RangeHasTierEntries(node, offset, count);
       if (exclusive) {
         node->inode_lock.lock();
         // Size may have grown while we waited; the exclusive lock is still fine.
@@ -204,7 +268,21 @@ Result<size_t> ArckFs::WriteLocked(FileNode* node, const void* buf, size_t count
       const uint64_t in_page = cursor % kPageSize;
       const size_t chunk = std::min<uint64_t>(kPageSize - in_page, end - cursor);
       PageNumber page = node->radix.Lookup(page_index);
-      if (page == 0) {
+      if (page != 0 && IsTierEntry(page)) {
+        // Writing a digested page: promote it back to NVM authority. The tagged entry
+        // is replaced below via the normal to_link commit; the orphaned backend slot is
+        // released when this write session reconciles.
+        const bool full_page = in_page == 0 && chunk == kPageSize;
+        Result<PageNumber> promoted =
+            PromoteForWrite(node, page_index, TierSlotOfEntry(page), /*fill=*/!full_page);
+        if (!promoted.ok()) {
+          status = promoted.status();
+          break;
+        }
+        page = *promoted;
+        to_link.push_back({page_index, page});
+        node->radix.Insert(page_index, page);
+      } else if (page == 0) {
         const bool full_page = in_page == 0 && chunk == kPageSize;
         Result<PageNumber> fresh = AllocDataPage(node, page_index, /*zero=*/!full_page);
         if (!fresh.ok()) {
@@ -296,6 +374,14 @@ Result<size_t> ArckFs::ReadLocked(FileNode* node, void* buf, size_t count, uint6
     const PageNumber page = node->radix.Lookup(page_index);
     if (page == 0) {
       std::memset(dst + (cursor - offset), 0, chunk);  // Hole.
+    } else if (IsTierEntry(page)) {
+      // Digested page: promote-cache hit or kernel promote; always copied inline (the
+      // source is a DRAM-resident cache page or freshly promoted, not cold NVM).
+      Status tier = ReadTierPage(node, page_index, TierSlotOfEntry(page), in_page,
+                                 dst + (cursor - offset), chunk);
+      if (!tier.ok()) {
+        return tier;
+      }
     } else {
       CopyFromNvm(dst + (cursor - offset), pool_.PageAddress(page) + in_page, chunk,
                   delegate ? &*batch : nullptr);
@@ -326,7 +412,18 @@ Status ArckFs::TruncateLocked(FileNode* node, uint64_t new_size) {
   span.CommitStore64(&node->dirent->size, new_size);
   // Zero the tail of the boundary page so a later size-only grow reads zeros.
   if (new_size % kPageSize != 0) {
-    const PageNumber boundary = node->radix.Lookup(new_size / kPageSize);
+    const uint64_t boundary_index = new_size / kPageSize;
+    PageNumber boundary = node->radix.Lookup(boundary_index);
+    if (boundary != 0 && IsTierEntry(boundary)) {
+      // The boundary page is digested and its surviving bytes must be scrubbed in
+      // place: promote it back to NVM (filled), link the copy, then zero the tail of
+      // the copy. The orphaned slot is released at reconcile.
+      TRIO_ASSIGN_OR_RETURN(
+          PageNumber promoted,
+          PromoteForWrite(node, boundary_index, TierSlotOfEntry(boundary), /*fill=*/true));
+      TRIO_RETURN_IF_ERROR(LinkDataPage(node, boundary_index, promoted));
+      boundary = promoted;
+    }
     if (boundary != 0) {
       const uint64_t keep = new_size % kPageSize;
       pool_.Set(pool_.PageAddress(boundary) + keep, 0, kPageSize - keep);
@@ -346,6 +443,15 @@ Status ArckFs::TruncateLocked(FileNode* node, uint64_t new_size) {
     pool_.Store64(&chain->entries[index % kIndexEntriesPerPage], 0);
     span.Persist(&chain->entries[index % kIndexEntriesPerPage], sizeof(uint64_t));
     node->radix.Erase(index);
+    if (IsTierEntry(page)) {
+      // A truncated digested page has no NVM page to reuse; drop any promoted copy.
+      // The backend slot itself is released when this write session reconciles.
+      const PageNumber cached = promote_cache_.Erase(node->ino, index);
+      if (cached != 0) {
+        leases_.RecyclePage(cached);
+      }
+      continue;
+    }
     std::lock_guard<SpinLock> guard(node->tails_lock);
     node->reuse_pages.push_back(page);
   }

@@ -450,10 +450,18 @@ Status ArckFs::Rename(const std::string& from, const std::string& to) {
       journal.Activate();
       DirentBlock moved = *src;
       moved.SetName(dst_parts.leaf);
-      pool_.Write(dst, &moved, sizeof(moved));
+      // Replace = unpublish, rewrite the body, republish (§4.4): the ino is the atomic
+      // publish field, so a concurrent kernel scan sees the old dirent, a free slot, or
+      // the fully-written new one — never a blend of the two. Both pre-images are
+      // journaled, so any crash window rolls back.
       obs::PersistSpan span(pool_, &persist_stats_);
-      span.Persist(dst, sizeof(moved));
+      span.CommitStore64(&dst->ino, kInvalidIno);
+      pool_.Write(reinterpret_cast<char*>(dst) + sizeof(uint64_t),
+                  reinterpret_cast<const char*>(&moved) + sizeof(uint64_t),
+                  sizeof(DirentBlock) - sizeof(uint64_t));
+      span.Persist(dst, sizeof(DirentBlock));
       span.Fence();
+      span.CommitStore64(&dst->ino, moved.ino);
       span.CommitStore64(&src->ino, kInvalidIno);
       journal.Deactivate();
     }
@@ -501,10 +509,17 @@ Status ArckFs::Rename(const std::string& from, const std::string& to) {
           journal.Activate();
           DirentBlock moved = *src;
           moved.SetName(dst_parts.leaf);
-          pool_.Write(dst, &moved, sizeof(moved));
+          // Same publish protocol as create (§4.4): persist every field with the slot
+          // still free, then commit the ino with one atomic durable store. A kernel
+          // verifier scanning this page mid-rename either skips the free slot or sees
+          // the whole dirent, and the publish is durable before the source tombstone.
+          pool_.Write(reinterpret_cast<char*>(dst) + sizeof(uint64_t),
+                      reinterpret_cast<const char*>(&moved) + sizeof(uint64_t),
+                      sizeof(DirentBlock) - sizeof(uint64_t));
           obs::PersistSpan span(pool_, &persist_stats_);
-          span.Persist(dst, sizeof(moved));
+          span.Persist(dst, sizeof(DirentBlock));
           span.Fence();
+          span.CommitStore64(&dst->ino, moved.ino);
           span.CommitStore64(&src->ino, kInvalidIno);
           journal.Deactivate();
           dst_dir->dir_index->Insert(dst_parts.leaf,

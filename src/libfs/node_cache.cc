@@ -150,6 +150,15 @@ void ArckFs::RevokeNode(Ino ino) {
   node->radix.Clear();
   node->index_pages.clear();
   node->reuse_pages.clear();
+  {
+    // Promoted tier copies go too — after the handoff the kernel may digest a newer
+    // version of these pages, and a stale cached copy would serve old bytes.
+    std::vector<PageNumber> recycled;
+    promote_cache_.EraseFile(ino, &recycled);
+    for (PageNumber p : recycled) {
+      leases_.RecyclePage(p);
+    }
+  }
   node->dir_index.reset();
   node->dir_tails.clear();
   node->dir_index_pages.clear();
@@ -194,11 +203,20 @@ Status ArckFs::RebuildAux(FileNode* node) {
       node->index_pages.push_back(p);
       return OkStatus();
     }));
+    // Raw entries, tier tags included: the radix mirrors the index chain verbatim so
+    // the data path can distinguish NVM pages from digested (tagged) mappings.
     TRIO_RETURN_IF_ERROR(
-        ForEachDataPage(pool_, first, [&](uint64_t index, PageNumber p) -> Status {
-          node->radix.Insert(index, p);
+        ForEachDataEntry(pool_, first, [&](uint64_t index, uint64_t entry) -> Status {
+          node->radix.Insert(index, entry);
           return OkStatus();
         }));
+    // Promoted copies from a previous mapping epoch are untrustworthy: the pages may
+    // have been rewritten and re-digested to new slots while we held no grant.
+    std::vector<PageNumber> recycled;
+    promote_cache_.EraseFile(node->ino, &recycled);
+    for (PageNumber p : recycled) {
+      leases_.RecyclePage(p);
+    }
   } else {
     node->dir_index = std::make_unique<DirIndex>();
     node->dir_tails.clear();

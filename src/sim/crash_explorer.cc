@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/core/core_state.h"
+#include "src/sim/backend.h"
 #include "src/verifier/fsck.h"
 
 namespace trio {
@@ -60,7 +61,11 @@ void CrashExplorer::RecordFailure(CrashExplorerReport& report, size_t fence,
 RemountedFs CrashExplorer::Boot(const char* image, NvmMode mode,
                                 const std::vector<PageNumber>& journals,
                                 bool record_recovery) {
-  RemountedFs out = BootImage(image, options_.pool_pages, mode, journals, record_recovery);
+  KernelConfig boot_config = options_.kernel_config;
+  // Recovery boots audit the image; a live digestion thread would rewrite it mid-audit.
+  boot_config.tier.start_digestion = false;
+  RemountedFs out = BootImage(image, options_.pool_pages, mode, journals, record_recovery,
+                              boot_config);
   if (out.needed_recovery && out.fs != nullptr) {
     stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
   }
@@ -84,7 +89,17 @@ void CrashExplorer::CheckPoint(size_t fence, NvmPool& primary,
     return;
   }
 
-  Result<FsckReport> fsck = RunFsck(*booted.pool);
+  // The boot's Mount just rebuilt the backend owner table for THIS image (BeginRebuild +
+  // Adopt), so the snapshot below is exactly the slots this crash point's tree claims;
+  // fsck's G7 cross-checks every tier entry against it (no slot owned by two files, no
+  // page simultaneously live in NVM and digested, no forged slot).
+  std::unordered_map<uint64_t, Ino> owners;
+  const std::unordered_map<uint64_t, Ino>* tier_owners = nullptr;
+  if (SlowBackend* backend = options_.kernel_config.tier.backend) {
+    owners = backend->SlotOwners();
+    tier_owners = &owners;
+  }
+  Result<FsckReport> fsck = RunFsck(*booted.pool, tier_owners);
   stats_.fsck_runs.fetch_add(1, std::memory_order_relaxed);
   if (!fsck.ok()) {
     RecordFailure(report, fence, SIZE_MAX, "fsck errored: " + fsck.status().ToString());
@@ -134,7 +149,11 @@ void CrashExplorer::CheckPoint(size_t fence, NvmPool& primary,
                     "second recovery failed: " + second.status.ToString());
       continue;
     }
-    Result<FsckReport> refsck = RunFsck(*second.pool);
+    if (tier_owners != nullptr) {
+      // The second mount re-ran the owner rebuild; re-snapshot before re-checking G7.
+      owners = options_.kernel_config.tier.backend->SlotOwners();
+    }
+    Result<FsckReport> refsck = RunFsck(*second.pool, tier_owners);
     stats_.fsck_runs.fetch_add(1, std::memory_order_relaxed);
     if (!refsck.ok() || !refsck->Clean()) {
       if (refsck.ok()) {
@@ -173,7 +192,7 @@ Result<CrashExplorerReport> CrashExplorer::Explore(const Workload& workload,
   FormatOptions format;
   format.max_inodes = options_.max_inodes;
   TRIO_RETURN_IF_ERROR(Format(pool, format));
-  KernelController kernel(pool);
+  KernelController kernel(pool, options_.kernel_config);
   TRIO_RETURN_IF_ERROR(kernel.Mount());
   ArckFs fs(kernel, options_.workload_config);
 

@@ -61,6 +61,14 @@ struct CrashExplorerOptions {
   // op-ring drainer's group-commit epochs). Recovery boots always use a default config:
   // the recovered image must be readable without the workload's special modes.
   ArckFsConfig workload_config;
+  // Kernel config for the workload kernel AND every recovery boot. Unlike the LibFS
+  // config above, this one must carry over to recovery: a tier.backend holds the only
+  // copy of digested pages, so a recovered image is unreadable without it. The backend
+  // outlives every pool the explorer boots; each Mount re-runs BeginRebuild + Adopt
+  // against the materialized image, and fsck's G7 cross-tier check runs against the
+  // resulting owner snapshot. Recovery boots force tier.start_digestion off — a
+  // background digestion thread would mutate the image mid-audit.
+  KernelConfig kernel_config;
   // Seeds the injector's Rng; every run with the same seed explores identical faults.
   uint64_t seed = 2026;
   // Stop exploring after this many failing crash points (details kept for all of them).

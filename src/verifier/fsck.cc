@@ -9,7 +9,8 @@ namespace {
 
 class FsckRun {
  public:
-  explicit FsckRun(NvmPool& pool) : pool_(pool) {}
+  FsckRun(NvmPool& pool, const std::unordered_map<uint64_t, Ino>* tier_owners)
+      : pool_(pool), tier_owners_(tier_owners) {}
 
   Result<FsckReport> Run() {
     Status super = CheckSuperblock(pool_);
@@ -81,6 +82,32 @@ class FsckRun {
     return true;
   }
 
+  // G7: claims a backend-tier slot for `ino`. A slot referenced from two files is the
+  // cross-tier analogue of G3; a slot the backend does not record under this ino (when
+  // the caller supplied the owner table) is a lost or forged digested page.
+  void ClaimTierSlot(uint64_t slot, Ino ino) {
+    auto [it, fresh] = slot_owner_.emplace(slot, ino);
+    if (!fresh) {
+      Problem("G7", ino,
+              "backend slot " + std::to_string(slot) + " also used by ino " +
+                  std::to_string(it->second));
+      return;
+    }
+    report_.tier_slots_in_use++;
+    if (tier_owners_ != nullptr) {
+      auto owner = tier_owners_->find(slot);
+      if (owner == tier_owners_->end()) {
+        Problem("G7", ino,
+                "tier entry references backend slot " + std::to_string(slot) +
+                    " that the backend does not record as owned");
+      } else if (owner->second != ino) {
+        Problem("G7", ino,
+                "backend records slot " + std::to_string(slot) + " as owned by ino " +
+                    std::to_string(owner->second));
+      }
+    }
+  }
+
   void CheckFile(const DirentBlock* dirent, Ino parent, int depth) {
     if (depth > 512) {
       Problem("G2", dirent->ino, "directory nesting beyond plausible depth");
@@ -116,11 +143,22 @@ class FsckRun {
       Problem("G2", dirent->ino, "index chain: " + walk.ToString());
       return;
     }
-    walk = ForEachDataPage(pool_, dirent->first_index_page,
-                           [&](uint64_t, PageNumber p) -> Status {
-                             ClaimPage(p, dirent->ino);
-                             return OkStatus();
-                           });
+    walk = ForEachDataEntry(pool_, dirent->first_index_page,
+                            [&](uint64_t, uint64_t entry) -> Status {
+                              if (IsTierEntry(entry)) {
+                                // Only regular files digest; a tagged entry inside a
+                                // directory chain is corruption, not data.
+                                if (dirent->IsDirectory()) {
+                                  Problem("G7", dirent->ino,
+                                          "tier entry inside a directory chain");
+                                } else {
+                                  ClaimTierSlot(TierSlotOfEntry(entry), dirent->ino);
+                                }
+                                return OkStatus();
+                              }
+                              ClaimPage(static_cast<PageNumber>(entry), dirent->ino);
+                              return OkStatus();
+                            });
     if (!walk.ok()) {
       Problem("G2", dirent->ino, "data pages: " + walk.ToString());
       return;
@@ -168,13 +206,18 @@ class FsckRun {
   }
 
   NvmPool& pool_;
+  const std::unordered_map<uint64_t, Ino>* tier_owners_;
   FsckReport report_;
   std::unordered_map<PageNumber, Ino> page_owner_;
+  std::unordered_map<uint64_t, Ino> slot_owner_;
   std::unordered_set<Ino> seen_inos_;
 };
 
 }  // namespace
 
-Result<FsckReport> RunFsck(NvmPool& pool) { return FsckRun(pool).Run(); }
+Result<FsckReport> RunFsck(NvmPool& pool,
+                           const std::unordered_map<uint64_t, Ino>* tier_owners) {
+  return FsckRun(pool, tier_owners).Run();
+}
 
 }  // namespace trio

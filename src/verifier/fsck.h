@@ -8,7 +8,11 @@
 //   G3  no NVM page is referenced by two files (global double-reference);
 //   G4  no inode number appears under two names (no hard links in ArckFS);
 //   G5  every live file has a matching shadow inode and the cached permissions agree;
-//   G6  every shadow inode marked live is reachable from the root (no orphans).
+//   G6  every shadow inode marked live is reachable from the root (no orphans);
+//   G7  backend-tier slots: no slot is referenced by two files, tier entries never
+//       appear inside directories, and — when the caller supplies the backend's owner
+//       table — every referenced slot exists on the backend under the referencing ino
+//       and no page is simultaneously live in NVM and digested (owned by both tiers).
 //
 // Check-only: it never writes. The kernel controller's Mount/RunRecovery handle repair.
 
@@ -16,6 +20,7 @@
 #define SRC_VERIFIER_FSCK_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -25,7 +30,7 @@
 namespace trio {
 
 struct FsckProblem {
-  std::string invariant;  // "G1".."G6".
+  std::string invariant;  // "G1".."G7".
   Ino ino = kInvalidIno;
   std::string detail;
 };
@@ -34,14 +39,18 @@ struct FsckReport {
   uint64_t directories = 0;
   uint64_t regular_files = 0;
   uint64_t pages_in_use = 0;
+  uint64_t tier_slots_in_use = 0;
   uint64_t bytes_in_files = 0;
   std::vector<FsckProblem> problems;
 
   bool Clean() const { return problems.empty(); }
 };
 
-// Sweeps the whole pool. Never modifies it.
-Result<FsckReport> RunFsck(NvmPool& pool);
+// Sweeps the whole pool. Never modifies it. `tier_owners` is an optional snapshot of the
+// slow backend's slot-owner table (SlowBackend::SlotOwners()); when supplied, G7 checks
+// every tier entry against it.
+Result<FsckReport> RunFsck(NvmPool& pool,
+                           const std::unordered_map<uint64_t, Ino>* tier_owners = nullptr);
 
 }  // namespace trio
 

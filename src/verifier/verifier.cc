@@ -118,13 +118,36 @@ Status IntegrityVerifier::CheckChain(const VerifyRequest& request,
     return OkStatus();
   };
 
-  // Walk index pages, then data pages. ForEach* already bound-check page numbers and
-  // detect cycles in the index chain.
+  // Walk index pages, then raw data entries. ForEach* already bound-check page numbers
+  // and detect cycles in the index chain; tier entries pass through tagged and are
+  // checked against the backend owner oracle instead of the NVM ownership table.
+  const bool is_dir = request.dirent != nullptr && request.dirent->IsDirectory();
+  std::unordered_set<uint64_t> seen_slots;
   TRIO_RETURN_IF_ERROR(
       ClassifyWalkerError(ForEachIndexPage(pool_, first_index_page, check_page)));
-  TRIO_RETURN_IF_ERROR(ClassifyWalkerError(ForEachDataPage(
+  TRIO_RETURN_IF_ERROR(ClassifyWalkerError(ForEachDataEntry(
       pool_, first_index_page,
-      [&](uint64_t /*file_page_index*/, PageNumber page) { return check_page(page); })));
+      [&](uint64_t /*file_page_index*/, uint64_t entry) -> Status {
+        if (!IsTierEntry(entry)) {
+          return check_page(entry);
+        }
+        TRIO_RETURN_IF_ERROR(CheckDeadline(request));
+        // Directory chains never digest: a tagged entry there is forged outright.
+        if (is_dir) {
+          return VerifyFail(VerifyErrorClass::kBadPagePointer, "I2",
+                            "tier entry inside a directory chain");
+        }
+        const uint64_t slot = TierSlotOfEntry(entry);
+        // I2: no double references within the file, backend tier included.
+        if (!seen_slots.insert(slot).second) {
+          return VerifyFail(VerifyErrorClass::kDoubleReference, "I2",
+                            "backend slot referenced twice within file");
+        }
+        TRIO_RETURN_IF_ERROR(env_.CheckTierSlot(ino, slot));
+        report->backend_slots.push_back(slot);
+        stats_.pages_scanned.fetch_add(1, std::memory_order_relaxed);
+        return OkStatus();
+      })));
   return OkStatus();
 }
 

@@ -72,6 +72,9 @@ struct VerifyReport {
   // Every index and data page referenced by the file, post-write (kernel reconciles
   // ownership from this).
   std::vector<PageNumber> pages;
+  // Backend slots referenced by tier entries (digested pages), post-write; the kernel
+  // reconciles backend-slot ownership from this the same way it reconciles pages.
+  std::vector<uint64_t> backend_slots;
   // Directories only:
   std::vector<NewChildInfo> new_children;
   std::vector<Ino> removed_children;       // At checkpoint, now gone (deleted or moved out).
@@ -94,6 +97,16 @@ class VerifyEnv {
   // `new_parent`? True iff the old parent directory is write-held by the same writer or the
   // child is pending reconciliation from an earlier unmap in this writer's session.
   virtual bool IsMovePermitted(Ino child, Ino new_parent, LibFsId writer) const = 0;
+  // Is `slot` a backend-tier slot legitimately owned by `ino`? Only the kernel's own
+  // digestion service mints tier entries, so the default — no backend configured — rejects
+  // every tier entry outright: a forged digested-page mapping is corruption by
+  // construction, not something a LibFS can smuggle past an unconfigured verifier.
+  virtual Status CheckTierSlot(Ino ino, uint64_t slot) const {
+    (void)ino;
+    return VerifyFail(VerifyErrorClass::kForeignPage, "I2",
+                      "tier entry references backend slot " + std::to_string(slot) +
+                          " but no backend tier is configured");
+  }
 };
 
 struct VerifyRequest {

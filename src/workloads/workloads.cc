@@ -504,6 +504,7 @@ Status FleetWorkload::Prepare() {
   ArckFsConfig fs_config;
   fs_config.uid = config_.uid;
   fs_config.gid = config_.uid;
+  fs_config.ring.enabled = config_.use_ring;
   // Default lease batches (64 inos / 64 pages) are sized for a handful of tenants; a
   // fleet of 64+ would exhaust the inode space and page pool on first allocation before
   // doing any work. Scale the batch down so aggregate reservations stay a fraction of
@@ -574,12 +575,40 @@ Status FleetWorkload::Op(int tenant, uint64_t i) {
                                  : PrivateHome(tenant) + "/work";
     TRIO_ASSIGN_OR_RETURN(Fd fd, fs.Open(path, OpenFlags::ReadWrite()));
     const std::string block = Payload(config_.io_size, 'F');
-    const uint64_t offset = state.rng.Below(blocks) * config_.io_size;
-    Result<size_t> n = fs.Pwrite(fd, block.data(), block.size(), offset);
+    Status write_status = OkStatus();
+    if (config_.use_ring && fs.ring_engine() != nullptr) {
+      // Async path: a burst of positional writes through the tenant's own ring, reaped
+      // in the same op so the payload buffer stays live across the burst.
+      const size_t burst = std::max<size_t>(1, config_.ring_burst);
+      std::vector<Sqe> sqes(burst);
+      for (size_t b = 0; b < burst; ++b) {
+        Sqe& sqe = sqes[b];
+        sqe.op = Sqe::Op::kPwrite;
+        sqe.fd = fd;
+        sqe.buf = block.data();
+        sqe.len = static_cast<uint32_t>(block.size());
+        sqe.offset = state.rng.Below(blocks) * config_.io_size;
+      }
+      fs.ring_engine()->SubmitBurst(sqes.data(), sqes.size());
+      for (size_t b = 0; b < burst; ++b) {
+        const Cqe cqe = fs.ring_engine()->WaitCompletion();
+        if (!cqe.ok()) {
+          write_status = Status(cqe.code(), "fleet ring pwrite failed");
+          continue;  // Keep reaping: every submitted CQE must be consumed.
+        }
+        state.stats.bytes_written += static_cast<uint64_t>(cqe.result);
+      }
+    } else {
+      const uint64_t offset = state.rng.Below(blocks) * config_.io_size;
+      Result<size_t> n = fs.Pwrite(fd, block.data(), block.size(), offset);
+      if (n.ok()) {
+        state.stats.bytes_written += n.value();
+      }
+      write_status = n.status();
+    }
     Status closed = fs.Close(fd);
-    TRIO_RETURN_IF_ERROR(n.status());
+    TRIO_RETURN_IF_ERROR(write_status);
     TRIO_RETURN_IF_ERROR(closed);
-    state.stats.bytes_written += n.value();
     ++state.stats.ops;
     return OkStatus();
   }

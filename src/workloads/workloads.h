@@ -183,6 +183,10 @@ struct FleetConfig {
   int rename_permille = 20;   // Move the private file across the shared/private boundary.
   uint64_t seed = 17;
   uint32_t uid = 0;           // All tenants share a uid so shared files stay readable.
+  // Route private writes through each tenant's op ring (SubmitBurst of ring_burst
+  // pwrites per op) instead of synchronous Pwrite.
+  bool use_ring = false;
+  size_t ring_burst = 8;
 };
 
 class FleetWorkload {

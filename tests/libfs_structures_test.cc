@@ -251,15 +251,16 @@ TEST(LeaseCacheTest, BatchesAndRecycles) {
   LibFsId id = kernel.RegisterLibFs(LibFsOptions{});
 
   LeaseCache cache(kernel, id, /*page_batch=*/8, /*ino_batch=*/8);
-  const uint64_t syscalls_before = kernel.stats().syscalls.load();
   std::vector<PageNumber> pages;
   for (int i = 0; i < 8; ++i) {
     Result<PageNumber> page = cache.AllocPage(0);
     ASSERT_TRUE(page.ok());
     pages.push_back(*page);
   }
-  // One batched kernel call covered all eight.
-  EXPECT_EQ(kernel.stats().syscalls.load(), syscalls_before + 1);
+  // One batched kernel trap on the hot path covered all eight; the background worker
+  // may add its own refill crossings, but those are off the allocating thread by
+  // construction (so the raw syscall counter is not asserted here).
+  EXPECT_EQ(cache.sync_refills(), 1u);
 
   cache.RecyclePage(pages[0]);
   Result<PageNumber> again = cache.AllocPage(0);
